@@ -1,0 +1,39 @@
+//! Baseline routing engines the paper compares DFSSSP against (all are
+//! engines of the InfiniBand Open Subnet Manager):
+//!
+//! * [`MinHop`] — port-load-balanced minimal routing (not deadlock-free).
+//! * [`UpDown`] — cycle-free Up*/Down* routing.
+//! * [`Dor`] — dimension-order routing for coordinate topologies
+//!   (not deadlock-free on tori).
+//! * [`Lash`] — layered shortest path: plain shortest paths plus the
+//!   online one-cycle-search-per-path layer assignment.
+//! * [`FatTree`] — destination-balanced up/down routing for k-ary n-trees
+//!   and XGFTs (fails on non-tree topologies, like OpenSM's engine).
+
+pub mod dor;
+pub mod fattree;
+pub mod lash;
+pub mod minhop;
+pub mod updown;
+
+pub use dor::Dor;
+pub use fattree::FatTree;
+pub use lash::Lash;
+pub use minhop::MinHop;
+pub use updown::UpDown;
+
+use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
+
+/// All engines of the paper's Figure 4/8 comparison, in display order.
+/// (DOR is included; it fails on non-coordinate topologies.)
+pub fn all_engines() -> Vec<Box<dyn RoutingEngine + Send + Sync>> {
+    vec![
+        Box::new(MinHop::new()),
+        Box::new(UpDown::new()),
+        Box::new(Dor::new()),
+        Box::new(Lash::new()),
+        Box::new(FatTree::new()),
+        Box::new(Sssp::new()),
+        Box::new(DfSssp::new()),
+    ]
+}

@@ -1,0 +1,553 @@
+//! Deadlock-free SSSP routing (the paper's §IV, Algorithm 2).
+//!
+//! DFSSSP first computes balanced minimal paths with [`crate::Sssp`]
+//! (Algorithm 1), then assigns every terminal-to-terminal path to a
+//! virtual layer such that each layer's channel dependency graph is
+//! acyclic — the Dally & Seitz sufficient condition for deadlock freedom.
+//!
+//! Two assignment modes are implemented, matching the paper:
+//!
+//! * [`LayerAssignMode::Offline`] (the contribution): put **all** paths in
+//!   layer 1, then repeatedly find a cycle in the layer's CDG, break it by
+//!   moving every path that induces one chosen edge (see
+//!   [`CycleBreakHeuristic`]) to the next layer, and resume the cycle
+//!   search in place. Each layer needs exactly one (resumable) cycle
+//!   search, which is what makes the approach scale (the paper reports
+//!   ~170 s instead of ~2 h for a 4096-node network).
+//! * [`LayerAssignMode::Online`] (the LASH-style baseline approach): add
+//!   paths one by one to the first layer where they do not close a cycle,
+//!   at the cost of one cycle search per path.
+//!
+//! After assignment, the paths of the used layers can be spread over the
+//! remaining empty layers ([`crate::balance`]) — safe without any further
+//! cycle search because every subset of an acyclic layer is acyclic.
+
+use crate::balance::balance_layers;
+use crate::cdg::{Cdg, CycleSearch};
+use crate::engine::{RouteError, RoutingEngine};
+use crate::heuristics::CycleBreakHeuristic;
+use crate::paths::{PathId, PathSet};
+use crate::sssp::Sssp;
+use fabric::{Network, Routes};
+
+/// How paths are assigned to virtual layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerAssignMode {
+    /// Algorithm 2: one resumable cycle search per layer (fast).
+    Offline,
+    /// One cycle search per path (slow; the paper's first approach).
+    Online,
+}
+
+/// Statistics of one DFSSSP run, used by the Fig 9/10 and §IV benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DfStats {
+    /// Layers containing paths after cycle breaking, before balancing.
+    /// This is the "number of virtual layers needed" the paper reports.
+    pub layers_used: usize,
+    /// Layers in use after balancing across the allowed budget.
+    pub layers_final: usize,
+    /// Cycles discovered and broken (offline mode only).
+    pub cycles_broken: usize,
+    /// Path moves between layers.
+    pub paths_moved: usize,
+}
+
+/// The deadlock-free SSSP routing engine.
+#[derive(Clone, Debug)]
+pub struct DfSssp {
+    /// Cycle-break heuristic (offline mode). Default: weakest edge.
+    pub heuristic: CycleBreakHeuristic,
+    /// Virtual-layer budget. InfiniBand hardware allows 8 data VLs; the
+    /// spec allows 16.
+    pub max_layers: usize,
+    /// Assignment mode. Default: offline (the paper's contribution).
+    pub mode: LayerAssignMode,
+    /// Spread paths over unused layers after assignment. Default: true.
+    pub balance: bool,
+    /// Compact layers after offline assignment: sink each moved path to
+    /// the lowest layer where it closes no cycle. A refinement beyond
+    /// the paper's Algorithm 2 that typically saves a layer or two on
+    /// dense networks (e.g. large Kautz graphs); disable to measure the
+    /// unmodified algorithm. Default: true.
+    pub compact: bool,
+}
+
+impl Default for DfSssp {
+    fn default() -> Self {
+        DfSssp {
+            heuristic: CycleBreakHeuristic::WeakestEdge,
+            max_layers: 8,
+            mode: LayerAssignMode::Offline,
+            balance: true,
+            compact: true,
+        }
+    }
+}
+
+impl DfSssp {
+    /// The paper's configuration: offline, weakest edge, 8 layers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Same, with a specific heuristic.
+    pub fn with_heuristic(heuristic: CycleBreakHeuristic) -> Self {
+        DfSssp {
+            heuristic,
+            ..Self::default()
+        }
+    }
+
+    /// Route and also return run statistics (layer counts etc.).
+    pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
+        let mut routes = Sssp::new().route(net)?;
+        let ps = PathSet::extract(net, &routes)?;
+        let (path_layer, mut stats) = match self.mode {
+            LayerAssignMode::Offline => {
+                assign_layers_offline(&ps, self.heuristic, self.max_layers, self.compact)?
+            }
+            LayerAssignMode::Online => assign_layers_online(&ps, self.max_layers)?,
+        };
+        let mut path_layer = path_layer;
+        stats.layers_final = if self.balance {
+            balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
+        } else {
+            stats.layers_used
+        };
+        for p in ps.ids() {
+            let (s, d) = ps.pair(p);
+            routes.set_layer(s as usize, d as usize, path_layer[p as usize]);
+        }
+        routes.recompute_num_layers();
+        routes.set_engine(self.name());
+        Ok((routes, stats))
+    }
+}
+
+impl RoutingEngine for DfSssp {
+    fn name(&self) -> &'static str {
+        "DFSSSP"
+    }
+
+    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+        self.route_with_stats(net).map(|(r, _)| r)
+    }
+
+    fn deadlock_free(&self) -> bool {
+        true
+    }
+}
+
+/// Offline layer assignment (Algorithm 2). Returns the per-path layer and
+/// run statistics. Fails with [`RouteError::NeedMoreLayers`] if a cycle
+/// remains in the last allowed layer.
+///
+/// With `compact = true`, the assignment may temporarily exceed
+/// `max_layers`; a compaction pass then sinks every moved path to the
+/// lowest layer where it closes no cycle, and only the compacted layer
+/// count is held against the budget.
+pub fn assign_layers_offline(
+    ps: &PathSet,
+    heuristic: CycleBreakHeuristic,
+    max_layers: usize,
+    compact: bool,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
+    let work_budget = if compact {
+        (max_layers * 4).clamp(max_layers, u8::MAX as usize + 1)
+    } else {
+        max_layers
+    };
+    let num_channels = num_channels_of(ps);
+    let mut path_layer = vec![0u8; ps.len()];
+    let mut layers: Vec<Cdg> = vec![Cdg::new(num_channels)];
+    for p in ps.ids() {
+        layers[0].add_path(ps, p);
+    }
+    let mut stats = DfStats::default();
+    let mut i = 0usize;
+    while i < layers.len() {
+        let mut search = CycleSearch::new(num_channels);
+        while let Some(cycle) = search.next_cycle(&layers[i]) {
+            stats.cycles_broken += 1;
+            let edge = heuristic.pick_counted(&layers[i], &cycle, stats.cycles_broken as u64);
+            let victims = layers[i].live_paths_of(edge, &path_layer, i as u8);
+            debug_assert!(!victims.is_empty(), "live cycle edge without live paths");
+            if i + 1 >= work_budget {
+                return Err(RouteError::NeedMoreLayers {
+                    required: work_budget + 1,
+                    allowed: max_layers,
+                });
+            }
+            if i + 1 >= layers.len() {
+                layers.push(Cdg::new(num_channels));
+            }
+            let (head, tail) = layers.split_at_mut(i + 1);
+            let (cur, next) = (&mut head[i], &mut tail[0]);
+            for p in victims {
+                cur.remove_path(ps, p);
+                next.add_path(ps, p);
+                path_layer[p as usize] = (i + 1) as u8;
+                stats.paths_moved += 1;
+            }
+        }
+        i += 1;
+    }
+    if compact {
+        compact_layers(ps, &mut path_layer, &mut layers, &mut stats, max_layers);
+    }
+    stats.layers_used = layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
+    if stats.layers_used > max_layers {
+        return Err(RouteError::NeedMoreLayers {
+            required: stats.layers_used,
+            allowed: max_layers,
+        });
+    }
+    Ok((path_layer, stats))
+}
+
+/// Compaction: sink paths to the lowest layer where they close no cycle
+/// (checked with the incremental reachability test), processing layers
+/// from the top down and stopping as soon as the non-empty layer count
+/// fits `budget` — so the common case (one layer of overflow) only
+/// touches the overflow paths. Empty layers left behind are squeezed out
+/// so the numbering stays dense.
+fn compact_layers(
+    ps: &PathSet,
+    path_layer: &mut [u8],
+    layers: &mut Vec<Cdg>,
+    stats: &mut DfStats,
+    budget: usize,
+) {
+    let num_channels = layers.first().map_or(0, |l| l.num_channels());
+    let mut seen = vec![0u32; num_channels];
+    let mut epoch = 0u32;
+    let non_empty =
+        |layers: &Vec<Cdg>| layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
+    // Paths grouped by their current layer, highest layer first.
+    let mut by_layer: Vec<Vec<PathId>> = vec![Vec::new(); layers.len()];
+    for p in ps.ids() {
+        by_layer[path_layer[p as usize] as usize].push(p);
+    }
+    for cur in (1..layers.len()).rev() {
+        if non_empty(layers) <= budget {
+            break;
+        }
+        for &p in &by_layer[cur] {
+            debug_assert_eq!(path_layer[p as usize] as usize, cur);
+            for l in 0..cur {
+                layers[l].add_path(ps, p);
+                if !layers[l].path_closes_cycle(ps, p, &mut seen, &mut epoch) {
+                    layers[cur].remove_path(ps, p);
+                    path_layer[p as usize] = l as u8;
+                    stats.paths_moved += 1;
+                    break;
+                }
+                layers[l].remove_path(ps, p);
+            }
+        }
+    }
+    // Squeeze out layers that emptied: renumber densely.
+    let mut remap = vec![u8::MAX; layers.len()];
+    let mut next = 0u8;
+    for (i, layer) in layers.iter().enumerate() {
+        if layer.num_paths() > 0 {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let any_holes = remap
+        .iter()
+        .enumerate()
+        .any(|(i, &r)| r != u8::MAX && r as usize != i);
+    if any_holes {
+        for l in path_layer.iter_mut() {
+            *l = remap[*l as usize];
+        }
+        // Rebuild the CDG vector to match (cheap relative to assignment).
+        let mut rebuilt: Vec<Cdg> = (0..next as usize).map(|_| Cdg::new(num_channels)).collect();
+        for p in ps.ids() {
+            rebuilt[path_layer[p as usize] as usize].add_path(ps, p);
+        }
+        *layers = rebuilt;
+    }
+}
+
+/// Ablation variant of [`assign_layers_offline`]: identical cycle
+/// breaking, but the cycle search restarts from scratch after every
+/// break instead of resuming in place. Exists to measure what the
+/// paper's "resumed on the same place where the search aborted" buys;
+/// see the `cycle_search` bench. Results (layers, moves) are NOT
+/// guaranteed identical to the resumable version — a fresh search may
+/// discover cycles in a different order.
+pub fn assign_layers_offline_restart(
+    ps: &PathSet,
+    heuristic: CycleBreakHeuristic,
+    max_layers: usize,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
+    let num_channels = num_channels_of(ps);
+    let mut path_layer = vec![0u8; ps.len()];
+    let mut layers: Vec<Cdg> = vec![Cdg::new(num_channels)];
+    for p in ps.ids() {
+        layers[0].add_path(ps, p);
+    }
+    let mut stats = DfStats::default();
+    let mut i = 0usize;
+    while i < layers.len() {
+        while let Some(cycle) = layers[i].find_cycle() {
+            stats.cycles_broken += 1;
+            let edge = heuristic.pick_counted(&layers[i], &cycle, stats.cycles_broken as u64);
+            let victims = layers[i].live_paths_of(edge, &path_layer, i as u8);
+            if i + 1 >= max_layers {
+                return Err(RouteError::NeedMoreLayers {
+                    required: max_layers + 1,
+                    allowed: max_layers,
+                });
+            }
+            if i + 1 >= layers.len() {
+                layers.push(Cdg::new(num_channels));
+            }
+            let (head, tail) = layers.split_at_mut(i + 1);
+            let (cur, next) = (&mut head[i], &mut tail[0]);
+            for p in victims {
+                cur.remove_path(ps, p);
+                next.add_path(ps, p);
+                path_layer[p as usize] = (i + 1) as u8;
+                stats.paths_moved += 1;
+            }
+        }
+        i += 1;
+    }
+    stats.layers_used = layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
+    Ok((path_layer, stats))
+}
+
+/// Online layer assignment: greedily place each path into the first layer
+/// whose CDG stays acyclic. One full cycle check per placement attempt —
+/// the `O(|N|² · (|C| + |E|))` cost the paper's offline algorithm avoids.
+pub fn assign_layers_online(
+    ps: &PathSet,
+    max_layers: usize,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
+    let num_channels = num_channels_of(ps);
+    let mut path_layer = vec![0u8; ps.len()];
+    let mut layers: Vec<Cdg> = vec![Cdg::new(num_channels)];
+    let mut stats = DfStats::default();
+    let mut seen = vec![0u32; num_channels];
+    let mut epoch = 0u32;
+    for p in ps.ids() {
+        let mut placed = false;
+        for l in 0..max_layers {
+            if l >= layers.len() {
+                layers.push(Cdg::new(num_channels));
+            }
+            layers[l].add_path(ps, p);
+            // Incremental check: the layer was acyclic before, so any
+            // new cycle runs through one of p's edges.
+            if !layers[l].path_closes_cycle(ps, p, &mut seen, &mut epoch) {
+                path_layer[p as usize] = l as u8;
+                placed = true;
+                if l > 0 {
+                    stats.paths_moved += 1;
+                }
+                break;
+            }
+            layers[l].remove_path(ps, p);
+        }
+        if !placed {
+            return Err(RouteError::NeedMoreLayers {
+                required: max_layers + 1,
+                allowed: max_layers,
+            });
+        }
+    }
+    stats.layers_used = layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
+    Ok((path_layer, stats))
+}
+
+/// The channel-id space of a path set (1 + max channel index used; CDG
+/// nodes must cover every channel any path touches).
+fn num_channels_of(ps: &PathSet) -> usize {
+    ps.ids()
+        .flat_map(|p| ps.channels(p).iter().map(|c| c.idx() + 1))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_deadlock_free;
+    use fabric::topo;
+
+    fn check_deadlock_free(net: &fabric::Network, engine: &DfSssp) -> DfStats {
+        let (routes, stats) = engine.route_with_stats(net).unwrap();
+        verify_deadlock_free(net, &routes).unwrap();
+        assert_eq!(
+            routes.validate_connectivity(net).unwrap(),
+            net.num_terminals() * (net.num_terminals() - 1)
+        );
+        stats
+    }
+
+    #[test]
+    fn ring_needs_exactly_two_layers() {
+        // Fig 2: the 5-ring SSSP CDG is one big cycle; breaking it needs a
+        // second layer and no more.
+        let net = topo::ring(5, 1);
+        let stats = check_deadlock_free(&net, &DfSssp::new());
+        assert_eq!(stats.layers_used, 2);
+        assert!(stats.cycles_broken >= 1);
+    }
+
+    #[test]
+    fn tree_needs_one_layer() {
+        // Up/down traffic on a tree has an acyclic CDG already.
+        let net = topo::kary_ntree(2, 3);
+        let stats = check_deadlock_free(&net, &DfSssp::new());
+        assert_eq!(stats.layers_used, 1);
+        assert_eq!(stats.cycles_broken, 0);
+    }
+
+    #[test]
+    fn torus_is_made_deadlock_free() {
+        let net = topo::torus(&[4, 4], 1);
+        let stats = check_deadlock_free(&net, &DfSssp::new());
+        assert!(stats.layers_used >= 2, "a torus needs extra layers");
+        assert!(stats.layers_used <= 8);
+    }
+
+    #[test]
+    fn online_and_offline_agree_on_freedom() {
+        let net = topo::torus(&[3, 3], 1);
+        for mode in [LayerAssignMode::Offline, LayerAssignMode::Online] {
+            let engine = DfSssp {
+                mode,
+                ..DfSssp::new()
+            };
+            check_deadlock_free(&net, &engine);
+        }
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_routings() {
+        let net = topo::torus(&[4, 3], 1);
+        for h in CycleBreakHeuristic::ALL {
+            let engine = DfSssp::with_heuristic(h);
+            check_deadlock_free(&net, &engine);
+        }
+    }
+
+    #[test]
+    fn layer_budget_is_enforced() {
+        let net = topo::torus(&[4, 4], 1);
+        let engine = DfSssp {
+            max_layers: 1,
+            ..DfSssp::new()
+        };
+        let err = engine.route(&net).unwrap_err();
+        assert!(matches!(err, RouteError::NeedMoreLayers { allowed: 1, .. }));
+    }
+
+    #[test]
+    fn balancing_spreads_layers_without_breaking_freedom() {
+        let net = topo::ring(6, 1);
+        let balanced = DfSssp::new();
+        let (routes, stats) = balanced.route_with_stats(&net).unwrap();
+        verify_deadlock_free(&net, &routes).unwrap();
+        assert!(stats.layers_final >= stats.layers_used);
+        assert!(routes.num_layers() as usize <= 8);
+
+        let unbalanced = DfSssp {
+            balance: false,
+            ..DfSssp::new()
+        };
+        let (routes_u, stats_u) = unbalanced.route_with_stats(&net).unwrap();
+        verify_deadlock_free(&net, &routes_u).unwrap();
+        assert_eq!(stats_u.layers_final, stats_u.layers_used);
+        assert_eq!(routes_u.num_layers() as usize, stats_u.layers_used);
+    }
+
+    #[test]
+    fn kautz_directed_topology_supported() {
+        let net = topo::kautz(2, 2, 12, false);
+        let stats = check_deadlock_free(&net, &DfSssp::new());
+        assert!(stats.layers_used <= 8);
+    }
+
+    #[test]
+    fn dragonfly_supported() {
+        let net = topo::dragonfly(3, 1, 1);
+        check_deadlock_free(&net, &DfSssp::new());
+    }
+
+    #[test]
+    fn restart_ablation_matches_resumable_quality() {
+        // The restart variant must produce a valid assignment; since both
+        // break the same first cycles, layer counts are close (identical
+        // on these small nets).
+        use crate::paths::PathSet;
+        for net in [topo::ring(8, 1), topo::torus(&[4, 4], 1)] {
+            let routes = crate::Sssp::new().route(&net).unwrap();
+            let ps = PathSet::extract(&net, &routes).unwrap();
+            let (a, sa) =
+                assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, 16, false).unwrap();
+            let (b, sb) =
+                assign_layers_offline_restart(&ps, CycleBreakHeuristic::WeakestEdge, 16).unwrap();
+            assert_eq!(sa.layers_used, sb.layers_used, "{}", net.label());
+            // Both are covers: every layer's CDG acyclic.
+            for assignment in [&a, &b] {
+                let mut routes2 = routes.clone();
+                for p in ps.ids() {
+                    let (s, d) = ps.pair(p);
+                    routes2.set_layer(s as usize, d as usize, assignment[p as usize]);
+                }
+                routes2.recompute_num_layers();
+                crate::verify::verify_deadlock_free(&net, &routes2).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_fits_budget_on_dense_networks() {
+        // kautz(2,3) with many endpoints: raw Algorithm 2 may overflow a
+        // tight budget where compaction fits it.
+        let net = topo::kautz(2, 3, 96, true);
+        let routes = crate::Sssp::new().route(&net).unwrap();
+        let ps = crate::paths::PathSet::extract(&net, &routes).unwrap();
+        let (_, raw) =
+            assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, 64, false).unwrap();
+        let budget = raw.layers_used.saturating_sub(1).max(2);
+        match assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, budget, true) {
+            Ok((layers, stats)) => {
+                assert!(stats.layers_used <= budget);
+                // Compacted assignment is still a cover.
+                let mut routes2 = routes.clone();
+                for p in ps.ids() {
+                    let (s, d) = ps.pair(p);
+                    routes2.set_layer(s as usize, d as usize, layers[p as usize]);
+                }
+                routes2.recompute_num_layers();
+                crate::verify::verify_deadlock_free(&net, &routes2).unwrap();
+            }
+            Err(RouteError::NeedMoreLayers { .. }) => {
+                // Compaction could not squeeze a layer out: acceptable,
+                // the instance genuinely needs them.
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn offline_is_deterministic() {
+        let net = topo::torus(&[4, 4], 1);
+        let (_, s1) = DfSssp::new().route_with_stats(&net).unwrap();
+        let (_, s2) = DfSssp::new().route_with_stats(&net).unwrap();
+        assert_eq!(s1.layers_used, s2.layers_used);
+        assert_eq!(s1.cycles_broken, s2.cycles_broken);
+        assert_eq!(s1.paths_moved, s2.paths_moved);
+    }
+}

@@ -1,0 +1,191 @@
+//! Destination-rooted weighted shortest-path trees.
+//!
+//! The paper's Algorithm 1 iterates over sources and uses the reverse
+//! paths to fill forwarding tables toward each source. Equivalently — and
+//! correctly for directed topologies like unidirectional Kautz networks —
+//! we run Dijkstra from each *destination* over the reversed graph: the
+//! relaxation follows in-channels, and the recorded parent channel at node
+//! `v` is the forward channel a packet at `v` takes toward the
+//! destination.
+
+use fabric::{ChannelId, Network, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of one destination-rooted shortest-path computation.
+pub struct Spt {
+    /// `parent[v]` = forward channel to take at `v` toward the root, or
+    /// `None` at the root / for unreachable nodes.
+    pub parent: Vec<Option<ChannelId>>,
+    /// Weighted distance from each node to the root (`u64::MAX` if
+    /// unreachable).
+    pub dist: Vec<u64>,
+    /// Nodes in the order Dijkstra settled them (non-decreasing distance);
+    /// the root is first. Used for subtree-size accumulation.
+    pub pop_order: Vec<NodeId>,
+}
+
+/// Compute the shortest-path tree toward `root` under per-channel
+/// `weights` (indexed by [`ChannelId`]).
+pub fn spt_to(net: &Network, root: NodeId, weights: &[u64]) -> Spt {
+    let n = net.num_nodes();
+    debug_assert_eq!(weights.len(), net.num_channels());
+    let mut dist = vec![u64::MAX; n];
+    let mut parent: Vec<Option<ChannelId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut pop_order = Vec::with_capacity(n);
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[root.idx()] = 0;
+    heap.push(Reverse((0, root.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if settled[u.idx()] {
+            continue;
+        }
+        settled[u.idx()] = true;
+        pop_order.push(u);
+        // Terminals never forward (InfiniBand channel adapters sink
+        // traffic), so only the root terminal and switches are expanded.
+        if u != root && net.is_terminal(u) {
+            continue;
+        }
+        // Relax over in-channels: v --c--> u means a packet at v can move
+        // one hop closer by taking c.
+        for &c in net.in_channels(u) {
+            let v = net.channel(c).src;
+            if settled[v.idx()] {
+                continue;
+            }
+            let cand = d + weights[c.idx()];
+            if cand < dist[v.idx()] {
+                dist[v.idx()] = cand;
+                parent[v.idx()] = Some(c);
+                heap.push(Reverse((cand, v.0)));
+            }
+        }
+    }
+    Spt {
+        parent,
+        dist,
+        pop_order,
+    }
+}
+
+/// Unweighted hop-count BFS toward `root` (all weights 1); same contract
+/// as [`spt_to`] but O(V + E). Used by MinHop-style engines and tests.
+pub fn bfs_to(net: &Network, root: NodeId) -> Spt {
+    let n = net.num_nodes();
+    let mut dist = vec![u64::MAX; n];
+    let mut parent: Vec<Option<ChannelId>> = vec![None; n];
+    let mut pop_order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    dist[root.idx()] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        pop_order.push(u);
+        if u != root && net.is_terminal(u) {
+            continue; // terminals never forward
+        }
+        for &c in net.in_channels(u) {
+            let v = net.channel(c).src;
+            if dist[v.idx()] == u64::MAX {
+                dist[v.idx()] = dist[u.idx()] + 1;
+                parent[v.idx()] = Some(c);
+                queue.push_back(v);
+            }
+        }
+    }
+    Spt {
+        parent,
+        dist,
+        pop_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::topo;
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let net = topo::torus(&[4, 4], 1);
+        let weights = vec![1u64; net.num_channels()];
+        for &t in net.terminals() {
+            let spt = spt_to(&net, t, &weights);
+            let bfs = bfs_to(&net, t);
+            assert_eq!(spt.dist, bfs.dist);
+        }
+    }
+
+    #[test]
+    fn parents_walk_to_root() {
+        let net = topo::kary_ntree(2, 3);
+        let weights = vec![3u64; net.num_channels()];
+        let root = net.terminals()[5];
+        let spt = spt_to(&net, root, &weights);
+        for (id, _) in net.nodes() {
+            if id == root {
+                assert!(spt.parent[id.idx()].is_none());
+                continue;
+            }
+            let mut at = id;
+            let mut hops = 0u64;
+            while at != root {
+                let c = spt.parent[at.idx()].expect("connected");
+                assert_eq!(net.channel(c).src, at);
+                at = net.channel(c).dst;
+                hops += 1;
+                assert!(hops <= net.num_nodes() as u64);
+            }
+            assert_eq!(spt.dist[id.idx()], hops * 3);
+        }
+    }
+
+    #[test]
+    fn pop_order_is_nondecreasing_distance() {
+        let net = topo::torus(&[3, 3], 2);
+        let mut weights = vec![1u64; net.num_channels()];
+        // Perturb weights to make distances interesting.
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = 1 + (i as u64 % 3);
+        }
+        let spt = spt_to(&net, net.terminals()[0], &weights);
+        let dists: Vec<u64> = spt.pop_order.iter().map(|n| spt.dist[n.idx()]).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(spt.pop_order.len(), net.num_nodes());
+    }
+
+    #[test]
+    fn directed_graph_routes_forward() {
+        // Unidirectional Kautz: parents must be forward channels.
+        let net = topo::kautz(2, 2, 12, false);
+        let weights = vec![1u64; net.num_channels()];
+        let root = net.terminals()[0];
+        let spt = spt_to(&net, root, &weights);
+        for (id, _) in net.nodes() {
+            if let Some(c) = spt.parent[id.idx()] {
+                assert_eq!(net.channel(c).src, id);
+                assert_eq!(
+                    spt.dist[id.idx()],
+                    spt.dist[net.channel(c).dst.idx()] + weights[c.idx()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let mut b = fabric::NetworkBuilder::new();
+        let a = b.add_switch("a", 4);
+        let c = b.add_switch("c", 4);
+        // Only a -> c; nothing reaches a.
+        b.add_channel(a, c).unwrap();
+        let net = b.build();
+        let spt = spt_to(&net, c, &[1]);
+        assert_eq!(spt.dist[a.idx()], 1);
+        let spt = spt_to(&net, a, &[1]);
+        assert_eq!(spt.dist[c.idx()], u64::MAX);
+        assert!(spt.parent[c.idx()].is_none());
+    }
+}

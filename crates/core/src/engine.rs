@@ -1,0 +1,72 @@
+//! The routing-engine interface shared by DFSSSP and all baselines.
+
+use fabric::{Network, Routes};
+
+/// Errors a routing engine can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The network is not strongly connected; no routing can serve it.
+    Disconnected,
+    /// Deadlock-free layer assignment needs more virtual layers than the
+    /// engine was allowed to use (`required` is a lower-bound hint: the
+    /// layer count reached when the budget ran out).
+    NeedMoreLayers {
+        /// Layers the run would have needed at minimum.
+        required: usize,
+        /// Layers the engine was allowed.
+        allowed: usize,
+    },
+    /// The engine only supports a topology family this network is not a
+    /// member of (e.g. DOR needs coordinates, fat-tree routing needs
+    /// levels). Mirrors OpenSM engines falling back / failing — the
+    /// "missing bars" of the paper's Fig 4.
+    UnsupportedTopology(String),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Disconnected => write!(f, "network is not strongly connected"),
+            RouteError::NeedMoreLayers { required, allowed } => write!(
+                f,
+                "deadlock-free assignment needs >= {required} virtual layers, only {allowed} allowed"
+            ),
+            RouteError::UnsupportedTopology(why) => write!(f, "unsupported topology: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A routing algorithm: consumes a network, produces forwarding tables
+/// plus a virtual-layer assignment.
+pub trait RoutingEngine {
+    /// Engine name, as reported in tables/figures (e.g. `"DFSSSP"`).
+    fn name(&self) -> &'static str;
+
+    /// Compute routes for `net`.
+    fn route(&self, net: &Network) -> Result<Routes, RouteError>;
+
+    /// Whether the routes this engine produces are guaranteed
+    /// deadlock-free on arbitrary topologies.
+    fn deadlock_free(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = RouteError::NeedMoreLayers {
+            required: 9,
+            allowed: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('8'));
+        assert!(RouteError::Disconnected.to_string().contains("connected"));
+        assert!(RouteError::UnsupportedTopology("no coords".into())
+            .to_string()
+            .contains("no coords"));
+    }
+}

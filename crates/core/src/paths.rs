@@ -1,0 +1,184 @@
+//! Compact storage of all terminal-to-terminal routes.
+//!
+//! The offline DFSSSP algorithm (Algorithm 2) must know, for every edge of
+//! the channel dependency graph, which paths induce it, and must be able
+//! to move whole paths between layers. That requires materializing all
+//! `|T|·(|T|-1)` paths; this module stores them in one flat channel array
+//! with offsets (the paper reports ~340 MB for a 4096-node network — this
+//! layout is what keeps that figure practical).
+
+use crate::engine::RouteError;
+use fabric::{ChannelId, Network, Routes};
+use rayon::prelude::*;
+
+/// Identifier of one terminal-to-terminal path in a [`PathSet`].
+pub type PathId = u32;
+
+/// All terminal-pair routes of a [`Routes`] table, flattened.
+pub struct PathSet {
+    /// Concatenated channel sequences.
+    channels: Vec<ChannelId>,
+    /// `offsets[p]..offsets[p+1]` indexes `channels` for path `p`.
+    offsets: Vec<u64>,
+    /// `(src_t, dst_t)` terminal indices per path.
+    pairs: Vec<(u32, u32)>,
+}
+
+/// Per-source extraction result: `(channels, path lengths, pairs)`.
+type SourcePaths = (Vec<ChannelId>, Vec<u32>, Vec<(u32, u32)>);
+
+impl PathSet {
+    /// Extract every ordered terminal pair's route from `routes`.
+    /// Paths are extracted in `(src_t, dst_t)` lexicographic order.
+    pub fn extract(net: &Network, routes: &Routes) -> Result<PathSet, RouteError> {
+        let terminals = net.terminals();
+        // Parallel per-source extraction, then flatten.
+        let per_src: Vec<Result<SourcePaths, RouteError>> =
+            terminals
+                .par_iter()
+                .enumerate()
+                .map(|(src_t, &src)| {
+                    let mut chans = Vec::new();
+                    let mut lens = Vec::new();
+                    let mut pairs = Vec::new();
+                    for (dst_t, &dst) in terminals.iter().enumerate() {
+                        if src == dst {
+                            continue;
+                        }
+                        let before = chans.len();
+                        for step in routes
+                            .path(net, src, dst)
+                            .map_err(|_| RouteError::Disconnected)?
+                        {
+                            chans.push(step.map_err(|_| RouteError::Disconnected)?);
+                        }
+                        lens.push((chans.len() - before) as u32);
+                        pairs.push((src_t as u32, dst_t as u32));
+                    }
+                    Ok((chans, lens, pairs))
+                })
+                .collect();
+        let mut channels = Vec::new();
+        let mut offsets = vec![0u64];
+        let mut pairs = Vec::new();
+        for res in per_src {
+            let (chans, lens, prs) = res?;
+            let mut at = channels.len() as u64;
+            channels.extend_from_slice(&chans);
+            pairs.extend_from_slice(&prs);
+            for len in lens {
+                at += len as u64;
+                offsets.push(at);
+            }
+        }
+        Ok(PathSet {
+            channels,
+            offsets,
+            pairs,
+        })
+    }
+
+    /// Assemble a path set from raw parts — for engines whose layer
+    /// assignment granularity is not terminal pairs (e.g. LASH works on
+    /// switch pairs). `offsets` must have `pairs.len() + 1` monotone
+    /// entries ending at `channels.len()`; each path's channels must
+    /// chain head-to-tail.
+    pub fn from_parts(
+        channels: Vec<ChannelId>,
+        offsets: Vec<u64>,
+        pairs: Vec<(u32, u32)>,
+    ) -> PathSet {
+        assert_eq!(offsets.len(), pairs.len() + 1, "offsets/pairs mismatch");
+        assert_eq!(*offsets.last().unwrap_or(&0), channels.len() as u64);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        PathSet {
+            channels,
+            offsets,
+            pairs,
+        }
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Channel sequence of path `p`.
+    #[inline]
+    pub fn channels(&self, p: PathId) -> &[ChannelId] {
+        let s = self.offsets[p as usize] as usize;
+        let e = self.offsets[p as usize + 1] as usize;
+        &self.channels[s..e]
+    }
+
+    /// `(src_t, dst_t)` terminal indices of path `p`.
+    #[inline]
+    pub fn pair(&self, p: PathId) -> (u32, u32) {
+        self.pairs[p as usize]
+    }
+
+    /// Iterate all path ids.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        0..self.pairs.len() as u32
+    }
+
+    /// Total stored channel hops (diagnostic; drives the paper's memory
+    /// complexity term `O(d(I) · |N|²)`).
+    pub fn total_hops(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RoutingEngine;
+    use crate::sssp::Sssp;
+    use fabric::topo;
+
+    #[test]
+    fn extracts_every_ordered_pair() {
+        let net = topo::ring(4, 2);
+        let routes = Sssp::new().route(&net).unwrap();
+        let ps = PathSet::extract(&net, &routes).unwrap();
+        assert_eq!(ps.len(), 8 * 7);
+        // Pairs are unique and ordered.
+        let mut seen = std::collections::HashSet::new();
+        for p in ps.ids() {
+            assert!(seen.insert(ps.pair(p)));
+        }
+    }
+
+    #[test]
+    fn channel_sequences_chain() {
+        let net = topo::kary_ntree(2, 2);
+        let routes = Sssp::new().route(&net).unwrap();
+        let ps = PathSet::extract(&net, &routes).unwrap();
+        for p in ps.ids() {
+            let (src_t, dst_t) = ps.pair(p);
+            let chans = ps.channels(p);
+            assert!(!chans.is_empty());
+            let src = net.terminals()[src_t as usize];
+            let dst = net.terminals()[dst_t as usize];
+            assert_eq!(net.channel(chans[0]).src, src);
+            assert_eq!(net.channel(*chans.last().unwrap()).dst, dst);
+            for w in chans.windows(2) {
+                assert_eq!(net.channel(w[0]).dst, net.channel(w[1]).src);
+            }
+        }
+    }
+
+    #[test]
+    fn total_hops_matches_load_sum() {
+        let net = topo::torus(&[3, 3], 1);
+        let routes = Sssp::new().route(&net).unwrap();
+        let ps = PathSet::extract(&net, &routes).unwrap();
+        let loads = routes.channel_loads(&net).unwrap();
+        assert_eq!(ps.total_hops() as u32, loads.iter().sum::<u32>());
+    }
+}

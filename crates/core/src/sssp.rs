@@ -1,0 +1,282 @@
+//! Single-source-shortest-path routing (the paper's Algorithm 1).
+//!
+//! SSSP routing globally balances the number of routes per channel: it
+//! iterates over all destinations, computes a weighted shortest-path tree
+//! toward each, programs the forwarding tables from the tree, and then
+//! increments every tree channel's weight by the number of routed paths
+//! crossing it. Later iterations therefore steer around channels that
+//! already carry many routes.
+//!
+//! **Minimality.** Weights start at a base `W0` large enough that no
+//! accumulated balancing weight can ever make a hop-longer path cheaper
+//! (§II of the paper; we use `W0 = |N|² · (d+2)` with `d` the diameter,
+//! which strengthens the paper's bound to hold across all iterations —
+//! see DESIGN.md §6.1). Setting [`Sssp::minimal`] to `false` reproduces
+//! the paper's Fig 1 detour anomaly.
+//!
+//! **Ordering.** Like OpenSM's implementation, destinations are the
+//! terminals in index order, and weight updates count terminal-to-terminal
+//! paths (switch-sourced traffic does not exist in operation).
+
+use crate::dijkstra::spt_to;
+use crate::engine::{RouteError, RoutingEngine};
+use fabric::{Network, Routes};
+use rayon::prelude::*;
+
+/// The SSSP routing engine (not deadlock-free; see [`crate::DfSssp`]).
+#[derive(Clone, Debug)]
+pub struct Sssp {
+    /// Force minimal (shortest-hop) paths via a large base weight.
+    pub minimal: bool,
+}
+
+impl Default for Sssp {
+    fn default() -> Self {
+        Sssp { minimal: true }
+    }
+}
+
+impl Sssp {
+    /// Minimal-path SSSP, the paper's configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The base edge weight `W0` used for minimality.
+    pub fn base_weight(&self, net: &Network) -> u64 {
+        if !self.minimal {
+            return 1;
+        }
+        let n = net.num_nodes() as u64;
+        let d = net.diameter().unwrap_or(net.num_nodes()) as u64;
+        n * n * (d + 2)
+    }
+
+    /// Run Algorithm 1, returning the tables and the final channel
+    /// weights (the weights are exposed for tests and diagnostics).
+    pub fn route_with_weights(&self, net: &Network) -> Result<(Routes, Vec<u64>), RouteError> {
+        if !net.is_strongly_connected() {
+            return Err(RouteError::Disconnected);
+        }
+        let w0 = self.base_weight(net);
+        let mut weights = vec![w0; net.num_channels()];
+        let mut routes = Routes::new(net, self.name());
+        let mut subtree = vec![0u64; net.num_nodes()];
+        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            let spt = spt_to(net, dst, &weights);
+            // Program tables along the tree.
+            for (id, _) in net.nodes() {
+                if let Some(c) = spt.parent[id.idx()] {
+                    routes.set_next(id, dst_t, c);
+                }
+            }
+            // Weight update: each channel gains the number of
+            // terminal-to-dst paths crossing it. Accumulate subtree sizes
+            // in reverse settle order (children strictly after parents in
+            // pop order, so reverse order sees children first).
+            subtree.iter_mut().for_each(|s| *s = 0);
+            for &v in spt.pop_order.iter().rev() {
+                if net.is_terminal(v) && v != dst {
+                    subtree[v.idx()] += 1;
+                }
+                if let Some(c) = spt.parent[v.idx()] {
+                    let u = net.channel(c).dst;
+                    let count = subtree[v.idx()];
+                    subtree[u.idx()] += count;
+                    weights[c.idx()] += count;
+                }
+            }
+        }
+        Ok((routes, weights))
+    }
+}
+
+impl RoutingEngine for Sssp {
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+        self.route_with_weights(net).map(|(r, _)| r)
+    }
+
+    fn deadlock_free(&self) -> bool {
+        false
+    }
+}
+
+/// Per-destination loads under plain (unbalanced, unit-weight) shortest
+/// paths, used as a comparison point in tests and ablations: runs the same
+/// table construction with constant weights and no updates.
+pub fn unbalanced_shortest_paths(net: &Network) -> Result<Routes, RouteError> {
+    if !net.is_strongly_connected() {
+        return Err(RouteError::Disconnected);
+    }
+    let weights = vec![1u64; net.num_channels()];
+    let next: Vec<(usize, Vec<Option<fabric::ChannelId>>)> = net
+        .terminals()
+        .par_iter()
+        .enumerate()
+        .map(|(dst_t, &dst)| (dst_t, spt_to(net, dst, &weights).parent))
+        .collect();
+    let mut routes = Routes::new(net, "ShortestPath");
+    for (dst_t, parents) in next {
+        for (id, _) in net.nodes() {
+            if let Some(c) = parents[id.idx()] {
+                routes.set_next(id, dst_t, c);
+            }
+        }
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::topo;
+    use fabric::NetworkBuilder;
+
+    #[test]
+    fn routes_all_pairs_on_torus() {
+        let net = topo::torus(&[3, 3], 1);
+        let routes = Sssp::new().route(&net).unwrap();
+        assert_eq!(routes.validate_connectivity(&net).unwrap(), 9 * 8);
+    }
+
+    #[test]
+    fn paths_are_minimal() {
+        let net = topo::kautz(2, 2, 12, true);
+        let routes = Sssp::new().route(&net).unwrap();
+        for &dst in net.terminals() {
+            let hops = net.hops_to(dst);
+            for &src in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                let len = routes.path_channels(&net, src, dst).unwrap().len();
+                assert_eq!(len as u32, hops[src.idx()], "{src:?}->{dst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_beats_unbalanced_max_load() {
+        // On a fat tree the unbalanced variant funnels everything through
+        // the first-found root; SSSP must spread the load.
+        let net = topo::kary_ntree(4, 2);
+        let balanced = Sssp::new().route(&net).unwrap();
+        let unbalanced = unbalanced_shortest_paths(&net).unwrap();
+        let max_b = *balanced.channel_loads(&net).unwrap().iter().max().unwrap();
+        let max_u = *unbalanced
+            .channel_loads(&net)
+            .unwrap()
+            .iter()
+            .max()
+            .unwrap();
+        assert!(
+            max_b < max_u,
+            "balanced max load {max_b} should beat unbalanced {max_u}"
+        );
+    }
+
+    /// The paper's Figure 1 phenomenon: with unit initial weights, the
+    /// balancing weight accumulated while routing toward earlier
+    /// destinations makes a later search take a hop-longer detour; the
+    /// minimality initialization (`W0 = |N|²·(d+2)`) prevents this.
+    #[test]
+    fn figure1_weight_update() {
+        // Triangle v1-v2 plus two-hop alternative v2-v3-v1. Five terminal
+        // pairs across the v2->v1 edge load it; destination x2 (processed
+        // after x1) then detours via v3 when weights start at 1.
+        let mut b = NetworkBuilder::new();
+        let v1 = b.add_switch("v1", 16);
+        let v2 = b.add_switch("v2", 16);
+        let v3 = b.add_switch("v3", 16);
+        b.link(v1, v2).unwrap();
+        b.link(v2, v3).unwrap();
+        b.link(v3, v1).unwrap();
+        // Creation order fixes destination order: x* at v1 first.
+        for i in 0..2 {
+            let t = b.add_terminal(format!("x{i}"));
+            b.link(t, v1).unwrap();
+        }
+        for i in 0..5 {
+            let t = b.add_terminal(format!("y{i}"));
+            b.link(t, v2).unwrap();
+        }
+        let z = b.add_terminal("z");
+        b.link(z, v3).unwrap();
+        let net = b.build();
+
+        // Non-minimal configuration can produce non-shortest paths.
+        let routes = Sssp { minimal: false }.route(&net).unwrap();
+        let mut any_detour = false;
+        for &dst in net.terminals() {
+            let hops = net.hops_to(dst);
+            for &src in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                let len = routes.path_channels(&net, src, dst).unwrap().len() as u32;
+                if len > hops[src.idx()] {
+                    any_detour = true;
+                }
+            }
+        }
+        assert!(any_detour, "unit initial weights must allow detours");
+
+        // Minimal configuration never does.
+        let routes = Sssp::new().route(&net).unwrap();
+        for &dst in net.terminals() {
+            let hops = net.hops_to(dst);
+            for &src in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                let len = routes.path_channels(&net, src, dst).unwrap().len() as u32;
+                assert_eq!(len, hops[src.idx()]);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_updates_count_paths() {
+        // Line: t0-s0-s1-t1; after routing, the s0->s1 channel carries
+        // exactly the t0->t1 path, so its weight grew by 1; and s1->s0 by
+        // one for t1->t0.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(t0, s0).unwrap();
+        b.link(s0, s1).unwrap();
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        let engine = Sssp::new();
+        let w0 = engine.base_weight(&net);
+        let (_, weights) = engine.route_with_weights(&net).unwrap();
+        let c01 = net.channel_between(s0, s1).unwrap();
+        let c10 = net.channel_between(s1, s0).unwrap();
+        assert_eq!(weights[c01.idx()], w0 + 1);
+        assert_eq!(weights[c10.idx()], w0 + 1);
+        // Terminal injection channel t0->s0 carries t0's paths to both
+        // other terminals... only t1 exists, so +1; s0->t0 carries t1->t0.
+        let inj = net.channel_between(t0, s0).unwrap();
+        assert_eq!(weights[inj.idx()], w0 + 1);
+    }
+
+    #[test]
+    fn disconnected_network_is_rejected() {
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        assert_eq!(Sssp::new().route(&net).unwrap_err(), RouteError::Disconnected);
+        assert!(unbalanced_shortest_paths(&net).is_err());
+    }
+}

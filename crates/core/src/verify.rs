@@ -1,0 +1,147 @@
+//! Deadlock-freedom and routing-quality verification.
+//!
+//! [`verify_deadlock_free`] checks the Dally & Seitz sufficient condition
+//! the whole paper rests on: for every virtual layer, the channel
+//! dependency graph induced by the paths assigned to that layer must be
+//! acyclic. It is routing-engine agnostic — it rebuilds the CDGs from the
+//! forwarding tables, so it catches bookkeeping bugs in the engines too.
+
+use crate::cdg::Cdg;
+use fabric::{Network, NodeId, Routes, RoutesError};
+
+/// Per-layer acyclicity report.
+#[derive(Clone, Debug, Default)]
+pub struct DeadlockReport {
+    /// Layers that contain a dependency cycle (deadlock hazard).
+    pub cyclic_layers: Vec<u8>,
+    /// Paths per layer.
+    pub paths_per_layer: Vec<usize>,
+    /// CDG edges per layer.
+    pub edges_per_layer: Vec<usize>,
+}
+
+impl DeadlockReport {
+    /// Whether the routing satisfies the sufficient condition.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.cyclic_layers.is_empty()
+    }
+}
+
+/// Build the per-layer CDGs from `routes` and check each for cycles.
+pub fn deadlock_report(net: &Network, routes: &Routes) -> Result<DeadlockReport, RoutesError> {
+    let layers = routes.num_layers() as usize;
+    let mut cdgs: Vec<Cdg> = (0..layers).map(|_| Cdg::new(net.num_channels())).collect();
+    let mut paths_per_layer = vec![0usize; layers];
+    for (src_t, &src) in net.terminals().iter().enumerate() {
+        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let layer = routes.layer(src_t, dst_t) as usize;
+            paths_per_layer[layer] += 1;
+            let mut prev = None;
+            for step in routes.path(net, src, dst)? {
+                let c = step?;
+                if let Some(p) = prev {
+                    cdgs[layer].add_dependency(p, c.0);
+                }
+                prev = Some(c.0);
+            }
+        }
+    }
+    let mut report = DeadlockReport {
+        paths_per_layer,
+        ..Default::default()
+    };
+    for (l, cdg) in cdgs.iter().enumerate() {
+        report.edges_per_layer.push(cdg.num_edges());
+        if !cdg.is_acyclic() {
+            report.cyclic_layers.push(l as u8);
+        }
+    }
+    Ok(report)
+}
+
+/// Check deadlock freedom; `Err` carries the cyclic layers.
+pub fn verify_deadlock_free(net: &Network, routes: &Routes) -> Result<(), Vec<u8>> {
+    let report = deadlock_report(net, routes).map_err(|_| vec![])?;
+    if report.is_deadlock_free() {
+        Ok(())
+    } else {
+        Err(report.cyclic_layers)
+    }
+}
+
+/// Check that every routed path is hop-minimal; returns the first
+/// offending (src, dst) pair otherwise.
+pub fn verify_minimal(net: &Network, routes: &Routes) -> Result<(), (NodeId, NodeId)> {
+    for &dst in net.terminals() {
+        let hops = net.hops_to(dst);
+        for &src in net.terminals() {
+            if src == dst {
+                continue;
+            }
+            let len = match routes.path_channels(net, src, dst) {
+                Ok(p) => p.len() as u32,
+                Err(_) => return Err((src, dst)),
+            };
+            if len != hops[src.idx()] {
+                return Err((src, dst));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RoutingEngine;
+    use crate::{DfSssp, Sssp};
+    use fabric::topo;
+
+    #[test]
+    fn sssp_on_ring_is_flagged() {
+        let net = topo::ring(5, 1);
+        let routes = Sssp::new().route(&net).unwrap();
+        let report = deadlock_report(&net, &routes).unwrap();
+        assert!(!report.is_deadlock_free());
+        assert_eq!(report.cyclic_layers, vec![0]);
+    }
+
+    #[test]
+    fn dfsssp_on_ring_passes() {
+        let net = topo::ring(5, 1);
+        let routes = DfSssp::new().route(&net).unwrap();
+        let report = deadlock_report(&net, &routes).unwrap();
+        assert!(report.is_deadlock_free());
+        // All paths accounted for.
+        let total: usize = report.paths_per_layer.iter().sum();
+        assert_eq!(total, 5 * 4);
+    }
+
+    #[test]
+    fn sssp_on_tree_passes_without_layers() {
+        let net = topo::kary_ntree(2, 2);
+        let routes = Sssp::new().route(&net).unwrap();
+        assert!(verify_deadlock_free(&net, &routes).is_ok());
+    }
+
+    #[test]
+    fn minimality_verified() {
+        let net = topo::torus(&[4, 4], 1);
+        let routes = Sssp::new().route(&net).unwrap();
+        verify_minimal(&net, &routes).unwrap();
+        let routes = DfSssp::new().route(&net).unwrap();
+        verify_minimal(&net, &routes).unwrap();
+    }
+
+    #[test]
+    fn report_counts_edges() {
+        let net = topo::ring(4, 1);
+        let routes = DfSssp::new().route(&net).unwrap();
+        let report = deadlock_report(&net, &routes).unwrap();
+        assert_eq!(report.edges_per_layer.len(), routes.num_layers() as usize);
+        assert!(report.edges_per_layer.iter().sum::<usize>() > 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Make *any* routing engine deadlock-free.
+//!
+//! The paper's closing claim — "although our implementation is
+//! InfiniBand-specific, the algorithms apply to generic networks" — holds
+//! one level deeper: the offline cycle-breaking of Algorithm 2 never
+//! looks at how the paths were computed. [`DeadlockFree`] wraps an
+//! arbitrary [`RoutingEngine`], extracts its paths, and assigns virtual
+//! layers until every layer's channel dependency graph is acyclic.
+//! `DeadlockFree<Sssp>` is DFSSSP; `DeadlockFree<Dor>` is a
+//! deadlock-free dimension-order routing for tori (the problem Dally &
+//! Seitz originally solved with hop-level virtual channels, here solved
+//! with path-level layers); `DeadlockFree<MinHop>` upgrades OpenSM's
+//! default engine.
+
+use crate::dfsssp::{assign_layers_offline, assign_layers_online, DfStats, LayerAssignMode};
+use crate::balance::balance_layers;
+use crate::engine::{RouteError, RoutingEngine};
+use crate::heuristics::CycleBreakHeuristic;
+use crate::paths::PathSet;
+use fabric::{Network, Routes};
+
+/// A deadlock-freedom wrapper around any routing engine.
+#[derive(Clone, Debug)]
+pub struct DeadlockFree<E> {
+    /// The engine computing the paths.
+    pub inner: E,
+    /// Cycle-break heuristic (offline mode).
+    pub heuristic: CycleBreakHeuristic,
+    /// Virtual-layer budget.
+    pub max_layers: usize,
+    /// Offline (Algorithm 2) or online assignment.
+    pub mode: LayerAssignMode,
+    /// Spread paths over unused layers afterwards.
+    pub balance: bool,
+    /// Compact layers after offline assignment (see [`crate::DfSssp`]).
+    pub compact: bool,
+}
+
+impl<E: RoutingEngine> DeadlockFree<E> {
+    /// Wrap `inner` with the paper's default configuration.
+    pub fn new(inner: E) -> Self {
+        DeadlockFree {
+            inner,
+            heuristic: CycleBreakHeuristic::WeakestEdge,
+            max_layers: 8,
+            mode: LayerAssignMode::Offline,
+            balance: true,
+            compact: true,
+        }
+    }
+
+    /// Route and return assignment statistics.
+    pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
+        let mut routes = self.inner.route(net)?;
+        let ps = PathSet::extract(net, &routes)?;
+        let (mut path_layer, mut stats) = match self.mode {
+            LayerAssignMode::Offline => {
+                assign_layers_offline(&ps, self.heuristic, self.max_layers, self.compact)?
+            }
+            LayerAssignMode::Online => assign_layers_online(&ps, self.max_layers)?,
+        };
+        stats.layers_final = if self.balance {
+            balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
+        } else {
+            stats.layers_used
+        };
+        for p in ps.ids() {
+            let (s, d) = ps.pair(p);
+            routes.set_layer(s as usize, d as usize, path_layer[p as usize]);
+        }
+        routes.recompute_num_layers();
+        routes.set_engine(format!("DF-{}", self.inner.name()));
+        Ok((routes, stats))
+    }
+}
+
+impl<E: RoutingEngine> RoutingEngine for DeadlockFree<E> {
+    fn name(&self) -> &'static str {
+        "DF-wrapped"
+    }
+
+    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+        self.route_with_stats(net).map(|(r, _)| r)
+    }
+
+    fn deadlock_free(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::Sssp;
+    use crate::verify::verify_deadlock_free;
+    use fabric::topo;
+
+    #[test]
+    fn wrapped_sssp_behaves_like_dfsssp() {
+        let net = topo::torus(&[4, 4], 1);
+        let wrapped = DeadlockFree::new(Sssp::new());
+        let (routes, stats) = wrapped.route_with_stats(&net).unwrap();
+        verify_deadlock_free(&net, &routes).unwrap();
+        let (_, df_stats) = crate::DfSssp::new().route_with_stats(&net).unwrap();
+        assert_eq!(stats.layers_used, df_stats.layers_used);
+        assert_eq!(stats.cycles_broken, df_stats.cycles_broken);
+        assert_eq!(routes.engine(), "DF-SSSP");
+    }
+
+    #[test]
+    fn wrapped_engine_reports_freedom() {
+        let w = DeadlockFree::new(Sssp::new());
+        assert!(w.deadlock_free());
+    }
+
+    #[test]
+    fn inner_failures_propagate() {
+        let mut b = fabric::NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let t0 = b.add_terminal("t0");
+        b.link(t0, s0).unwrap();
+        let s1 = b.add_switch("s1", 4);
+        let t1 = b.add_terminal("t1");
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        let err = DeadlockFree::new(Sssp::new()).route(&net).unwrap_err();
+        assert_eq!(err, RouteError::Disconnected);
+    }
+}

@@ -1,0 +1,187 @@
+//! Failure injection: remove cables or switches from a network while
+//! keeping it connected.
+//!
+//! The paper's introduction motivates DFSSSP with networks that grew or
+//! degraded away from their ideal structure ("supercomputers are extended
+//! later and topologies grow with the machines"); these helpers create
+//! such networks from the regular generators.
+
+use crate::graph::{ChannelId, NodeId, NodeKind};
+use crate::{Network, NetworkBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rustc_hash::FxHashSet;
+
+/// Rebuild `net` without the channels in `dead_channels` and without the
+/// nodes in `dead_nodes` (and all channels touching them). Names, kinds,
+/// coordinates and levels are preserved; ports are renumbered.
+pub fn remove(
+    net: &Network,
+    dead_nodes: &FxHashSet<NodeId>,
+    dead_channels: &FxHashSet<ChannelId>,
+) -> Network {
+    let mut b = NetworkBuilder::new();
+    b.label(format!("{}-degraded", net.label()));
+    let mut map = vec![None; net.num_nodes()];
+    for (id, node) in net.nodes() {
+        if dead_nodes.contains(&id) {
+            continue;
+        }
+        let new = b.add_node(node.kind, node.name.clone(), node.max_ports);
+        if let Some(c) = &node.coord {
+            b.set_coord(new, c.clone());
+        }
+        if let Some(l) = node.level {
+            b.set_level(new, l);
+        }
+        map[id.idx()] = Some(new);
+    }
+    let mut done = vec![false; net.num_channels()];
+    for (id, ch) in net.channels() {
+        if done[id.idx()] || dead_channels.contains(&id) {
+            continue;
+        }
+        done[id.idx()] = true;
+        let (Some(src), Some(dst)) = (map[ch.src.idx()], map[ch.dst.idx()]) else {
+            continue;
+        };
+        match ch.rev {
+            Some(r) if !dead_channels.contains(&r) => {
+                done[r.idx()] = true;
+                b.link(src, dst).expect("ports cannot overflow on removal");
+            }
+            _ => {
+                b.add_channel(src, dst)
+                    .expect("ports cannot overflow on removal");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Remove `count` random cables (bidirectional channel pairs), skipping
+/// any removal that would disconnect the network or isolate a terminal.
+/// Returns the degraded network and the number of cables actually removed
+/// (which can be lower than `count` on sparse networks).
+pub fn fail_random_cables(net: &Network, count: usize, seed: u64) -> (Network, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = net.clone();
+    let mut removed = 0;
+    let mut attempts = 0;
+    while removed < count && attempts < 20 * count + 100 {
+        attempts += 1;
+        // Candidate cables: switch-switch bidirectional pairs only, so
+        // terminals keep their attachment.
+        let mut cables: Vec<ChannelId> = current
+            .channels()
+            .filter(|(_, c)| {
+                c.rev.is_some()
+                    && current.node(c.src).kind == NodeKind::Switch
+                    && current.node(c.dst).kind == NodeKind::Switch
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if cables.is_empty() {
+            break;
+        }
+        cables.shuffle(&mut rng);
+        let mut progressed = false;
+        for cand in cables {
+            let rev = current.channel(cand).rev.unwrap();
+            let dead: FxHashSet<ChannelId> = [cand, rev].into_iter().collect();
+            let candidate = remove(&current, &FxHashSet::default(), &dead);
+            if candidate.is_strongly_connected() {
+                current = candidate;
+                removed += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break; // every remaining cable is a bridge
+        }
+    }
+    (current, removed)
+}
+
+/// Remove one switch (and everything attached to it must survive: switches
+/// with terminals attached are skipped). Returns `None` if no switch can
+/// be removed without disconnecting the network or stranding terminals.
+pub fn fail_random_switch(net: &Network, seed: u64) -> Option<Network> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<NodeId> = net
+        .switches()
+        .iter()
+        .copied()
+        .filter(|&s| {
+            net.out_channels(s)
+                .iter()
+                .all(|&c| net.node(net.channel(c).dst).kind == NodeKind::Switch)
+        })
+        .collect();
+    candidates.shuffle(&mut rng);
+    for s in candidates {
+        let dead: FxHashSet<NodeId> = [s].into_iter().collect();
+        let candidate = remove(net, &dead, &FxHashSet::default());
+        if candidate.is_strongly_connected() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn removing_nothing_preserves_structure() {
+        let net = topo::torus(&[3, 3], 1);
+        let same = remove(&net, &FxHashSet::default(), &FxHashSet::default());
+        assert_eq!(same.num_nodes(), net.num_nodes());
+        assert_eq!(same.num_channels(), net.num_channels());
+        same.validate().unwrap();
+    }
+
+    #[test]
+    fn cable_failures_keep_connectivity() {
+        let net = topo::torus(&[4, 4], 1);
+        let (degraded, removed) = fail_random_cables(&net, 5, 42);
+        assert_eq!(removed, 5);
+        assert!(degraded.is_strongly_connected());
+        assert_eq!(degraded.num_terminals(), net.num_terminals());
+        assert_eq!(
+            degraded.num_cables(),
+            net.num_cables() - 5,
+        );
+        degraded.validate().unwrap();
+    }
+
+    #[test]
+    fn bridges_are_never_removed() {
+        // A ring: removing any single cable keeps it connected, but
+        // removing two could split it; the helper must stop at safe ones.
+        let net = topo::ring(4, 1);
+        let (degraded, removed) = fail_random_cables(&net, 10, 7);
+        assert!(degraded.is_strongly_connected());
+        assert!(removed <= 1, "after one removal the ring is a line");
+    }
+
+    #[test]
+    fn switch_failure_preserves_terminals() {
+        // k-ary n-tree roots carry no terminals and are redundant.
+        let net = topo::kary_ntree(2, 3);
+        let degraded = fail_random_switch(&net, 3).expect("a root can fail");
+        assert_eq!(degraded.num_terminals(), net.num_terminals());
+        assert_eq!(degraded.num_switches(), net.num_switches() - 1);
+        assert!(degraded.is_strongly_connected());
+    }
+
+    #[test]
+    fn star_has_no_removable_switch() {
+        let net = topo::star(4);
+        assert!(fail_random_switch(&net, 0).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! JSON round-tripping for [`Network`] and [`Routes`].
+
+use crate::{Network, Routes};
+
+/// Serialize a network to a JSON string.
+pub fn network_to_json(net: &Network) -> String {
+    serde_json::to_string(net).expect("network serialization cannot fail")
+}
+
+/// Parse a network from JSON and validate its internal consistency.
+pub fn network_from_json(s: &str) -> Result<Network, String> {
+    let net: Network = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    net.validate()?;
+    Ok(net)
+}
+
+/// Serialize routes to a JSON string.
+pub fn routes_to_json(routes: &Routes) -> String {
+    serde_json::to_string(routes).expect("routes serialization cannot fail")
+}
+
+/// Parse routes from JSON.
+pub fn routes_from_json(s: &str) -> Result<Routes, String> {
+    serde_json::from_str(s).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn network_round_trips() {
+        let net = topo::ring(5, 2);
+        let json = network_to_json(&net);
+        let back = network_from_json(&json).unwrap();
+        assert_eq!(back.num_nodes(), net.num_nodes());
+        assert_eq!(back.num_channels(), net.num_channels());
+        assert_eq!(back.label(), net.label());
+        for ((_, a), (_, b)) in net.channels().zip(back.channels()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.rev, b.rev);
+        }
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(network_from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn routes_round_trip() {
+        let net = topo::ring(4, 1);
+        let mut r = Routes::new(&net, "test");
+        let t0 = net.terminals()[0];
+        let s0 = net.channel(net.out_channels(t0)[0]).dst;
+        r.set_next(t0, 1, net.out_channels(t0)[0]);
+        r.set_layer(0, 1, 2);
+        let back = routes_from_json(&routes_to_json(&r)).unwrap();
+        assert_eq!(back.num_layers(), 3);
+        assert_eq!(back.layer(0, 1), 2);
+        assert_eq!(back.next_hop(t0, 1), r.next_hop(t0, 1));
+        let _ = s0;
+    }
+}

@@ -1,0 +1,15 @@
+//! Interchange formats for networks and routes.
+//!
+//! * [`text`] — a minimal human-editable cabling format.
+//! * [`ibnetdiscover`] — a parser for the real `ibnetdiscover` dump
+//!   format the authors' tools consumed.
+//! * [`json`] — serde/JSON round-tripping of [`crate::Network`] and
+//!   [`crate::Routes`] for the repro harness.
+
+pub mod ibnetdiscover;
+pub mod json;
+pub mod text;
+
+pub use ibnetdiscover::{parse_ibnetdiscover, write_ibnetdiscover};
+pub use json::{network_from_json, network_to_json, routes_from_json, routes_to_json};
+pub use text::{parse_network, write_network, ParseError};

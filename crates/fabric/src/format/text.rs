@@ -1,0 +1,238 @@
+//! A minimal human-editable cabling format.
+//!
+//! ```text
+//! # comment
+//! switch s0 ports=36
+//! switch s1 ports=36 coord=0,1 level=2
+//! terminal t0
+//! link s0 t0          # bidirectional cable, ports auto-assigned
+//! channel s0 s1       # unidirectional channel
+//! ```
+
+use crate::{Network, NetworkBuilder, NodeId};
+use rustc_hash::FxHashMap;
+use std::fmt::Write as _;
+
+/// Error raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parse a network from the text format.
+pub fn parse_network(input: &str) -> Result<Network, ParseError> {
+    let mut b = NetworkBuilder::new();
+    let mut names: FxHashMap<String, NodeId> = FxHashMap::default();
+    let lookup = |names: &FxHashMap<String, NodeId>, name: &str, ln: usize| {
+        names
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(ln, format!("unknown node {name}")))
+    };
+    for (i, raw) in input.lines().enumerate() {
+        let ln = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kw = parts.next().unwrap();
+        match kw {
+            "label" => {
+                let rest = line["label".len()..].trim();
+                b.label(rest);
+            }
+            "switch" | "terminal" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(ln, "missing node name"))?
+                    .to_string();
+                if names.contains_key(&name) {
+                    return Err(err(ln, format!("duplicate node {name}")));
+                }
+                let mut ports: u16 = if kw == "switch" { 36 } else { 2 };
+                let mut coord = None;
+                let mut level = None;
+                for opt in parts {
+                    let (key, val) = opt
+                        .split_once('=')
+                        .ok_or_else(|| err(ln, format!("bad option {opt}")))?;
+                    match key {
+                        "ports" => {
+                            ports = val
+                                .parse()
+                                .map_err(|_| err(ln, format!("bad port count {val}")))?;
+                        }
+                        "coord" => {
+                            let c: Result<Vec<u16>, _> =
+                                val.split(',').map(|x| x.parse()).collect();
+                            coord =
+                                Some(c.map_err(|_| err(ln, format!("bad coord {val}")))?);
+                        }
+                        "level" => {
+                            level = Some(
+                                val.parse()
+                                    .map_err(|_| err(ln, format!("bad level {val}")))?,
+                            );
+                        }
+                        _ => return Err(err(ln, format!("unknown option {key}"))),
+                    }
+                }
+                let id = if kw == "switch" {
+                    b.add_switch(name.clone(), ports)
+                } else {
+                    b.add_node(crate::NodeKind::Terminal, name.clone(), ports)
+                };
+                if let Some(c) = coord {
+                    b.set_coord(id, c);
+                }
+                if let Some(l) = level {
+                    b.set_level(id, l);
+                }
+                names.insert(name, id);
+            }
+            "link" | "channel" => {
+                let a = parts.next().ok_or_else(|| err(ln, "missing endpoint"))?;
+                let c = parts.next().ok_or_else(|| err(ln, "missing endpoint"))?;
+                let a = lookup(&names, a, ln)?;
+                let c = lookup(&names, c, ln)?;
+                let res = if kw == "link" {
+                    b.link(a, c).map(|_| ())
+                } else {
+                    b.add_channel(a, c).map(|_| ())
+                };
+                res.map_err(|e| err(ln, e.to_string()))?;
+            }
+            _ => return Err(err(ln, format!("unknown keyword {kw}"))),
+        }
+    }
+    Ok(b.build())
+}
+
+/// Write a network in the text format (inverse of [`parse_network`] up to
+/// port renumbering).
+pub fn write_network(net: &Network) -> String {
+    let mut out = String::new();
+    if !net.label().is_empty() {
+        writeln!(out, "label {}", net.label()).unwrap();
+    }
+    for (_, node) in net.nodes() {
+        let kw = match node.kind {
+            crate::NodeKind::Switch => "switch",
+            crate::NodeKind::Terminal => "terminal",
+        };
+        write!(out, "{kw} {} ports={}", node.name, node.max_ports).unwrap();
+        if let Some(c) = &node.coord {
+            write!(
+                out,
+                " coord={}",
+                c.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+            .unwrap();
+        }
+        if let Some(l) = node.level {
+            write!(out, " level={l}").unwrap();
+        }
+        out.push('\n');
+    }
+    let mut written = vec![false; net.num_channels()];
+    for (id, ch) in net.channels() {
+        if written[id.idx()] {
+            continue;
+        }
+        written[id.idx()] = true;
+        let a = &net.node(ch.src).name;
+        let c = &net.node(ch.dst).name;
+        match ch.rev {
+            Some(r) => {
+                written[r.idx()] = true;
+                writeln!(out, "link {a} {c}").unwrap();
+            }
+            None => writeln!(out, "channel {a} {c}").unwrap(),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn parse_simple_network() {
+        let net = parse_network(
+            "# tiny\nlabel tiny\nswitch s0 ports=4\nswitch s1 ports=4 coord=1,2 level=3\n\
+             terminal t0\nlink s0 s1\nlink t0 s0\nchannel s0 s1\n",
+        )
+        .unwrap();
+        assert_eq!(net.label(), "tiny");
+        assert_eq!(net.num_switches(), 2);
+        assert_eq!(net.num_terminals(), 1);
+        assert_eq!(net.num_channels(), 5);
+        let s1 = net.node_by_name("s1").unwrap();
+        assert_eq!(net.node(s1).coord.as_deref(), Some(&[1, 2][..]));
+        assert_eq!(net.node(s1).level, Some(3));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_generated_topology() {
+        let net = topo::kary_ntree(2, 2);
+        let text = write_network(&net);
+        let back = parse_network(&text).unwrap();
+        assert_eq!(back.num_nodes(), net.num_nodes());
+        assert_eq!(back.num_channels(), net.num_channels());
+        assert_eq!(back.num_cables(), net.num_cables());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_network("switch s0\nlink s0 nope\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("unknown node"));
+
+        let e = parse_network("frobnicate x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse_network("switch s0\nswitch s0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn radix_violation_reported_at_line() {
+        let e = parse_network("switch s0 ports=1\nterminal a\nterminal b\nlink a s0\nlink b s0\n")
+            .unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.msg.contains("no free port"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let net = parse_network("\n# a comment\nswitch s0   # trailing\n\n").unwrap();
+        assert_eq!(net.num_switches(), 1);
+    }
+}

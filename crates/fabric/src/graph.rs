@@ -1,0 +1,539 @@
+//! Directed multigraph model of an interconnection network.
+//!
+//! Nodes are either *switches* (routing elements with a bounded number of
+//! ports, e.g. 36-port InfiniBand switches) or *terminals* (endpoints /
+//! channel adapters). Every physical cable is represented by two
+//! unidirectional [`Channel`]s, one per direction, which are each other's
+//! [`Channel::rev`]. Purely unidirectional links (e.g. a classical directed
+//! Kautz network) have `rev == None`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node (switch or terminal) in a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of a unidirectional channel in a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u32);
+
+impl NodeId {
+    /// The raw index as a usize, for indexing per-node arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ChannelId {
+    /// The raw index as a usize, for indexing per-channel arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Kind of a network node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A routing element; holds a forwarding table.
+    Switch,
+    /// An endpoint (InfiniBand: host channel adapter). Sources and sinks
+    /// of traffic; `Routes` destinations are always terminals.
+    Terminal,
+}
+
+/// A node of the network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// Switch or terminal.
+    pub kind: NodeKind,
+    /// Human-readable name (used by the text format and error messages).
+    pub name: String,
+    /// Maximum number of ports (cable attachment points). Switch radix.
+    pub max_ports: u16,
+    /// Optional coordinate for structured topologies (meshes, tori); used
+    /// by dimension-order routing.
+    pub coord: Option<Vec<u16>>,
+    /// Optional tree level for fat-tree-like topologies (0 = leaf level);
+    /// used by the fat-tree routing baseline and Up*/Down* root selection.
+    pub level: Option<u8>,
+}
+
+/// A unidirectional communication channel between two nodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Channel {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Port number on `src` this channel leaves from (1-based, like IB).
+    pub src_port: u16,
+    /// Port number on `dst` this channel arrives at (1-based).
+    pub dst_port: u16,
+    /// The opposite-direction channel of the same cable, if bidirectional.
+    pub rev: Option<ChannelId>,
+}
+
+/// An immutable interconnection network `I = G(N, C)`.
+///
+/// Built via [`crate::NetworkBuilder`] or one of the [`crate::topo`]
+/// generators. Provides O(1) access to per-node adjacency and cached
+/// switch/terminal index maps used by routing engines and simulators.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) channels: Vec<Channel>,
+    /// Outgoing channels per node.
+    pub(crate) out_adj: Vec<Vec<ChannelId>>,
+    /// Incoming channels per node.
+    pub(crate) in_adj: Vec<Vec<ChannelId>>,
+    /// All switch node ids, in id order.
+    pub(crate) switches: Vec<NodeId>,
+    /// All terminal node ids, in id order.
+    pub(crate) terminals: Vec<NodeId>,
+    /// For each node: its index within `terminals`, or `u32::MAX`.
+    pub(crate) terminal_index: Vec<u32>,
+    /// For each node: its index within `switches`, or `u32::MAX`.
+    pub(crate) switch_index: Vec<u32>,
+    /// Free-form topology label, e.g. `"xgft(2;8,8;4,4)"`.
+    pub(crate) label: String,
+}
+
+pub(crate) const NONE_U32: u32 = u32::MAX;
+
+impl Network {
+    /// Number of nodes `|N|` (switches + terminals).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of unidirectional channels `|C|`.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of terminals (endpoints).
+    #[inline]
+    pub fn num_terminals(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Number of switches.
+    #[inline]
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The node with the given id.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// The channel with the given id.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.idx()]
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All channels with their ids.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(i as u32), c))
+    }
+
+    /// Channels leaving `node`.
+    #[inline]
+    pub fn out_channels(&self, node: NodeId) -> &[ChannelId] {
+        &self.out_adj[node.idx()]
+    }
+
+    /// Channels arriving at `node`.
+    #[inline]
+    pub fn in_channels(&self, node: NodeId) -> &[ChannelId] {
+        &self.in_adj[node.idx()]
+    }
+
+    /// All switch ids, ascending.
+    #[inline]
+    pub fn switches(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// All terminal ids, ascending.
+    #[inline]
+    pub fn terminals(&self) -> &[NodeId] {
+        &self.terminals
+    }
+
+    /// Index of `node` within [`Self::terminals`], if it is a terminal.
+    #[inline]
+    pub fn terminal_index(&self, node: NodeId) -> Option<usize> {
+        match self.terminal_index[node.idx()] {
+            NONE_U32 => None,
+            i => Some(i as usize),
+        }
+    }
+
+    /// Index of `node` within [`Self::switches`], if it is a switch.
+    #[inline]
+    pub fn switch_index(&self, node: NodeId) -> Option<usize> {
+        match self.switch_index[node.idx()] {
+            NONE_U32 => None,
+            i => Some(i as usize),
+        }
+    }
+
+    /// Whether `node` is a terminal.
+    #[inline]
+    pub fn is_terminal(&self, node: NodeId) -> bool {
+        self.terminal_index[node.idx()] != NONE_U32
+    }
+
+    /// Whether `node` is a switch.
+    #[inline]
+    pub fn is_switch(&self, node: NodeId) -> bool {
+        self.switch_index[node.idx()] != NONE_U32
+    }
+
+    /// Free-form topology label, e.g. `"kautz(3,3)"`.
+    #[inline]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Replace the topology label.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// Find a node by name. O(n); intended for tests and file parsing.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Whether every node can reach every other node along directed
+    /// channels. Routing engines require this.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let n = self.nodes.len();
+        let reach = |adj: &Vec<Vec<ChannelId>>, forward: bool| -> usize {
+            let mut seen = vec![false; n];
+            let mut stack = vec![NodeId(0)];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(u) = stack.pop() {
+                for &c in &adj[u.idx()] {
+                    let v = if forward {
+                        self.channels[c.idx()].dst
+                    } else {
+                        self.channels[c.idx()].src
+                    };
+                    if !seen[v.idx()] {
+                        seen[v.idx()] = true;
+                        count += 1;
+                        stack.push(v);
+                    }
+                }
+            }
+            count
+        };
+        reach(&self.out_adj, true) == n && reach(&self.in_adj, false) == n
+    }
+
+    /// Graph diameter `d(I)` in hops (over directed channels), computed by
+    /// BFS from every node. `None` for disconnected networks.
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.nodes.len();
+        let mut diameter = 0;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[s] = 0;
+            queue.clear();
+            queue.push_back(NodeId(s as u32));
+            while let Some(u) = queue.pop_front() {
+                for &c in &self.out_adj[u.idx()] {
+                    let v = self.channels[c.idx()].dst;
+                    if dist[v.idx()] == u32::MAX {
+                        dist[v.idx()] = dist[u.idx()] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            let max = *dist.iter().max().unwrap();
+            if max == u32::MAX {
+                return None;
+            }
+            diameter = diameter.max(max as usize);
+        }
+        Some(diameter)
+    }
+
+    /// The unique channel from `a` to `b`, if there is exactly one.
+    pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
+        let mut found = None;
+        for &c in &self.out_adj[a.idx()] {
+            if self.channels[c.idx()].dst == b {
+                if found.is_some() {
+                    return None; // ambiguous: parallel channels
+                }
+                found = Some(c);
+            }
+        }
+        found
+    }
+
+    /// All channels from `a` to `b` (parallel cables produce several).
+    pub fn channels_between(&self, a: NodeId, b: NodeId) -> Vec<ChannelId> {
+        self.out_adj[a.idx()]
+            .iter()
+            .copied()
+            .filter(|&c| self.channels[c.idx()].dst == b)
+            .collect()
+    }
+
+    /// Minimum *routable* hop distances from every node to `dst`,
+    /// following channels forward (`hops[v]` = length of a shortest
+    /// directed path v→dst). Paths never transit terminals: channel
+    /// adapters do not forward, so only `dst` itself and switches are
+    /// expanded. This is the metric every routing engine's minimality is
+    /// measured against.
+    pub fn hops_to(&self, dst: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[dst.idx()] = 0;
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            if u != dst && self.nodes[u.idx()].kind == NodeKind::Terminal {
+                continue; // terminals sink traffic; they never forward
+            }
+            for &c in &self.in_adj[u.idx()] {
+                let v = self.channels[c.idx()].src;
+                if dist[v.idx()] == u32::MAX {
+                    dist[v.idx()] = dist[u.idx()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Raw minimum hop distances from every node to `dst` over the full
+    /// graph, terminals included as transit (a pure graph metric — for
+    /// the routable metric see [`Self::hops_to`]). Used for orientation
+    /// ranking (Up*/Down* levels) and diagnostics.
+    pub fn hops_to_raw(&self, dst: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[dst.idx()] = 0;
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            for &c in &self.in_adj[u.idx()] {
+                let v = self.channels[c.idx()].src;
+                if dist[v.idx()] == u32::MAX {
+                    dist[v.idx()] = dist[u.idx()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Internal consistency check: adjacency lists, index maps and port
+    /// assignments all agree. Used by tests and after file parsing.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.src.idx() >= n || ch.dst.idx() >= n {
+                return Err(format!("channel c{i} references missing node"));
+            }
+            if ch.src == ch.dst {
+                return Err(format!("channel c{i} is a self-loop"));
+            }
+            if let Some(r) = ch.rev {
+                let rc = &self.channels[r.idx()];
+                if rc.src != ch.dst || rc.dst != ch.src || rc.rev != Some(ChannelId(i as u32)) {
+                    return Err(format!("channel c{i} has inconsistent reverse"));
+                }
+            }
+        }
+        for (u, outs) in self.out_adj.iter().enumerate() {
+            for &c in outs {
+                if self.channels[c.idx()].src.idx() != u {
+                    return Err(format!("out_adj of n{u} lists foreign channel"));
+                }
+            }
+        }
+        for (u, ins) in self.in_adj.iter().enumerate() {
+            for &c in ins {
+                if self.channels[c.idx()].dst.idx() != u {
+                    return Err(format!("in_adj of n{u} lists foreign channel"));
+                }
+            }
+        }
+        // Port usage per node must be within max_ports and unique per
+        // direction pair (a bidirectional cable uses the same port number
+        // for both of its channels).
+        let mut used: Vec<Vec<u16>> = vec![Vec::new(); n];
+        for ch in &self.channels {
+            used[ch.src.idx()].push(ch.src_port);
+        }
+        for (u, ports) in used.iter_mut().enumerate() {
+            ports.sort_unstable();
+            ports.dedup();
+            // A port may appear once as src over all channels of a node
+            // only when unidirectional; bidirectional pairs share numbers,
+            // so after dedup the count bounds physical port usage.
+            if let Some(&max) = ports.last() {
+                if max > self.nodes[u].max_ports {
+                    return Err(format!(
+                        "node n{u} ({}) uses port {max} beyond radix {}",
+                        self.nodes[u].name, self.nodes[u].max_ports
+                    ));
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let ti = self.terminal_index[i];
+            let si = self.switch_index[i];
+            match node.kind {
+                NodeKind::Terminal if ti == NONE_U32 || si != NONE_U32 => {
+                    return Err(format!("terminal n{i} has bad index maps"));
+                }
+                NodeKind::Switch if si == NONE_U32 || ti != NONE_U32 => {
+                    return Err(format!("switch n{i} has bad index maps"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of bidirectional cables (channel pairs) plus
+    /// unidirectional channels. Useful for reporting topology sizes.
+    pub fn num_cables(&self) -> usize {
+        let bidir = self.channels.iter().filter(|c| c.rev.is_some()).count();
+        let unidir = self.channels.len() - bidir;
+        bidir / 2 + unidir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn tiny() -> Network {
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 36);
+        let s1 = b.add_switch("s1", 36);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(s0, s1).unwrap();
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_index_maps() {
+        let net = tiny();
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_channels(), 6);
+        assert_eq!(net.num_switches(), 2);
+        assert_eq!(net.num_terminals(), 2);
+        assert_eq!(net.num_cables(), 3);
+        let t0 = net.node_by_name("t0").unwrap();
+        assert!(net.is_terminal(t0));
+        assert!(!net.is_switch(t0));
+        assert_eq!(net.terminal_index(t0), Some(0));
+        assert_eq!(net.switch_index(t0), None);
+        let s1 = net.node_by_name("s1").unwrap();
+        assert_eq!(net.switch_index(s1), Some(1));
+    }
+
+    #[test]
+    fn reverse_channels_pair_up() {
+        let net = tiny();
+        for (id, ch) in net.channels() {
+            let r = ch.rev.expect("all links bidirectional");
+            let rc = net.channel(r);
+            assert_eq!(rc.src, ch.dst);
+            assert_eq!(rc.dst, ch.src);
+            assert_eq!(rc.rev, Some(id));
+            // The two directions of one cable share port numbers.
+            assert_eq!(rc.src_port, ch.dst_port);
+            assert_eq!(rc.dst_port, ch.src_port);
+        }
+    }
+
+    #[test]
+    fn connectivity_and_diameter() {
+        let net = tiny();
+        assert!(net.is_strongly_connected());
+        // t0 -> s0 -> s1 -> t1 = 3 hops.
+        assert_eq!(net.diameter(), Some(3));
+    }
+
+    #[test]
+    fn hops_to_destination() {
+        let net = tiny();
+        let t1 = net.node_by_name("t1").unwrap();
+        let hops = net.hops_to(t1);
+        assert_eq!(hops[net.node_by_name("t0").unwrap().idx()], 3);
+        assert_eq!(hops[net.node_by_name("s0").unwrap().idx()], 2);
+        assert_eq!(hops[net.node_by_name("s1").unwrap().idx()], 1);
+        assert_eq!(hops[t1.idx()], 0);
+    }
+
+    #[test]
+    fn channel_between_finds_unique_channel() {
+        let net = tiny();
+        let s0 = net.node_by_name("s0").unwrap();
+        let s1 = net.node_by_name("s1").unwrap();
+        let c = net.channel_between(s0, s1).unwrap();
+        assert_eq!(net.channel(c).src, s0);
+        assert_eq!(net.channel(c).dst, s1);
+        let t0 = net.node_by_name("t0").unwrap();
+        assert!(net.channel_between(t0, s1).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        tiny().validate().unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Topology statistics: the summary numbers reported alongside every
+//! evaluation table (Table I columns, system descriptions in §V/§VI).
+
+use crate::graph::{Network, NodeKind};
+
+/// Structural summary of a network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologyStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Switches.
+    pub switches: usize,
+    /// Terminals.
+    pub terminals: usize,
+    /// Bidirectional cables + unidirectional channels.
+    pub cables: usize,
+    /// Graph diameter in hops (`None` if disconnected).
+    pub diameter: Option<usize>,
+    /// Minimum / maximum switch degree (cables incident to a switch).
+    pub switch_degree: (usize, usize),
+    /// Mean terminals per switch.
+    pub terminals_per_switch: f64,
+    /// Inter-switch cables only (the Fig 9 x-axis).
+    pub interswitch_cables: usize,
+}
+
+impl TopologyStats {
+    /// Compute the summary for `net`.
+    pub fn of(net: &Network) -> TopologyStats {
+        let mut min_deg = usize::MAX;
+        let mut max_deg = 0usize;
+        for &s in net.switches() {
+            // Every incident cable contributes exactly one outgoing
+            // channel; purely unidirectional in-channels also occupy a
+            // port.
+            let deg = net.out_channels(s).len()
+                + net
+                    .in_channels(s)
+                    .iter()
+                    .filter(|&&c| net.channel(c).rev.is_none())
+                    .count();
+            min_deg = min_deg.min(deg);
+            max_deg = max_deg.max(deg);
+        }
+        if net.num_switches() == 0 {
+            min_deg = 0;
+        }
+        let interswitch = net
+            .channels()
+            .filter(|(id, ch)| {
+                net.node(ch.src).kind == NodeKind::Switch
+                    && net.node(ch.dst).kind == NodeKind::Switch
+                    && (ch.rev.is_none() || ch.rev.map(|r| r.0 > id.0).unwrap_or(true))
+            })
+            .count();
+        TopologyStats {
+            nodes: net.num_nodes(),
+            switches: net.num_switches(),
+            terminals: net.num_terminals(),
+            cables: net.num_cables(),
+            diameter: net.diameter(),
+            switch_degree: (min_deg, max_deg),
+            terminals_per_switch: if net.num_switches() > 0 {
+                net.num_terminals() as f64 / net.num_switches() as f64
+            } else {
+                0.0
+            },
+            interswitch_cables: interswitch,
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} terminals, {} switches (deg {}..{}), {} cables ({} inter-switch), diameter {}",
+            self.terminals,
+            self.switches,
+            self.switch_degree.0,
+            self.switch_degree.1,
+            self.cables,
+            self.interswitch_cables,
+            self.diameter.map_or("∞".into(), |d| d.to_string()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn ring_stats() {
+        let s = TopologyStats::of(&topo::ring(5, 2));
+        assert_eq!(s.switches, 5);
+        assert_eq!(s.terminals, 10);
+        assert_eq!(s.interswitch_cables, 5);
+        assert_eq!(s.switch_degree, (4, 4)); // 2 ring + 2 terminals
+        assert_eq!(s.diameter, Some(4));
+        assert!((s.terminals_per_switch - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_kautz_counts_unidirectional_ports() {
+        let s = TopologyStats::of(&topo::kautz(2, 2, 12, false));
+        assert_eq!(s.switches, 12);
+        // Each switch: 2 out + 2 in unidirectional + 1 terminal.
+        assert_eq!(s.switch_degree, (5, 5));
+        assert_eq!(s.interswitch_cables, 24);
+    }
+
+    #[test]
+    fn fig9_interswitch_axis_matches_spec() {
+        let spec = topo::RandomTopoSpec::fig9(200);
+        let net = topo::random_topology(&spec, 3);
+        let s = TopologyStats::of(&net);
+        assert_eq!(s.interswitch_cables, 200);
+        assert_eq!(s.terminals, 2048);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = TopologyStats::of(&topo::star(4)).to_string();
+        assert!(s.contains("4 terminals"));
+        assert!(s.contains("1 switches"));
+    }
+}

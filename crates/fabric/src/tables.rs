@@ -1,0 +1,394 @@
+//! Forwarding tables and virtual-layer assignment.
+//!
+//! A [`Routes`] value is what every routing engine produces and what the
+//! simulators consume: destination-based next-hop channels (the InfiniBand
+//! linear forwarding table, lifted from ports to channels) plus the virtual
+//! layer each terminal-to-terminal path is assigned to (InfiniBand: the
+//! service level / virtual lane of the path record).
+
+use crate::graph::{ChannelId, Network, NodeId, NONE_U32};
+use serde::{Deserialize, Serialize};
+
+/// Errors raised when constructing or querying [`Routes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutesError {
+    /// A next-hop walk exceeded the hop budget — the tables contain a loop.
+    ForwardingLoop { src: NodeId, dst: NodeId },
+    /// No next hop programmed for this (node, destination) pair.
+    MissingEntry { node: NodeId, dst: NodeId },
+    /// Destination must be a terminal.
+    NotATerminal(NodeId),
+    /// Virtual layer out of range for the configured layer count.
+    BadLayer { layer: u8, num_layers: u8 },
+}
+
+impl std::fmt::Display for RoutesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutesError::ForwardingLoop { src, dst } => {
+                write!(f, "forwarding loop on route {src:?} -> {dst:?}")
+            }
+            RoutesError::MissingEntry { node, dst } => {
+                write!(f, "no next hop at {node:?} toward {dst:?}")
+            }
+            RoutesError::NotATerminal(n) => write!(f, "{n:?} is not a terminal"),
+            RoutesError::BadLayer { layer, num_layers } => {
+                write!(f, "virtual layer {layer} >= layer count {num_layers}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutesError {}
+
+/// Destination-based forwarding tables plus per-path virtual layers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Routes {
+    /// `next[node][t]` = channel to take at `node` toward terminal index
+    /// `t`, or `u32::MAX` when unset (at the destination itself, or for
+    /// unreachable pairs).
+    next: Vec<Vec<u32>>,
+    /// `vl[src_t * num_terminals + dst_t]` = virtual layer of that path.
+    vl: Vec<u8>,
+    /// Number of virtual layers in use (`max(vl) + 1`).
+    num_layers: u8,
+    num_terminals: usize,
+    /// Engine name that produced these tables (for reports).
+    engine: String,
+}
+
+impl Routes {
+    /// Fresh tables for `net` with no entries and a single virtual layer.
+    pub fn new(net: &Network, engine: impl Into<String>) -> Self {
+        let nt = net.num_terminals();
+        Routes {
+            next: vec![vec![NONE_U32; nt]; net.num_nodes()],
+            vl: vec![0; nt * nt],
+            num_layers: 1,
+            num_terminals: nt,
+            engine: engine.into(),
+        }
+    }
+
+    /// Name of the engine that produced these tables.
+    pub fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    /// Rebrand the tables (engines that post-process another engine's
+    /// tables, like DFSSSP over SSSP, set their own name).
+    pub fn set_engine(&mut self, engine: impl Into<String>) {
+        self.engine = engine.into();
+    }
+
+    /// Number of virtual layers used by these routes.
+    pub fn num_layers(&self) -> u8 {
+        self.num_layers
+    }
+
+    /// Number of terminals the tables were sized for.
+    pub fn num_terminals(&self) -> usize {
+        self.num_terminals
+    }
+
+    /// Program the next hop at `node` toward terminal index `dst_t`.
+    #[inline]
+    pub fn set_next(&mut self, node: NodeId, dst_t: usize, channel: ChannelId) {
+        self.next[node.idx()][dst_t] = channel.0;
+    }
+
+    /// Next-hop channel at `node` toward terminal index `dst_t`.
+    #[inline]
+    pub fn next_hop(&self, node: NodeId, dst_t: usize) -> Option<ChannelId> {
+        match self.next[node.idx()][dst_t] {
+            NONE_U32 => None,
+            c => Some(ChannelId(c)),
+        }
+    }
+
+    /// Assign the virtual layer for the path `src_t → dst_t`
+    /// (terminal indices).
+    #[inline]
+    pub fn set_layer(&mut self, src_t: usize, dst_t: usize, layer: u8) {
+        self.vl[src_t * self.num_terminals + dst_t] = layer;
+        if layer + 1 > self.num_layers {
+            self.num_layers = layer + 1;
+        }
+    }
+
+    /// Virtual layer of the path `src_t → dst_t` (terminal indices).
+    #[inline]
+    pub fn layer(&self, src_t: usize, dst_t: usize) -> u8 {
+        self.vl[src_t * self.num_terminals + dst_t]
+    }
+
+    /// Recompute `num_layers` from the stored assignment (used after bulk
+    /// layer rewrites, e.g. the balancing step of Algorithm 2).
+    pub fn recompute_num_layers(&mut self) {
+        self.num_layers = self.vl.iter().copied().max().unwrap_or(0) + 1;
+    }
+
+    /// Iterate over the channels of the path from terminal `src` to
+    /// terminal `dst` by walking the tables. Lazy; detects loops via a
+    /// hop budget of `num_nodes + 1`.
+    pub fn path<'a>(
+        &'a self,
+        net: &'a Network,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<PathIter<'a>, RoutesError> {
+        let dst_t = net
+            .terminal_index(dst)
+            .ok_or(RoutesError::NotATerminal(dst))?;
+        if net.terminal_index(src).is_none() {
+            return Err(RoutesError::NotATerminal(src));
+        }
+        Ok(PathIter {
+            routes: self,
+            net,
+            at: src,
+            src,
+            dst,
+            dst_t,
+            budget: net.num_nodes() + 1,
+        })
+    }
+
+    /// Collect the path `src → dst` into a channel vector, validating that
+    /// it terminates at `dst`.
+    pub fn path_channels(
+        &self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Vec<ChannelId>, RoutesError> {
+        let mut out = Vec::new();
+        for step in self.path(net, src, dst)? {
+            out.push(step?);
+        }
+        Ok(out)
+    }
+
+    /// Check that every ordered terminal pair is connected by a loop-free
+    /// walk of the tables; returns the number of pairs checked.
+    pub fn validate_connectivity(&self, net: &Network) -> Result<usize, RoutesError> {
+        let mut pairs = 0;
+        for &src in net.terminals() {
+            for &dst in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                for step in self.path(net, src, dst)? {
+                    step?;
+                }
+                pairs += 1;
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// Number of routes crossing each channel, counting every ordered
+    /// terminal pair once. This is the per-link load the paper's balancing
+    /// optimizes; also used by the congestion simulator's reports.
+    pub fn channel_loads(&self, net: &Network) -> Result<Vec<u32>, RoutesError> {
+        let mut loads = vec![0u32; net.num_channels()];
+        for &src in net.terminals() {
+            for &dst in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                for step in self.path(net, src, dst)? {
+                    loads[step?.idx()] += 1;
+                }
+            }
+        }
+        Ok(loads)
+    }
+
+    /// Longest path length (hops) over all ordered terminal pairs.
+    pub fn max_path_len(&self, net: &Network) -> Result<usize, RoutesError> {
+        let mut max = 0;
+        for &src in net.terminals() {
+            for &dst in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                let len = self.path(net, src, dst)?.count();
+                // count() consumed Results; re-walk to surface errors.
+                let mut n = 0;
+                for step in self.path(net, src, dst)? {
+                    step?;
+                    n += 1;
+                }
+                debug_assert_eq!(len, n);
+                max = max.max(n);
+            }
+        }
+        Ok(max)
+    }
+}
+
+/// Lazy iterator over the channels of one route (see [`Routes::path`]).
+pub struct PathIter<'a> {
+    routes: &'a Routes,
+    net: &'a Network,
+    at: NodeId,
+    src: NodeId,
+    dst: NodeId,
+    dst_t: usize,
+    budget: usize,
+}
+
+impl<'a> Iterator for PathIter<'a> {
+    type Item = Result<ChannelId, RoutesError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at == self.dst {
+            return None;
+        }
+        if self.budget == 0 {
+            return Some(Err(RoutesError::ForwardingLoop {
+                src: self.src,
+                dst: self.dst,
+            }));
+        }
+        self.budget -= 1;
+        match self.routes.next_hop(self.at, self.dst_t) {
+            None => Some(Err(RoutesError::MissingEntry {
+                node: self.at,
+                dst: self.dst,
+            })),
+            Some(c) => {
+                self.at = self.net.channel(c).dst;
+                Some(Ok(c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    /// t0 - s0 - s1 - t1, plus t2 on s1.
+    fn line() -> Network {
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 36);
+        let s1 = b.add_switch("s1", 36);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        let t2 = b.add_terminal("t2");
+        b.link(s0, s1).unwrap();
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        b.link(t2, s1).unwrap();
+        b.build()
+    }
+
+    /// Program shortest-path tables on `line()` by BFS per destination.
+    fn bfs_routes(net: &Network) -> Routes {
+        let mut r = Routes::new(net, "bfs-test");
+        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            let hops = net.hops_to(dst);
+            for (id, _) in net.nodes() {
+                if id == dst || hops[id.idx()] == u32::MAX {
+                    continue;
+                }
+                let best = net
+                    .out_channels(id)
+                    .iter()
+                    .copied()
+                    .min_by_key(|&c| hops[net.channel(c).dst.idx()])
+                    .unwrap();
+                r.set_next(id, dst_t, best);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn path_walks_tables() {
+        let net = line();
+        let r = bfs_routes(&net);
+        let t0 = net.node_by_name("t0").unwrap();
+        let t1 = net.node_by_name("t1").unwrap();
+        let p = r.path_channels(&net, t0, t1).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(net.channel(p[0]).src, t0);
+        assert_eq!(net.channel(p[2]).dst, t1);
+        // consecutive channels chain
+        for w in p.windows(2) {
+            assert_eq!(net.channel(w[0]).dst, net.channel(w[1]).src);
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_reported() {
+        let net = line();
+        let r = Routes::new(&net, "empty");
+        let t0 = net.node_by_name("t0").unwrap();
+        let t1 = net.node_by_name("t1").unwrap();
+        let err = r.path_channels(&net, t0, t1).unwrap_err();
+        assert!(matches!(err, RoutesError::MissingEntry { .. }));
+    }
+
+    #[test]
+    fn loops_are_detected() {
+        let net = line();
+        let mut r = Routes::new(&net, "loopy");
+        let s0 = net.node_by_name("s0").unwrap();
+        let s1 = net.node_by_name("s1").unwrap();
+        let t0 = net.node_by_name("t0").unwrap();
+        let t1 = net.node_by_name("t1").unwrap();
+        let t1_t = net.terminal_index(t1).unwrap();
+        // t0 -> s0 -> s1 -> s0 -> ... never reaches t1.
+        r.set_next(t0, t1_t, net.channel_between(t0, s0).unwrap());
+        r.set_next(s0, t1_t, net.channel_between(s0, s1).unwrap());
+        r.set_next(s1, t1_t, net.channel_between(s1, s0).unwrap());
+        let err = r.path_channels(&net, t0, t1).unwrap_err();
+        assert!(matches!(err, RoutesError::ForwardingLoop { .. }));
+    }
+
+    #[test]
+    fn validate_connectivity_counts_pairs() {
+        let net = line();
+        let r = bfs_routes(&net);
+        assert_eq!(r.validate_connectivity(&net).unwrap(), 3 * 2);
+    }
+
+    #[test]
+    fn layers_default_to_zero_and_track_max() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        assert_eq!(r.num_layers(), 1);
+        assert_eq!(r.layer(0, 1), 0);
+        r.set_layer(0, 1, 3);
+        assert_eq!(r.num_layers(), 4);
+        r.set_layer(0, 1, 0);
+        r.recompute_num_layers();
+        assert_eq!(r.num_layers(), 1);
+    }
+
+    #[test]
+    fn channel_loads_count_every_pair() {
+        let net = line();
+        let r = bfs_routes(&net);
+        let loads = r.channel_loads(&net).unwrap();
+        let total: u32 = loads.iter().sum();
+        // Sum over channels of load = sum over pairs of path length.
+        // Paths: t0<->t1: 3 hops each way, t0<->t2: 3 each, t1<->t2: 2 each.
+        assert_eq!(total, 3 + 3 + 3 + 3 + 2 + 2);
+        let s0 = net.node_by_name("s0").unwrap();
+        let s1 = net.node_by_name("s1").unwrap();
+        let c = net.channel_between(s0, s1).unwrap();
+        assert_eq!(loads[c.idx()], 2); // t0->t1 and t0->t2
+    }
+
+    #[test]
+    fn max_path_len_is_diameter_bound() {
+        let net = line();
+        let r = bfs_routes(&net);
+        assert_eq!(r.max_path_len(&net).unwrap(), 3);
+    }
+}

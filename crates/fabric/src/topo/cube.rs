@@ -1,0 +1,148 @@
+//! k-ary n-cube family: meshes, tori and hypercubes.
+//!
+//! Switches carry coordinates so that dimension-order routing (the DOR
+//! baseline from OpenSM) can operate on these networks.
+
+use super::attach_terminals;
+use crate::{Network, NetworkBuilder};
+
+fn grid(dims: &[u16], terminals_per_switch: usize, wrap: bool) -> Network {
+    assert!(!dims.is_empty(), "need at least one dimension");
+    assert!(dims.iter().all(|&d| d >= 2), "dimension sizes must be >= 2");
+    let n: usize = dims.iter().map(|&d| d as usize).product();
+    let radix = (2 * dims.len() + terminals_per_switch) as u16;
+    let mut b = NetworkBuilder::new();
+    let kind = if wrap { "torus" } else { "mesh" };
+    b.label(format!(
+        "{kind}({},{terminals_per_switch})",
+        dims.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    ));
+
+    // Index <-> coordinate in row-major order.
+    let coord_of = |mut i: usize| -> Vec<u16> {
+        let mut c = vec![0u16; dims.len()];
+        for (d, &size) in dims.iter().enumerate().rev() {
+            c[d] = (i % size as usize) as u16;
+            i /= size as usize;
+        }
+        c
+    };
+    let index_of = |c: &[u16]| -> usize {
+        let mut i = 0usize;
+        for (d, &size) in dims.iter().enumerate() {
+            i = i * size as usize + c[d] as usize;
+        }
+        i
+    };
+
+    let switches: Vec<_> = (0..n)
+        .map(|i| {
+            let s = b.add_switch(format!("s{i}"), radix);
+            b.set_coord(s, coord_of(i));
+            s
+        })
+        .collect();
+
+    for i in 0..n {
+        let c = coord_of(i);
+        for d in 0..dims.len() {
+            let size = dims[d] as usize;
+            // +1 neighbor in dimension d.
+            if (c[d] as usize) + 1 < size {
+                let mut cc = c.clone();
+                cc[d] += 1;
+                b.link(switches[i], switches[index_of(&cc)]).unwrap();
+            } else if wrap && size > 2 {
+                // Wraparound link; for size 2 the +1 neighbor already is
+                // the wrap partner, so adding it again would double it.
+                let mut cc = c.clone();
+                cc[d] = 0;
+                b.link(switches[i], switches[index_of(&cc)]).unwrap();
+            }
+        }
+    }
+    let mut tid = 0;
+    for &s in &switches {
+        attach_terminals(&mut b, s, terminals_per_switch, &mut tid);
+    }
+    b.build()
+}
+
+/// An n-dimensional mesh with the given per-dimension sizes.
+pub fn mesh(dims: &[u16], terminals_per_switch: usize) -> Network {
+    grid(dims, terminals_per_switch, false)
+}
+
+/// An n-dimensional torus (k-ary n-cube) with the given per-dimension
+/// sizes. Tori are the classical deadlock hazard for unrestricted minimal
+/// routing (Dally & Seitz).
+pub fn torus(dims: &[u16], terminals_per_switch: usize) -> Network {
+    grid(dims, terminals_per_switch, true)
+}
+
+/// A binary hypercube of the given dimension.
+pub fn hypercube(dim: u32, terminals_per_switch: usize) -> Network {
+    assert!((1..=16).contains(&dim), "hypercube dimension out of range");
+    let dims = vec![2u16; dim as usize];
+    let mut net = grid(&dims, terminals_per_switch, false);
+    net.set_label(format!("hypercube({dim},{terminals_per_switch})"));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts_and_coords() {
+        let net = mesh(&[3, 4], 1);
+        assert_eq!(net.num_switches(), 12);
+        assert_eq!(net.num_terminals(), 12);
+        // Links: 2*4 (rows) ... per dimension: (3-1)*4 + 3*(4-1) = 8+9=17.
+        assert_eq!(net.num_cables(), 17 + 12);
+        let s0 = net.node_by_name("s0").unwrap();
+        assert_eq!(net.node(s0).coord.as_deref(), Some(&[0, 0][..]));
+        let s11 = net.node_by_name("s11").unwrap();
+        assert_eq!(net.node(s11).coord.as_deref(), Some(&[2, 3][..]));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn torus_adds_wraparound() {
+        let net = torus(&[4, 4], 1);
+        // 2 links per switch per dimension / 2 = 32 switch cables.
+        assert_eq!(net.num_cables(), 32 + 16);
+        assert!(net.is_strongly_connected());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn torus_size_two_has_single_links() {
+        // In a 2-extent dimension, +1 and wrap are the same neighbor; make
+        // sure we do not create parallel cables.
+        let net = torus(&[2, 2], 0);
+        assert_eq!(net.num_cables(), 4);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn torus_diameter_is_half_extent() {
+        let net = torus(&[6], 0);
+        assert_eq!(net.diameter(), Some(3));
+        let net = mesh(&[6], 0);
+        assert_eq!(net.diameter(), Some(5));
+    }
+
+    #[test]
+    fn hypercube_counts() {
+        let net = hypercube(4, 1);
+        assert_eq!(net.num_switches(), 16);
+        assert_eq!(net.num_cables(), 16 * 4 / 2 + 16);
+        // terminal-switch-(4 hops)-switch-terminal
+        assert_eq!(net.diameter(), Some(6));
+        net.validate().unwrap();
+    }
+}

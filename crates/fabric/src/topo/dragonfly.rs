@@ -1,0 +1,90 @@
+//! Dragonfly topology (Kim et al.) — not part of the paper's evaluation,
+//! but a modern "arbitrary topology" the DFSSSP claim must also cover.
+
+use super::attach_terminals;
+use crate::{Network, NetworkBuilder};
+
+/// A canonical dragonfly `(a, p, h)`: groups of `a` switches, each switch
+/// with `p` terminals and `h` global links; switches within a group are
+/// fully connected; `g = a*h + 1` groups are connected by exactly one
+/// global cable per group pair, distributed round-robin over the switches
+/// of each group.
+pub fn dragonfly(a: usize, p: usize, h: usize) -> Network {
+    assert!(a >= 2 && h >= 1, "need a >= 2, h >= 1");
+    let g = a * h + 1;
+    let radix = (a - 1 + p + h) as u16;
+    let mut b = NetworkBuilder::new();
+    b.label(format!("dragonfly(a{a},p{p},h{h})"));
+
+    let mut groups = Vec::with_capacity(g);
+    for gi in 0..g {
+        let switches: Vec<_> = (0..a)
+            .map(|si| b.add_switch(format!("g{gi}s{si}"), radix))
+            .collect();
+        for i in 0..a {
+            for j in (i + 1)..a {
+                b.link(switches[i], switches[j]).unwrap();
+            }
+        }
+        groups.push(switches);
+    }
+    // Global links: group pair (x, y), x < y, uses the k-th global port
+    // where k enumerates that pair from each side. Standard round-robin:
+    // pair index within x's list of peers determines which switch hosts it.
+    for x in 0..g {
+        for y in (x + 1)..g {
+            // Peer index of y from x's perspective (skipping x itself),
+            // and of x from y's perspective.
+            let ix = y - 1; // y's rank among 0..g without x, for y > x
+            let iy = x; // x's rank among 0..g without y, for x < y
+            let sx = groups[x][(ix % (a * h)) / h];
+            let sy = groups[y][(iy % (a * h)) / h];
+            b.link(sx, sy).unwrap();
+        }
+    }
+    let mut tid = 0;
+    for group in &groups {
+        for &s in group {
+            attach_terminals(&mut b, s, p, &mut tid);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        let (a, p, h) = (4, 2, 2);
+        let g = a * h + 1; // 9 groups
+        let net = dragonfly(a, p, h);
+        assert_eq!(net.num_switches(), g * a);
+        assert_eq!(net.num_terminals(), g * a * p);
+        // Cables: intra-group a*(a-1)/2 per group + one per group pair +
+        // terminals.
+        let intra = g * a * (a - 1) / 2;
+        let global = g * (g - 1) / 2;
+        assert_eq!(net.num_cables(), intra + global + g * a * p);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn global_links_fit_port_budget() {
+        // Every switch hosts at most h global links.
+        let net = dragonfly(4, 2, 2);
+        for &s in net.switches() {
+            let deg = net.out_channels(s).len();
+            assert!(deg <= 4 - 1 + 2 + 2);
+        }
+    }
+
+    #[test]
+    fn connected_and_small_diameter() {
+        let net = dragonfly(4, 1, 1);
+        assert!(net.is_strongly_connected());
+        // terminal + local + global + local + terminal = 5 hops worst case.
+        assert!(net.diameter().unwrap() <= 6);
+    }
+}

@@ -1,0 +1,49 @@
+//! Topology generators for every network family in the paper's evaluation.
+//!
+//! * [`ring`], [`mesh`], [`torus`], [`hypercube`] — k-ary n-cube family
+//!   (Fig 2's deadlock demonstration; DOR's home turf).
+//! * [`kary_ntree`] — k-ary n-trees (Fig 7 runtime sweep).
+//! * [`xgft`] — extended generalized fat trees (Fig 5).
+//! * [`kautz`] — Kautz graphs with attached endpoints (Fig 6).
+//! * [`random`] — random irregular switch graphs (Fig 9, §IV heuristics).
+//! * [`realworld`] — synthetic reconstructions of the six HPC systems
+//!   (Figs 4, 8, 10; §VI). See DESIGN.md §3 for the substitution notes.
+//! * [`dragonfly`] — a modern "arbitrary" topology beyond the paper's set,
+//!   exercising the claim that DFSSSP handles any network.
+
+mod cube;
+mod dragonfly;
+mod kautz;
+pub mod random;
+pub mod realworld;
+mod ring;
+mod tree;
+
+pub use cube::{hypercube, mesh, torus};
+pub use dragonfly::dragonfly;
+pub use kautz::{kautz, kautz_num_switches};
+pub use random::{random_topology, RandomTopoSpec};
+pub use ring::{fully_connected, ring, star};
+pub use tree::{clos2, kary_ntree, xgft};
+
+use crate::NetworkBuilder;
+use crate::graph::NodeId;
+
+/// Attach `count` terminals to `switch`, naming them `t{start+i}`.
+/// Returns the terminal ids. Helper shared by the generators.
+pub(crate) fn attach_terminals(
+    b: &mut NetworkBuilder,
+    switch: NodeId,
+    count: usize,
+    next_id: &mut usize,
+) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t = b.add_terminal(format!("t{}", *next_id));
+        *next_id += 1;
+        b.link(t, switch)
+            .expect("terminal attachment must fit switch radix");
+        out.push(t);
+    }
+    out
+}

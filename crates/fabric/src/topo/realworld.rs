@@ -1,0 +1,492 @@
+//! Synthetic reconstructions of the six real-world HPC systems of the
+//! paper's evaluation (Figs 4, 8, 10; §VI).
+//!
+//! The authors used vendor-provided cabling files we do not have; these
+//! generators rebuild each system from its published architecture (see
+//! DESIGN.md §3). Director-class switches ("288-port", "144-port",
+//! "Magnum") are modeled as their real internal two-stage Clos of 24-port
+//! crossbar chips, which is what makes congestion behave like the real
+//! fabric rather than like an ideal single crossbar.
+//!
+//! All generators accept a `scale` in `(0, 1]` that shrinks node counts
+//! proportionally, for fast test / CI runs; `scale = 1.0` is the published
+//! system size.
+
+use crate::graph::NodeId;
+use crate::{Network, NetworkBuilder};
+
+/// The six systems of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RealSystem {
+    /// 128-node Odin cluster (Indiana University) — one 144-port switch.
+    Odin,
+    /// 550-node CHiC cluster (TU Chemnitz) — 2-level fat tree, 24-port
+    /// leaves, two 144-port cores, dual-attached service nodes.
+    Chic,
+    /// 724-node Deimos cluster (TU Dresden) — three 288-port switches in a
+    /// chain/triangle with 30 inter-switch cables (Fig 11).
+    Deimos,
+    /// 1430-node configuration of Tsubame (Tokyo Tech) — leaf switches
+    /// feeding two 288-port-class cores, with dual-homed storage.
+    Tsubame,
+    /// 3288-node JUROPA/HPC-FF (FZ Jülich) — fat tree over four director
+    /// cores, 2:1 tapered leaves.
+    Juropa,
+    /// 3936-node Ranger (TACC) — two Magnum-class cores with sparse
+    /// internal spine stage; the most irregular of the set.
+    Ranger,
+}
+
+impl RealSystem {
+    /// All systems, in the order the paper's figures list them.
+    pub const ALL: [RealSystem; 6] = [
+        RealSystem::Chic,
+        RealSystem::Deimos,
+        RealSystem::Juropa,
+        RealSystem::Odin,
+        RealSystem::Ranger,
+        RealSystem::Tsubame,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RealSystem::Odin => "Odin",
+            RealSystem::Chic => "CHiC",
+            RealSystem::Deimos => "Deimos",
+            RealSystem::Tsubame => "Tsubame",
+            RealSystem::Juropa => "JUROPA",
+            RealSystem::Ranger => "Ranger",
+        }
+    }
+
+    /// Published endpoint count at `scale = 1.0`.
+    pub fn endpoints(self) -> usize {
+        match self {
+            RealSystem::Odin => 128,
+            RealSystem::Chic => 550,
+            RealSystem::Deimos => 724,
+            RealSystem::Tsubame => 1430,
+            RealSystem::Juropa => 3288,
+            RealSystem::Ranger => 3936,
+        }
+    }
+
+    /// Build the reconstruction at the given scale (`1.0` = full size).
+    pub fn build(self, scale: f64) -> Network {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        match self {
+            RealSystem::Odin => odin(scale),
+            RealSystem::Chic => chic(scale),
+            RealSystem::Deimos => deimos(scale),
+            RealSystem::Tsubame => tsubame(scale),
+            RealSystem::Juropa => juropa(scale),
+            RealSystem::Ranger => ranger(scale),
+        }
+    }
+}
+
+fn sc(x: usize, scale: f64) -> usize {
+    ((x as f64 * scale).round() as usize).max(1)
+}
+
+/// A director-class switch modeled as its internal two-stage Clos:
+/// leaf crossbar chips (user-facing ports) fully fed into spine chips.
+struct Director {
+    /// Leaf chips, each with `leaf_down` user-facing ports.
+    leaves: Vec<NodeId>,
+    next: usize,
+}
+
+impl Director {
+    /// Create a director with at least `down_ports` user-facing ports,
+    /// built from chips with `leaf_down` down / `leaf_up` up ports and
+    /// 24-port spine chips. `sparse_spines` reduces the spine stage below
+    /// full bisection (the Magnum configuration on Ranger).
+    fn new(
+        b: &mut NetworkBuilder,
+        prefix: &str,
+        down_ports: usize,
+        leaf_down: usize,
+        leaf_up: usize,
+        sparse_spines: bool,
+    ) -> Director {
+        let n_leaf = down_ports.div_ceil(leaf_down).max(2);
+        let total_up = n_leaf * leaf_up;
+        let n_spine = if sparse_spines {
+            total_up.div_ceil(24).max(1)
+        } else {
+            // Full-bisection spine stage: half as many spines as leaves,
+            // each twice the links (classic folded Clos of 24-port chips).
+            (n_leaf * leaf_up).div_ceil(24).max(n_leaf / 2).max(1)
+        };
+        let spine_radix = total_up.div_ceil(n_spine);
+        let leaves: Vec<_> = (0..n_leaf)
+            .map(|i| {
+                let s = b.add_switch(format!("{prefix}-leaf{i}"), (leaf_down + leaf_up) as u16);
+                b.set_level(s, 1);
+                s
+            })
+            .collect();
+        let spines: Vec<_> = (0..n_spine)
+            .map(|i| {
+                let s = b.add_switch(format!("{prefix}-spine{i}"), spine_radix as u16);
+                b.set_level(s, 2);
+                s
+            })
+            .collect();
+        let mut spin = 0usize;
+        for &leaf in &leaves {
+            for _ in 0..leaf_up {
+                b.link(leaf, spines[spin % n_spine]).unwrap();
+                spin += 1;
+            }
+        }
+        Director { leaves, next: 0 }
+    }
+
+    /// Connect `node` to the next leaf chip with a free user-facing port
+    /// (round-robin — how trunk/uplink bundles are spread over line
+    /// cards).
+    fn attach(&mut self, b: &mut NetworkBuilder, node: NodeId) {
+        for _ in 0..self.leaves.len() {
+            let leaf = self.leaves[self.next];
+            self.next = (self.next + 1) % self.leaves.len();
+            if b.free_ports(leaf) > 0 {
+                b.link(node, leaf).unwrap();
+                return;
+            }
+        }
+        panic!("director out of user-facing ports");
+    }
+
+    /// Connect `node` to the first leaf chip with room (sequential fill —
+    /// how compute nodes are racked onto line cards in practice; leaves
+    /// the trailing chips free for trunks and creates the uneven
+    /// source-multiplicity real fabrics have).
+    fn attach_packed(&mut self, b: &mut NetworkBuilder, node: NodeId) {
+        for &leaf in &self.leaves {
+            if b.free_ports(leaf) > 0 {
+                b.link(node, leaf).unwrap();
+                return;
+            }
+        }
+        panic!("director out of user-facing ports");
+    }
+}
+
+/// Attach `n` compute terminals to a director, packing line cards in
+/// order (racking order, not round-robin).
+fn attach_compute(b: &mut NetworkBuilder, d: &mut Director, n: usize, tid: &mut usize) {
+    for _ in 0..n {
+        let t = b.add_terminal(format!("t{}", *tid));
+        *tid += 1;
+        d.attach_packed(b, t);
+    }
+}
+
+/// Odin: 128 nodes behind a single 144-port switch (12 leaf chips of
+/// 12 down / 12 up, 6 spine chips). The paper calls it "a pure fat tree
+/// with only one 144-port switch" — the only system where DFSSSP does not
+/// win (Fig 4).
+fn odin(scale: f64) -> Network {
+    let nodes = sc(128, scale);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("odin({nodes})"));
+    let mut d = Director::new(&mut b, "core", sc(144, scale), 12, 12, false);
+    let mut tid = 0;
+    attach_compute(&mut b, &mut d, nodes, &mut tid);
+    b.build()
+}
+
+/// CHiC: 550 endpoints on 24-port leaf switches (12 down / 12 up) feeding
+/// two 144-port-class cores; a handful of service nodes are dual-attached
+/// to two different leaves (the redundancy irregularity of §I).
+fn chic(scale: f64) -> Network {
+    let service = sc(8, scale);
+    let n_leaf = sc(48, scale).max(2);
+    // 24-port leaves: 12 uplinks leave 12 down ports each.
+    let compute = sc(542, scale).min(n_leaf * 12 - 2 * service);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("chic({})", compute + service));
+    let mut cores = [
+        Director::new(&mut b, "coreA", n_leaf * 6, 12, 12, false),
+        Director::new(&mut b, "coreB", n_leaf * 6, 12, 12, false),
+    ];
+    let leaves: Vec<_> = (0..n_leaf)
+        .map(|i| {
+            let s = b.add_switch(format!("leaf{i}"), 24);
+            b.set_level(s, 0);
+            s
+        })
+        .collect();
+    for &leaf in &leaves {
+        for core in cores.iter_mut() {
+            for _ in 0..6 {
+                core.attach(&mut b, leaf);
+            }
+        }
+    }
+    // Dual-attached service nodes go in first so both ports find room.
+    for i in 0..service {
+        let t = b.add_terminal(format!("svc{i}"));
+        dual_attach(&mut b, t, &leaves, i);
+    }
+    fill_compute(&mut b, &leaves, compute, "chic");
+    b.build()
+}
+
+/// Attach `t` to two distinct leaves with free ports (redundant service
+/// node attachment); guarantees at least one attachment.
+fn dual_attach(b: &mut NetworkBuilder, t: NodeId, leaves: &[NodeId], salt: usize) {
+    let n = leaves.len();
+    let first = (0..n)
+        .map(|k| leaves[(salt + k) % n])
+        .find(|&l| b.free_ports(l) > 0)
+        .expect("no leaf has a free port for a service node");
+    b.link(t, first).unwrap();
+    if let Some(second) = (0..n)
+        .map(|k| leaves[(salt + n / 2 + k) % n])
+        .find(|&l| l != first && b.free_ports(l) > 0)
+    {
+        b.link(t, second).unwrap();
+    }
+}
+
+/// Attach `count` compute terminals round-robin across `leaves`.
+fn fill_compute(b: &mut NetworkBuilder, leaves: &[NodeId], count: usize, what: &str) {
+    let n = leaves.len();
+    let mut rr = 0usize;
+    for tid in 0..count {
+        let t = b.add_terminal(format!("t{tid}"));
+        let mut placed = false;
+        for _ in 0..n {
+            let leaf = leaves[rr % n];
+            rr += 1;
+            if b.free_ports(leaf) > 0 {
+                b.link(t, leaf).unwrap();
+                placed = true;
+                break;
+            }
+        }
+        assert!(placed, "{what} leaves out of ports");
+    }
+}
+
+/// Deimos: three 288-port director switches connected by 30 cables
+/// (Fig 11: 10 per switch pair), 724 endpoints split across the three.
+fn deimos(scale: f64) -> Network {
+    let nodes = sc(724, scale);
+    let pair_cables = sc(10, scale);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("deimos({nodes})"));
+    // The real machine's nodes split unevenly over the three directors
+    // (Fig 11); keep the published proportions.
+    let raw = [264.0 / 724.0, 230.0 / 724.0];
+    let a = (nodes as f64 * raw[0]).round() as usize;
+    let b2 = (nodes as f64 * raw[1]).round() as usize;
+    let shares = [a, b2, nodes - a - b2];
+    let mut directors: Vec<Director> = (0..3)
+        .map(|i| {
+            Director::new(
+                &mut b,
+                &format!("d{i}"),
+                shares[i] + 2 * pair_cables,
+                12,
+                12,
+                false,
+            )
+        })
+        .collect();
+    // Inter-director cables through dedicated bridge ports on leaf chips:
+    // cable k of pair (x, y) connects a leaf chip of x to a leaf chip of y.
+    for x in 0..3usize {
+        for y in (x + 1)..3 {
+            for _ in 0..pair_cables {
+                // Reserve a port on one leaf of each director and link the
+                // two chips directly (how Deimos' inter-switch cables
+                // physically land on line cards).
+                let lx = next_free_leaf(&b, &directors[x]);
+                let ly = next_free_leaf(&b, &directors[y]);
+                b.link(lx, ly).unwrap();
+            }
+        }
+    }
+    let mut tid = 0;
+    for (i, d) in directors.iter_mut().enumerate() {
+        attach_compute(&mut b, d, shares[i], &mut tid);
+    }
+    b.build()
+}
+
+/// Trunk cables land on the trailing line cards (operators dedicate
+/// cards to inter-switch bundles), concentrating bridge traffic there.
+fn next_free_leaf(b: &NetworkBuilder, d: &Director) -> NodeId {
+    *d.leaves
+        .iter()
+        .rev()
+        .find(|&&l| b.free_ports(l) > 0)
+        .expect("director has a free trunk port")
+}
+
+/// Tsubame (1430-endpoint configuration): 24-down/12-up leaf switches
+/// feeding two 288-port-class cores, plus dual-homed storage nodes.
+fn tsubame(scale: f64) -> Network {
+    let storage = sc(6, scale);
+    let n_leaf = sc(60, scale).max(2);
+    // 36-port leaves: 12 uplinks leave 24 down ports each.
+    let compute = sc(1424, scale).min(n_leaf * 24 - 2 * storage);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("tsubame({})", compute + storage));
+    let mut cores = [
+        Director::new(&mut b, "coreA", n_leaf * 6, 12, 12, false),
+        Director::new(&mut b, "coreB", n_leaf * 6, 12, 12, false),
+    ];
+    let leaves: Vec<_> = (0..n_leaf)
+        .map(|i| {
+            let s = b.add_switch(format!("leaf{i}"), 36);
+            b.set_level(s, 0);
+            s
+        })
+        .collect();
+    for &leaf in &leaves {
+        for core in cores.iter_mut() {
+            for _ in 0..6 {
+                core.attach(&mut b, leaf);
+            }
+        }
+    }
+    for i in 0..storage {
+        let t = b.add_terminal(format!("stor{i}"));
+        dual_attach(&mut b, t, &leaves, i);
+    }
+    fill_compute(&mut b, &leaves, compute, "tsubame");
+    b.build()
+}
+
+/// JUROPA/HPC-FF: 3288 endpoints on 36-port leaves (24 down / 12 up)
+/// feeding four director cores (18-down/18-up chips). Dense fat tree —
+/// the system where DFSSSP's advantage is smallest (1.4%, Fig 4).
+fn juropa(scale: f64) -> Network {
+    let n_leaf = sc(137, scale).max(4);
+    let compute = (sc(3288, scale)).min(n_leaf * 24);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("juropa({compute})"));
+    let per_core = n_leaf * 3; // 3 of each leaf's 12 uplinks per core
+    let mut cores: Vec<Director> = (0..4)
+        .map(|i| Director::new(&mut b, &format!("core{i}"), per_core, 18, 18, false))
+        .collect();
+    let leaves: Vec<_> = (0..n_leaf)
+        .map(|i| {
+            let s = b.add_switch(format!("leaf{i}"), 36);
+            b.set_level(s, 0);
+            s
+        })
+        .collect();
+    for &leaf in &leaves {
+        for core in cores.iter_mut() {
+            for _ in 0..3 {
+                core.attach(&mut b, leaf);
+            }
+        }
+    }
+    fill_compute(&mut b, &leaves, compute, "juropa");
+    b.build()
+}
+
+/// Ranger: 3936 endpoints on 36-port leaves (24 down / 12 up), six
+/// uplinks to each of two Magnum-class cores whose spine stage is sparse
+/// (round-robin, not full bipartite). The sparse internal stage is what
+/// makes Ranger the most congestion-sensitive system in Fig 4.
+fn ranger(scale: f64) -> Network {
+    let n_leaf = sc(164, scale).max(4);
+    let compute = (sc(3936, scale)).min(n_leaf * 24);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("ranger({compute})"));
+    let per_core = n_leaf * 6;
+    let mut cores: Vec<Director> = (0..2)
+        .map(|i| Director::new(&mut b, &format!("magnum{i}"), per_core, 12, 12, true))
+        .collect();
+    let leaves: Vec<_> = (0..n_leaf)
+        .map(|i| {
+            let s = b.add_switch(format!("leaf{i}"), 36);
+            b.set_level(s, 0);
+            s
+        })
+        .collect();
+    for &leaf in &leaves {
+        for core in cores.iter_mut() {
+            for _ in 0..6 {
+                core.attach(&mut b, leaf);
+            }
+        }
+    }
+    fill_compute(&mut b, &leaves, compute, "ranger");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_build_at_small_scale() {
+        for sys in RealSystem::ALL {
+            let net = sys.build(0.1);
+            assert!(net.num_terminals() > 0, "{}", sys.name());
+            assert!(
+                net.is_strongly_connected(),
+                "{} must be connected",
+                sys.name()
+            );
+            net.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn full_scale_endpoint_counts() {
+        // Cheap systems at full scale; big ones at scale 1.0 are covered
+        // by the repro harness.
+        let odin = RealSystem::Odin.build(1.0);
+        assert_eq!(odin.num_terminals(), 128);
+        let deimos = RealSystem::Deimos.build(1.0);
+        assert_eq!(deimos.num_terminals(), 724);
+        let chic = RealSystem::Chic.build(1.0);
+        assert_eq!(chic.num_terminals(), 550);
+    }
+
+    #[test]
+    fn deimos_has_three_directors_with_bridges() {
+        let net = RealSystem::Deimos.build(1.0);
+        // 3 directors x (24 leaf chips + spines); endpoint + bridge ports
+        // are all on leaf chips.
+        assert!(net.num_switches() >= 3 * 24);
+        assert!(net.is_strongly_connected());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn chic_service_nodes_are_dual_attached() {
+        let net = RealSystem::Chic.build(1.0);
+        let dual = net
+            .terminals()
+            .iter()
+            .filter(|&&t| net.out_channels(t).len() == 2)
+            .count();
+        assert_eq!(dual, 8);
+    }
+
+    #[test]
+    fn odin_is_single_director() {
+        let net = RealSystem::Odin.build(1.0);
+        // 12 leaf chips + spines, nothing else.
+        assert!(net.num_switches() <= 20);
+        assert_eq!(net.diameter(), Some(4)); // t-leaf-spine-leaf-t
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        RealSystem::Odin.build(0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Ring, star and fully-connected topologies.
+
+use super::attach_terminals;
+use crate::{Network, NetworkBuilder};
+
+/// A ring of `n_switches` switches with `terminals_per_switch` endpoints
+/// each. The paper's Figure 2 uses a 5-switch ring to show that plain SSSP
+/// routing deadlocks.
+///
+/// # Panics
+/// Panics if `n_switches < 3` (a 2-ring would be a doubled link).
+pub fn ring(n_switches: usize, terminals_per_switch: usize) -> Network {
+    assert!(n_switches >= 3, "ring needs at least 3 switches");
+    let radix = (2 + terminals_per_switch) as u16;
+    let mut b = NetworkBuilder::new();
+    b.label(format!("ring({n_switches},{terminals_per_switch})"));
+    let switches: Vec<_> = (0..n_switches)
+        .map(|i| b.add_switch(format!("s{i}"), radix))
+        .collect();
+    for i in 0..n_switches {
+        b.link(switches[i], switches[(i + 1) % n_switches])
+            .unwrap();
+    }
+    let mut tid = 0;
+    for &s in &switches {
+        attach_terminals(&mut b, s, terminals_per_switch, &mut tid);
+    }
+    b.build()
+}
+
+/// A single switch with `n_terminals` endpoints — the degenerate fat tree
+/// the Odin system approximates (one 144-port switch).
+pub fn star(n_terminals: usize) -> Network {
+    let mut b = NetworkBuilder::new();
+    b.label(format!("star({n_terminals})"));
+    let s = b.add_switch("s0", n_terminals as u16);
+    let mut tid = 0;
+    attach_terminals(&mut b, s, n_terminals, &mut tid);
+    b.build()
+}
+
+/// `n_switches` switches, every pair connected, `terminals_per_switch`
+/// endpoints each. Dense reference topology for routing tests.
+pub fn fully_connected(n_switches: usize, terminals_per_switch: usize) -> Network {
+    let radix = (n_switches - 1 + terminals_per_switch) as u16;
+    let mut b = NetworkBuilder::new();
+    b.label(format!("full({n_switches},{terminals_per_switch})"));
+    let switches: Vec<_> = (0..n_switches)
+        .map(|i| b.add_switch(format!("s{i}"), radix))
+        .collect();
+    for i in 0..n_switches {
+        for j in (i + 1)..n_switches {
+            b.link(switches[i], switches[j]).unwrap();
+        }
+    }
+    let mut tid = 0;
+    for &s in &switches {
+        attach_terminals(&mut b, s, terminals_per_switch, &mut tid);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_counts() {
+        let net = ring(5, 1);
+        assert_eq!(net.num_switches(), 5);
+        assert_eq!(net.num_terminals(), 5);
+        // 5 ring cables + 5 terminal cables, 2 channels each.
+        assert_eq!(net.num_channels(), 20);
+        assert!(net.is_strongly_connected());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn ring_diameter() {
+        // terminal -> switch -> 2 ring hops -> switch -> terminal
+        assert_eq!(ring(5, 1).diameter(), Some(4));
+        assert_eq!(ring(8, 1).diameter(), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        ring(2, 1);
+    }
+
+    #[test]
+    fn star_counts() {
+        let net = star(16);
+        assert_eq!(net.num_switches(), 1);
+        assert_eq!(net.num_terminals(), 16);
+        assert_eq!(net.diameter(), Some(2));
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn fully_connected_counts() {
+        let net = fully_connected(4, 2);
+        assert_eq!(net.num_switches(), 4);
+        assert_eq!(net.num_terminals(), 8);
+        // 6 switch-switch cables + 8 terminal cables.
+        assert_eq!(net.num_cables(), 14);
+        assert_eq!(net.diameter(), Some(3));
+        net.validate().unwrap();
+    }
+}

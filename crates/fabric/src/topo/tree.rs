@@ -1,0 +1,289 @@
+//! Tree topologies: k-ary n-trees, extended generalized fat trees (XGFT)
+//! and two-level folded-Clos helpers.
+
+use super::attach_terminals;
+use crate::graph::NodeId;
+use crate::{Network, NetworkBuilder};
+
+/// A k-ary n-tree (Petrini & Vanneschi): `k^n` terminals, `n * k^(n-1)`
+/// switches in `n` levels, radix `2k`.
+///
+/// Switch `<w, l>` (level `w`, label `l ∈ {0..k-1}^(n-1)`) connects to
+/// switch `<w+1, l'>` iff `l` and `l'` agree on every digit except digit
+/// `w`. Terminals `p ∈ {0..k-1}^n` attach to `<n-1, p_0..p_(n-2)>`.
+/// `Node::level` stores `n-1-w` so leaves are level 0.
+pub fn kary_ntree(k: usize, n: usize) -> Network {
+    assert!(k >= 2 && n >= 1, "need k >= 2 and n >= 1");
+    let labels = k.pow((n - 1) as u32);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("{k}-ary {n}-tree"));
+    // switches[w][l]
+    let mut switches: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    for w in 0..n {
+        let mut level = Vec::with_capacity(labels);
+        for l in 0..labels {
+            let s = b.add_switch(format!("s{w}_{l}"), (2 * k) as u16);
+            b.set_level(s, (n - 1 - w) as u8);
+            level.push(s);
+        }
+        switches.push(level);
+    }
+    // Digits of label l in base k, most significant first (n-1 digits).
+    let digits = |mut l: usize| -> Vec<usize> {
+        let mut d = vec![0usize; n - 1];
+        for i in (0..n - 1).rev() {
+            d[i] = l % k;
+            l /= k;
+        }
+        d
+    };
+    let label_of = |d: &[usize]| -> usize { d.iter().fold(0, |acc, &x| acc * k + x) };
+
+    for w in 0..n.saturating_sub(1) {
+        for l in 0..labels {
+            let d = digits(l);
+            // Partners agree on every digit except digit w, which is free
+            // (equality included), giving k partners per switch.
+            for v in 0..k {
+                let mut dd = d.clone();
+                dd[w] = v;
+                let l2 = label_of(&dd);
+                // Link each (w,l)-(w+1,l2) pair exactly once.
+                b.link(switches[w][l], switches[w + 1][l2]).unwrap();
+            }
+        }
+    }
+    // Terminals: p = (p_0..p_(n-1)); attach to leaf <n-1, p_0..p_(n-2)>.
+    let mut tid = 0;
+    for &leaf in &switches[n - 1] {
+        attach_terminals(&mut b, leaf, k, &mut tid);
+    }
+    b.build()
+}
+
+/// An extended generalized fat tree `XGFT(h; m_1..m_h; w_1..w_h)`
+/// (Öhring et al.): recursively, `XGFT(0)` is a single terminal, and
+/// `XGFT(h)` consists of `m_h` copies of `XGFT(h-1)` plus
+/// `w_h * R_(h-1)` new root switches (`R_(h-1)` = roots of the sub-tree),
+/// where new root `(j, q)` connects to root `j` of every copy.
+///
+/// Terminal count is `m_1 * ... * m_h`; root count is `w_1 * ... * w_h`.
+/// `Node::level` stores the tree level (terminals 0, top roots `h`).
+pub fn xgft(h: usize, m: &[usize], w: &[usize]) -> Network {
+    assert_eq!(m.len(), h, "need h child counts");
+    assert_eq!(w.len(), h, "need h parent counts");
+    assert!(h >= 1, "height must be >= 1");
+    assert!(m.iter().all(|&x| x >= 1) && w.iter().all(|&x| x >= 1));
+    let mut b = NetworkBuilder::new();
+    b.label(format!(
+        "xgft({h};{};{})",
+        m.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","),
+        w.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","),
+    ));
+    let mut tid = 0usize;
+    let mut sid = 0usize;
+    let roots = build_xgft(&mut b, h, m, w, &mut tid, &mut sid);
+    let expect_roots: usize = w.iter().product();
+    debug_assert_eq!(roots.len(), expect_roots);
+    b.build()
+}
+
+fn build_xgft(
+    b: &mut NetworkBuilder,
+    h: usize,
+    m: &[usize],
+    w: &[usize],
+    tid: &mut usize,
+    sid: &mut usize,
+) -> Vec<NodeId> {
+    if h == 0 {
+        // A terminal needs one port per level-1 parent (w_1 of them).
+        let ports = (w[0] as u16).max(1);
+        let t = b.add_node(
+            crate::graph::NodeKind::Terminal,
+            format!("t{}", *tid),
+            ports,
+        );
+        b.set_level(t, 0);
+        *tid += 1;
+        return vec![t];
+    }
+    let mh = m[h - 1];
+    let wh = w[h - 1];
+    let mut sub_roots: Vec<Vec<NodeId>> = Vec::with_capacity(mh);
+    for _ in 0..mh {
+        sub_roots.push(build_xgft(b, h - 1, m, w, tid, sid));
+    }
+    let r_prev = sub_roots[0].len();
+    // Radix: mh children below, and (if not topmost in the recursion this
+    // is unknown) parents above. Use a safe bound: mh + w[h] if exists.
+    let up = if h < m.len() { w[h] } else { 0 };
+    let mut roots = Vec::with_capacity(r_prev * wh);
+    for j in 0..r_prev {
+        for _q in 0..wh {
+            let s = b.add_switch(format!("s{}", *sid), (mh + up) as u16);
+            *sid += 1;
+            b.set_level(s, h as u8);
+            for copy in sub_roots.iter() {
+                b.link(s, copy[j]).unwrap();
+            }
+            roots.push(s);
+        }
+    }
+    roots
+}
+
+/// A two-level folded Clos (leaf/spine): `n_leaf` leaf switches with
+/// `down` terminal ports and `up` uplinks each, distributed round-robin
+/// over `n_spine` spine switches. Helper for real-world reconstructions.
+///
+/// Returns the network and the leaf switch ids. `terminals` endpoints are
+/// distributed as evenly as possible across leaves.
+pub fn clos2(
+    terminals: usize,
+    n_leaf: usize,
+    down: usize,
+    up: usize,
+    n_spine: usize,
+) -> Network {
+    let (net, _) = clos2_into(terminals, n_leaf, down, up, n_spine);
+    net
+}
+
+/// [`clos2`], additionally returning the leaf switch ids.
+pub fn clos2_into(
+    terminals: usize,
+    n_leaf: usize,
+    down: usize,
+    up: usize,
+    n_spine: usize,
+) -> (Network, Vec<NodeId>) {
+    assert!(terminals <= n_leaf * down, "not enough leaf down ports");
+    assert!(n_spine >= 1 && up >= 1);
+    let spine_radix = (n_leaf * up).div_ceil(n_spine);
+    let mut b = NetworkBuilder::new();
+    b.label(format!("clos2({terminals};{n_leaf}x{down}+{up};{n_spine})"));
+    let leaves: Vec<_> = (0..n_leaf)
+        .map(|i| {
+            let s = b.add_switch(format!("leaf{i}"), (down + up) as u16);
+            b.set_level(s, 0);
+            s
+        })
+        .collect();
+    let spines: Vec<_> = (0..n_spine)
+        .map(|i| {
+            let s = b.add_switch(format!("spine{i}"), spine_radix as u16);
+            b.set_level(s, 1);
+            s
+        })
+        .collect();
+    let mut spin = 0usize;
+    for &leaf in &leaves {
+        for _ in 0..up {
+            b.link(leaf, spines[spin % n_spine]).unwrap();
+            spin += 1;
+        }
+    }
+    let mut tid = 0;
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let share = terminals / n_leaf + usize::from(i < terminals % n_leaf);
+        attach_terminals(&mut b, leaf, share, &mut tid);
+    }
+    (b.build(), leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kary_ntree_counts() {
+        let net = kary_ntree(4, 2);
+        assert_eq!(net.num_terminals(), 16);
+        assert_eq!(net.num_switches(), 2 * 4);
+        assert!(net.is_strongly_connected());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn kary_ntree_levels_and_radix() {
+        let net = kary_ntree(4, 3);
+        assert_eq!(net.num_terminals(), 64);
+        assert_eq!(net.num_switches(), 3 * 16);
+        // Every leaf switch hosts exactly k terminals and k uplinks.
+        for &s in net.switches() {
+            let lvl = net.node(s).level.unwrap();
+            let deg = net.out_channels(s).len();
+            match lvl {
+                0 | 1 => assert_eq!(deg, 8, "middle/leaf switches use 2k ports"),
+                2 => assert_eq!(deg, 4, "roots have k downlinks"),
+                _ => panic!("unexpected level"),
+            }
+        }
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn kary_ntree_diameter() {
+        // Worst case: up to the roots and back down, plus terminal hops.
+        let net = kary_ntree(2, 3);
+        assert_eq!(net.num_terminals(), 8);
+        // terminal + (n-1) up + (n-1) down + terminal = 2(n-1) + 2.
+        assert_eq!(net.diameter(), Some(6));
+    }
+
+    #[test]
+    fn xgft_counts() {
+        // XGFT(2; 4,4; 2,2): 16 terminals, 4 level-1 switches... level-1:
+        // m2=4 copies of XGFT(1;4;2); each copy has w1=2 roots -> 8 level-1
+        // switches; level-2 roots: w1*w2=4, each connecting to root j of
+        // every copy.
+        let net = xgft(2, &[4, 4], &[2, 2]);
+        assert_eq!(net.num_terminals(), 16);
+        assert_eq!(net.num_switches(), 8 + 4);
+        assert!(net.is_strongly_connected());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn xgft_height_one_is_star_like() {
+        let net = xgft(1, &[8], &[3]);
+        assert_eq!(net.num_terminals(), 8);
+        assert_eq!(net.num_switches(), 3);
+        // Every terminal is attached to all 3 roots.
+        for &t in net.terminals() {
+            assert_eq!(net.out_channels(t).len(), 3);
+        }
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn xgft_terminal_count_is_product_of_m() {
+        let net = xgft(3, &[4, 3, 2], &[2, 2, 2]);
+        assert_eq!(net.num_terminals(), 4 * 3 * 2);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn clos2_distributes_uplinks() {
+        let (net, leaves) = clos2_into(24, 4, 6, 4, 2);
+        assert_eq!(net.num_terminals(), 24);
+        assert_eq!(net.num_switches(), 6);
+        for &leaf in &leaves {
+            let ups = net
+                .out_channels(leaf)
+                .iter()
+                .filter(|&&c| net.is_switch(net.channel(c).dst))
+                .count();
+            assert_eq!(ups, 4);
+        }
+        assert!(net.is_strongly_connected());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough leaf down ports")]
+    fn clos2_rejects_overload() {
+        clos2(100, 4, 6, 4, 2);
+    }
+}

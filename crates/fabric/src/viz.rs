@@ -1,0 +1,146 @@
+//! Graphviz DOT export — render a fabric (optionally with per-channel
+//! loads) for papers, debugging and the Fig 11-style topology pictures.
+
+use crate::graph::{Network, NodeKind};
+use std::fmt::Write as _;
+
+/// Options for the DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Per-channel loads (e.g. from `Routes::channel_loads`); when
+    /// present, cable labels show `fwd/rev` loads and the heaviest cables
+    /// are drawn bold.
+    pub channel_loads: Option<Vec<u32>>,
+    /// Hide terminals (draw the switch fabric only).
+    pub switches_only: bool,
+}
+
+/// Render `net` as an undirected Graphviz graph. Bidirectional cables
+/// become one edge; unidirectional channels become directed edges in a
+/// `digraph`-compatible `edge [dir=forward]` cluster (kept simple: they
+/// are emitted as edges with an arrowhead attribute).
+pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
+    let mut out = String::from("graph fabric {\n  overlap=false;\n");
+    let _ = writeln!(out, "  label=\"{}\";", net.label().replace('"', "'"));
+    let max_load = opts
+        .channel_loads
+        .as_ref()
+        .and_then(|l| l.iter().copied().max())
+        .unwrap_or(0);
+    for (id, node) in net.nodes() {
+        match node.kind {
+            NodeKind::Switch => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=box, label=\"{}\"];",
+                    id.0,
+                    node.name.replace('"', "'")
+                );
+            }
+            NodeKind::Terminal if !opts.switches_only => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=ellipse, fontsize=9, label=\"{}\"];",
+                    id.0,
+                    node.name.replace('"', "'")
+                );
+            }
+            _ => {}
+        }
+    }
+    let mut drawn = vec![false; net.num_channels()];
+    for (id, ch) in net.channels() {
+        if drawn[id.idx()] {
+            continue;
+        }
+        drawn[id.idx()] = true;
+        if opts.switches_only
+            && (net.node(ch.src).kind == NodeKind::Terminal
+                || net.node(ch.dst).kind == NodeKind::Terminal)
+        {
+            continue;
+        }
+        let mut attrs: Vec<String> = Vec::new();
+        match ch.rev {
+            Some(r) => {
+                drawn[r.idx()] = true;
+                if let Some(loads) = &opts.channel_loads {
+                    let (f, b) = (loads[id.idx()], loads[r.idx()]);
+                    attrs.push(format!("label=\"{f}/{b}\""));
+                    if max_load > 0 && f.max(b) * 4 >= max_load * 3 {
+                        attrs.push("penwidth=3".into());
+                    }
+                }
+            }
+            None => {
+                attrs.push("dir=forward".into());
+                if let Some(loads) = &opts.channel_loads {
+                    attrs.push(format!("label=\"{}\"", loads[id.idx()]));
+                }
+            }
+        }
+        let attr_str = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(out, "  n{} -- n{}{attr_str};", ch.src.0, ch.dst.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn renders_every_node_and_cable_once() {
+        let net = topo::ring(4, 1);
+        let dot = to_dot(&net, &DotOptions::default());
+        assert!(dot.starts_with("graph fabric {"));
+        assert_eq!(dot.matches("shape=box").count(), 4);
+        assert_eq!(dot.matches("shape=ellipse").count(), 4);
+        assert_eq!(dot.matches(" -- ").count(), net.num_cables());
+    }
+
+    #[test]
+    fn switches_only_hides_terminals() {
+        let net = topo::kary_ntree(2, 2);
+        let dot = to_dot(
+            &net,
+            &DotOptions {
+                switches_only: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(dot.matches("shape=ellipse").count(), 0);
+        // Only the 4 switch-switch cables remain.
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn loads_become_labels_and_bold_hotspots() {
+        let net = topo::ring(3, 1);
+        let mut loads = vec![0u32; net.num_channels()];
+        loads[0] = 10; // hottest
+        loads[1] = 1;
+        let dot = to_dot(
+            &net,
+            &DotOptions {
+                channel_loads: Some(loads),
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("label=\"10/1\""));
+        assert!(dot.contains("penwidth=3"));
+    }
+
+    #[test]
+    fn unidirectional_channels_get_arrows() {
+        let net = topo::kautz(2, 1, 0, false);
+        let dot = to_dot(&net, &DotOptions::default());
+        assert!(dot.contains("dir=forward"));
+    }
+}

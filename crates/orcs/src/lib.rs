@@ -1,0 +1,26 @@
+//! ORCS — an Oblivious Routing Congestion Simulator.
+//!
+//! Reimplementation of the simulator the paper uses for its §V
+//! evaluation: given a network, routing tables and a traffic pattern, it
+//! counts how many flows cross each channel and charges every flow the
+//! reciprocal of the worst congestion on its path. The *effective
+//! bisection bandwidth* is the average flow bandwidth over many random
+//! bisection patterns (random perfect matchings between two random
+//! halves of the endpoints).
+//!
+//! * [`patterns`] — pattern generators: random bisections, permutations,
+//!   shifts, transpose/bit-complement, stencils and all-to-all phases.
+//! * [`sim`] — congestion accounting and the eBB driver (rayon-parallel
+//!   over patterns, deterministic per seed).
+//! * [`report`] — small summary-statistics helpers shared by the
+//!   reproduction binaries.
+
+pub mod metrics;
+pub mod patterns;
+pub mod report;
+pub mod sim;
+
+pub use metrics::{BandwidthHistogram, Metric};
+pub use patterns::Pattern;
+pub use report::Summary;
+pub use sim::{effective_bisection_bandwidth, flow_bandwidths, EbbOptions};

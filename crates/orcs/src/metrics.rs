@@ -1,0 +1,186 @@
+//! Aggregation metrics: how one pattern's congestion becomes one number.
+//!
+//! The real ORCS offers several accumulation modes (`sum_max_cong`,
+//! `max_cong`, `hist_*` …) because different studies care about
+//! different tails. We provide the modes the paper's evaluation implies
+//! plus histogram support for the distribution plots.
+
+use crate::patterns::Pattern;
+use crate::sim::{congestion_profile, flow_bandwidths};
+use fabric::{Network, Routes, RoutesError};
+
+/// How to reduce one pattern's simulation to a scalar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean over flows of `1 / max congestion along the flow` — the
+    /// effective-bandwidth metric used throughout the reproduction.
+    MeanFlowBandwidth,
+    /// Bandwidth of the slowest flow (the completion-time view an
+    /// all-to-all phase takes).
+    MinFlowBandwidth,
+    /// Largest channel congestion anywhere (ORCS `max_cong`).
+    MaxCongestion,
+    /// Sum over flows of their path's max congestion (ORCS
+    /// `sum_max_cong`; lower is better).
+    SumMaxCongestion,
+}
+
+impl Metric {
+    /// All modes.
+    pub const ALL: [Metric; 4] = [
+        Metric::MeanFlowBandwidth,
+        Metric::MinFlowBandwidth,
+        Metric::MaxCongestion,
+        Metric::SumMaxCongestion,
+    ];
+
+    /// Evaluate the metric for one pattern.
+    pub fn eval(
+        self,
+        net: &Network,
+        routes: &Routes,
+        pattern: &Pattern,
+    ) -> Result<f64, RoutesError> {
+        match self {
+            Metric::MeanFlowBandwidth => {
+                let bws = flow_bandwidths(net, routes, pattern)?;
+                Ok(bws.iter().sum::<f64>() / bws.len().max(1) as f64)
+            }
+            Metric::MinFlowBandwidth => {
+                let bws = flow_bandwidths(net, routes, pattern)?;
+                Ok(bws.iter().copied().fold(f64::INFINITY, f64::min).min(1.0))
+            }
+            Metric::MaxCongestion => {
+                let profile = congestion_profile(net, routes, pattern)?;
+                Ok(profile.into_iter().max().unwrap_or(0) as f64)
+            }
+            Metric::SumMaxCongestion => {
+                let bws = flow_bandwidths(net, routes, pattern)?;
+                Ok(bws.iter().map(|b| 1.0 / b).sum())
+            }
+        }
+    }
+
+    /// Whether larger values of this metric are better.
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, Metric::MeanFlowBandwidth | Metric::MinFlowBandwidth)
+    }
+}
+
+/// A fixed-bucket histogram over `[0, 1]` flow bandwidths (the ORCS
+/// `hist_*` modes), for distribution plots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandwidthHistogram {
+    /// Bucket counts; bucket `i` covers `(i/n, (i+1)/n]`.
+    pub buckets: Vec<usize>,
+    /// Samples seen.
+    pub samples: usize,
+}
+
+impl BandwidthHistogram {
+    /// New histogram with `n` buckets.
+    pub fn new(n: usize) -> BandwidthHistogram {
+        assert!(n >= 1);
+        BandwidthHistogram {
+            buckets: vec![0; n],
+            samples: 0,
+        }
+    }
+
+    /// Accumulate one pattern's flow bandwidths.
+    pub fn add_pattern(
+        &mut self,
+        net: &Network,
+        routes: &Routes,
+        pattern: &Pattern,
+    ) -> Result<(), RoutesError> {
+        for bw in flow_bandwidths(net, routes, pattern)? {
+            let n = self.buckets.len();
+            let idx = ((bw * n as f64).ceil() as usize).clamp(1, n) - 1;
+            self.buckets[idx] += 1;
+            self.samples += 1;
+        }
+        Ok(())
+    }
+
+    /// Fraction of flows at full (unshared) bandwidth.
+    pub fn full_speed_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        *self.buckets.last().unwrap() as f64 / self.samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsssp_core::{DfSssp, RoutingEngine};
+    use fabric::topo;
+
+    fn setup() -> (Network, Routes) {
+        let net = topo::kary_ntree(4, 2);
+        let routes = DfSssp::new().route(&net).unwrap();
+        (net, routes)
+    }
+
+    #[test]
+    fn metrics_agree_on_a_lone_flow() {
+        let (net, routes) = setup();
+        let p = Pattern {
+            flows: vec![(0, 9)],
+        };
+        assert_eq!(Metric::MeanFlowBandwidth.eval(&net, &routes, &p).unwrap(), 1.0);
+        assert_eq!(Metric::MinFlowBandwidth.eval(&net, &routes, &p).unwrap(), 1.0);
+        assert_eq!(Metric::MaxCongestion.eval(&net, &routes, &p).unwrap(), 1.0);
+        assert_eq!(Metric::SumMaxCongestion.eval(&net, &routes, &p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn incast_stresses_every_metric() {
+        let (net, routes) = setup();
+        let nt = net.num_terminals();
+        let p = Pattern::hotspot(nt, 0);
+        let mean = Metric::MeanFlowBandwidth.eval(&net, &routes, &p).unwrap();
+        let min = Metric::MinFlowBandwidth.eval(&net, &routes, &p).unwrap();
+        let maxc = Metric::MaxCongestion.eval(&net, &routes, &p).unwrap();
+        assert!(min <= mean && mean < 1.0);
+        assert_eq!(maxc, (nt - 1) as f64, "ejection link carries everyone");
+        assert!(!Metric::MaxCongestion.higher_is_better());
+        assert!(Metric::MeanFlowBandwidth.higher_is_better());
+    }
+
+    #[test]
+    fn sum_max_congestion_is_flowwise_sum() {
+        let (net, routes) = setup();
+        let p = Pattern::shift(net.num_terminals(), 1);
+        let sum = Metric::SumMaxCongestion.eval(&net, &routes, &p).unwrap();
+        let bws = flow_bandwidths(&net, &routes, &p).unwrap();
+        let expect: f64 = bws.iter().map(|b| 1.0 / b).sum();
+        assert!((sum - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_flows() {
+        let (net, routes) = setup();
+        let mut h = BandwidthHistogram::new(4);
+        let p = Pattern {
+            flows: vec![(0, 9)],
+        };
+        h.add_pattern(&net, &routes, &p).unwrap();
+        assert_eq!(h.samples, 1);
+        assert_eq!(h.buckets, vec![0, 0, 0, 1]);
+        assert_eq!(h.full_speed_fraction(), 1.0);
+        // A congested pattern lands in lower buckets.
+        let incast = Pattern::hotspot(net.num_terminals(), 0);
+        h.add_pattern(&net, &routes, &incast).unwrap();
+        assert!(h.buckets[0] > 0);
+        assert!(h.full_speed_fraction() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = BandwidthHistogram::new(3);
+        assert_eq!(h.full_speed_fraction(), 0.0);
+    }
+}

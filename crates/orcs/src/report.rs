@@ -1,0 +1,90 @@
+//! Summary statistics for simulation results.
+
+/// Mean / min / max / standard deviation of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample; an empty sample yields zeros.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+                n: 0,
+            };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Summary {
+            mean,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            stddev: var.sqrt(),
+            n: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.4} (min {:.4}, max {:.4}, sd {:.4}, n={})",
+            self.mean, self.min, self.max, self.stddev, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let out = s.to_string();
+        assert!(out.contains("mean 1.5"));
+        assert!(out.contains("n=2"));
+    }
+}

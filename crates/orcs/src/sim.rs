@@ -1,0 +1,304 @@
+//! Congestion accounting and the effective-bisection-bandwidth driver.
+
+use crate::patterns::Pattern;
+use crate::report::Summary;
+use fabric::{Network, Routes, RoutesError};
+use rayon::prelude::*;
+
+/// Per-flow relative bandwidths under `pattern`: every channel's
+/// congestion is the number of flows crossing it, and a flow's bandwidth
+/// is `1 / max(congestion along its path)` (ORCS's model: the bottleneck
+/// link is shared fairly among its flows). `1.0` means unshared
+/// full-speed; the terminal injection channel always carries at least the
+/// flow itself.
+pub fn flow_bandwidths(
+    net: &Network,
+    routes: &Routes,
+    pattern: &Pattern,
+) -> Result<Vec<f64>, RoutesError> {
+    let mut congestion = vec![0u32; net.num_channels()];
+    let terminals = net.terminals();
+    // Two walks: count congestion, then score flows.
+    for &(s, d) in &pattern.flows {
+        let (src, dst) = (terminals[s as usize], terminals[d as usize]);
+        for step in routes.path(net, src, dst)? {
+            congestion[step?.idx()] += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(pattern.flows.len());
+    for &(s, d) in &pattern.flows {
+        let (src, dst) = (terminals[s as usize], terminals[d as usize]);
+        let mut worst = 1u32;
+        for step in routes.path(net, src, dst)? {
+            worst = worst.max(congestion[step?.idx()]);
+        }
+        out.push(1.0 / worst as f64);
+    }
+    Ok(out)
+}
+
+/// Options for the eBB simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct EbbOptions {
+    /// Number of random bisection patterns (the paper uses 1000 for the
+    /// Netgauge runs; §V plots use ORCS defaults).
+    pub patterns: usize,
+    /// Base RNG seed; pattern `i` uses `seed + i`.
+    pub seed: u64,
+    /// Physical per-link bandwidth used to scale the relative result
+    /// (e.g. 946.0 MiB/s for Deimos' PCIe 1.1 HCAs); `1.0` keeps the
+    /// result relative.
+    pub link_bandwidth: f64,
+}
+
+impl Default for EbbOptions {
+    fn default() -> Self {
+        EbbOptions {
+            patterns: 1000,
+            seed: 0x0DF5_55B0,
+            link_bandwidth: 1.0,
+        }
+    }
+}
+
+/// Effective bisection bandwidth: the mean flow bandwidth over
+/// `opts.patterns` random bisections, scaled by `opts.link_bandwidth`.
+/// The returned [`Summary`] aggregates per-pattern means.
+pub fn effective_bisection_bandwidth(
+    net: &Network,
+    routes: &Routes,
+    opts: &EbbOptions,
+) -> Result<Summary, RoutesError> {
+    let nt = net.num_terminals();
+    let per_pattern: Result<Vec<f64>, RoutesError> = (0..opts.patterns)
+        .into_par_iter()
+        .map(|i| {
+            let pattern = Pattern::random_bisection(nt, opts.seed.wrapping_add(i as u64));
+            let bws = flow_bandwidths(net, routes, &pattern)?;
+            let mean = bws.iter().sum::<f64>() / bws.len().max(1) as f64;
+            Ok(mean * opts.link_bandwidth)
+        })
+        .collect();
+    Ok(Summary::of(&per_pattern?))
+}
+
+/// Per-channel congestion profile of one pattern: how many flows cross
+/// each channel. The raw material for hotspot analysis and the
+/// `channel_loads`-style reports of the repro binaries.
+pub fn congestion_profile(
+    net: &Network,
+    routes: &Routes,
+    pattern: &Pattern,
+) -> Result<Vec<u32>, RoutesError> {
+    let mut congestion = vec![0u32; net.num_channels()];
+    let terminals = net.terminals();
+    for &(s, d) in &pattern.flows {
+        let (src, dst) = (terminals[s as usize], terminals[d as usize]);
+        for step in routes.path(net, src, dst)? {
+            congestion[step?.idx()] += 1;
+        }
+    }
+    Ok(congestion)
+}
+
+/// Hotspot summary of a pattern: `(max congestion, mean congestion over
+/// used channels, number of used channels)`. The paper's balancing claim
+/// is precisely that SSSP-based routing lowers the max while raising the
+/// used-channel count.
+pub fn hotspots(
+    net: &Network,
+    routes: &Routes,
+    pattern: &Pattern,
+) -> Result<(u32, f64, usize), RoutesError> {
+    let profile = congestion_profile(net, routes, pattern)?;
+    let used: Vec<u32> = profile.into_iter().filter(|&c| c > 0).collect();
+    if used.is_empty() {
+        return Ok((0, 0.0, 0));
+    }
+    let max = *used.iter().max().unwrap();
+    let mean = used.iter().map(|&c| c as f64).sum::<f64>() / used.len() as f64;
+    Ok((max, mean, used.len()))
+}
+
+/// Mean flow bandwidth for one explicit pattern (building block for the
+/// application models).
+pub fn pattern_bandwidth(
+    net: &Network,
+    routes: &Routes,
+    pattern: &Pattern,
+) -> Result<f64, RoutesError> {
+    if pattern.is_empty() {
+        return Ok(1.0);
+    }
+    let bws = flow_bandwidths(net, routes, pattern)?;
+    Ok(bws.iter().sum::<f64>() / bws.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::MinHop;
+    use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
+    use fabric::topo;
+
+    #[test]
+    fn lone_pair_gets_full_bandwidth() {
+        let net = topo::kary_ntree(2, 2);
+        let routes = Sssp::new().route(&net).unwrap();
+        let pattern = Pattern {
+            flows: vec![(0, 3)],
+        };
+        let bws = flow_bandwidths(&net, &routes, &pattern).unwrap();
+        assert_eq!(bws, vec![1.0]);
+    }
+
+    #[test]
+    fn shared_bottleneck_halves_bandwidth() {
+        // Two switches, one cable, two flows crossing it.
+        let mut b = fabric::NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 8);
+        let s1 = b.add_switch("s1", 8);
+        b.link(s0, s1).unwrap();
+        let mut ts = Vec::new();
+        for i in 0..4 {
+            let t = b.add_terminal(format!("t{i}"));
+            b.link(t, if i < 2 { s0 } else { s1 }).unwrap();
+            ts.push(t);
+        }
+        let net = b.build();
+        let routes = Sssp::new().route(&net).unwrap();
+        let pattern = Pattern {
+            flows: vec![(0, 2), (1, 3)],
+        };
+        let bws = flow_bandwidths(&net, &routes, &pattern).unwrap();
+        assert_eq!(bws, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn ebb_is_deterministic_and_bounded() {
+        let net = topo::kary_ntree(2, 3);
+        let routes = Sssp::new().route(&net).unwrap();
+        let opts = EbbOptions {
+            patterns: 50,
+            ..Default::default()
+        };
+        let a = effective_bisection_bandwidth(&net, &routes, &opts).unwrap();
+        let b = effective_bisection_bandwidth(&net, &routes, &opts).unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert!(a.mean > 0.0 && a.mean <= 1.0);
+        assert!(a.min <= a.mean && a.mean <= a.max);
+    }
+
+    #[test]
+    fn full_fat_tree_achieves_high_ebb() {
+        // A non-oversubscribed 2-level tree should give most flows full
+        // bandwidth under balanced minimal routing.
+        let net = topo::kary_ntree(4, 2);
+        let routes = DfSssp::new().route(&net).unwrap();
+        let opts = EbbOptions {
+            patterns: 100,
+            ..Default::default()
+        };
+        let s = effective_bisection_bandwidth(&net, &routes, &opts).unwrap();
+        assert!(s.mean > 0.5, "eBB {s:?} too low for a full fat tree");
+    }
+
+    #[test]
+    fn balanced_routing_beats_unbalanced() {
+        let net = topo::kary_ntree(4, 2);
+        let opts = EbbOptions {
+            patterns: 100,
+            ..Default::default()
+        };
+        let sssp = Sssp::new().route(&net).unwrap();
+        let plain = dfsssp_core::sssp::unbalanced_shortest_paths(&net).unwrap();
+        let a = effective_bisection_bandwidth(&net, &sssp, &opts).unwrap();
+        let b = effective_bisection_bandwidth(&net, &plain, &opts).unwrap();
+        assert!(
+            a.mean > b.mean,
+            "balanced {} should beat unbalanced {}",
+            a.mean,
+            b.mean
+        );
+    }
+
+    #[test]
+    fn link_bandwidth_scales_result() {
+        let net = topo::kary_ntree(2, 2);
+        let routes = MinHop::new().route(&net).unwrap();
+        let rel = effective_bisection_bandwidth(
+            &net,
+            &routes,
+            &EbbOptions {
+                patterns: 10,
+                link_bandwidth: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let scaled = effective_bisection_bandwidth(
+            &net,
+            &routes,
+            &EbbOptions {
+                patterns: 10,
+                link_bandwidth: 946.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((scaled.mean - rel.mean * 946.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_profile_counts_hops() {
+        let net = topo::kary_ntree(2, 2);
+        let routes = Sssp::new().route(&net).unwrap();
+        let p = Pattern {
+            flows: vec![(0, 3), (1, 2)],
+        };
+        let profile = congestion_profile(&net, &routes, &p).unwrap();
+        let total: u32 = profile.iter().sum();
+        let hops: usize = p
+            .flows
+            .iter()
+            .map(|&(s, d)| {
+                routes
+                    .path_channels(&net, net.terminals()[s as usize], net.terminals()[d as usize])
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(total as usize, hops);
+    }
+
+    #[test]
+    fn hotspot_analysis_shows_incast() {
+        let net = topo::kary_ntree(4, 2);
+        let routes = DfSssp::new().route(&net).unwrap();
+        let incast = Pattern::hotspot(net.num_terminals(), 0);
+        let (max, mean, used) = hotspots(&net, &routes, &incast).unwrap();
+        // All 15 flows funnel into terminal 0's ejection channel.
+        assert_eq!(max, 15);
+        assert!(mean >= 1.0 && used > 0);
+    }
+
+    #[test]
+    fn balanced_routing_spreads_hotspots() {
+        let net = topo::kary_ntree(4, 2);
+        let balanced = Sssp::new().route(&net).unwrap();
+        let plain = dfsssp_core::sssp::unbalanced_shortest_paths(&net).unwrap();
+        let p = Pattern::random_permutation(net.num_terminals(), 3);
+        let (max_b, _, used_b) = hotspots(&net, &balanced, &p).unwrap();
+        let (max_u, _, used_u) = hotspots(&net, &plain, &p).unwrap();
+        assert!(max_b <= max_u, "balanced max {max_b} > unbalanced {max_u}");
+        assert!(used_b >= used_u, "balanced uses fewer channels");
+    }
+
+    #[test]
+    fn pattern_bandwidth_empty_is_full() {
+        let net = topo::kary_ntree(2, 2);
+        let routes = MinHop::new().route(&net).unwrap();
+        let p = Pattern { flows: vec![] };
+        assert_eq!(pattern_bandwidth(&net, &routes, &p).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! CDG machinery: offline (one resumable search per layer) vs online
+//! (one search per path) layer assignment — the §IV design decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsssp_core::dfsssp::{
+    assign_layers_offline, assign_layers_offline_restart, assign_layers_online,
+};
+use dfsssp_core::paths::PathSet;
+use dfsssp_core::{CycleBreakHeuristic, RoutingEngine, Sssp};
+use std::hint::black_box;
+
+fn bench_assignment(c: &mut Criterion) {
+    let nets = vec![
+        ("torus 4x4", fabric::topo::torus(&[4, 4], 2)),
+        ("torus 6x6", fabric::topo::torus(&[6, 6], 2)),
+        ("ring 16", fabric::topo::ring(16, 2)),
+    ];
+    let mut group = c.benchmark_group("layer_assignment");
+    group.sample_size(10);
+    for (label, net) in &nets {
+        let routes = Sssp::new().route(net).unwrap();
+        let ps = PathSet::extract(net, &routes).unwrap();
+        group.bench_with_input(BenchmarkId::new("offline", label), &ps, |b, ps| {
+            b.iter(|| {
+                black_box(
+                    assign_layers_offline(ps, CycleBreakHeuristic::WeakestEdge, 16, false).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("online", label), &ps, |b, ps| {
+            b.iter(|| black_box(assign_layers_online(ps, 16).unwrap()))
+        });
+        // Ablation: same offline algorithm, but the cycle search restarts
+        // from scratch after every break (what the paper's resumable
+        // search avoids).
+        group.bench_with_input(BenchmarkId::new("offline-restart", label), &ps, |b, ps| {
+            b.iter(|| {
+                black_box(
+                    assign_layers_offline_restart(ps, CycleBreakHeuristic::WeakestEdge, 16)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

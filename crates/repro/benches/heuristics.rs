@@ -1,0 +1,32 @@
+//! Cycle-break heuristic ablation: runtime and (reported via the sec4
+//! binary) layer counts of the three §IV heuristics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsssp_core::dfsssp::assign_layers_offline;
+use dfsssp_core::paths::PathSet;
+use dfsssp_core::{CycleBreakHeuristic, RoutingEngine, Sssp};
+use fabric::topo::{random_topology, RandomTopoSpec};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let spec = RandomTopoSpec {
+        switches: 24,
+        radix: 24,
+        terminals_per_switch: 6,
+        interswitch_links: 48,
+    };
+    let net = random_topology(&spec, 7);
+    let routes = Sssp::new().route(&net).unwrap();
+    let ps = PathSet::extract(&net, &routes).unwrap();
+    let mut group = c.benchmark_group("cycle_break_heuristic");
+    group.sample_size(10);
+    for h in CycleBreakHeuristic::ALL {
+        group.bench_with_input(BenchmarkId::new(h.name(), "random24"), &ps, |b, ps| {
+            b.iter(|| black_box(assign_layers_offline(ps, h, 32, false).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

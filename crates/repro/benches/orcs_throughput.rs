@@ -1,0 +1,31 @@
+//! Congestion-simulator throughput: patterns per second drive how many
+//! eBB samples the reproduction binaries can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsssp_core::{DfSssp, RoutingEngine};
+use orcs::{flow_bandwidths, Pattern};
+use std::hint::black_box;
+
+fn bench_orcs(c: &mut Criterion) {
+    let nets = vec![
+        ("kary 4-2 (16t)", fabric::topo::kary_ntree(4, 2)),
+        ("kary 8-2 (64t)", fabric::topo::kary_ntree(8, 2)),
+        ("xgft 16x16 (256t)", fabric::topo::xgft(2, &[16, 16], &[8, 8])),
+    ];
+    let mut group = c.benchmark_group("orcs_pattern");
+    for (label, net) in &nets {
+        let routes = DfSssp::new().route(net).unwrap();
+        group.bench_with_input(BenchmarkId::new("bisection", label), net, |b, net| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = Pattern::random_bisection(net.num_terminals(), seed);
+                black_box(flow_bandwidths(net, &routes, &p).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orcs);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Routing-engine runtime (the measurement behind Figs 7 and 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let nets = vec![
+        ("6-ary 2-tree", fabric::topo::kary_ntree(6, 2)),
+        ("10-ary 2-tree", fabric::topo::kary_ntree(10, 2)),
+        ("torus 6x6", fabric::topo::torus(&[6, 6], 2)),
+        ("kautz(3,2)x72", fabric::topo::kautz(3, 2, 72, true)),
+    ];
+    let mut group = c.benchmark_group("routing_runtime");
+    group.sample_size(10);
+    for (label, net) in &nets {
+        for engine in baselines::all_engines() {
+            if engine.route(net).is_err() {
+                continue; // unsupported combination (e.g. DOR off-grid)
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.name().replace('/', "-"), label),
+                net,
+                |b, net| b.iter(|| black_box(engine.route(net).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

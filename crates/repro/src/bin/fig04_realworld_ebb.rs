@@ -1,0 +1,28 @@
+//! Fig 4: effective bisection bandwidth of all routing engines on the
+//! six real-world system reconstructions ("n/a" = the engine fails on
+//! the topology — the paper's missing bars).
+
+use fabric::topo::realworld::RealSystem;
+
+fn main() {
+    let scale = repro::scale();
+    println!(
+        "Figure 4: eBB on real-world reconstructions (scale={scale}, {} patterns)\n",
+        repro::patterns()
+    );
+    let engines = repro::engines();
+    let mut headers = vec!["system", "endpoints"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for sys in RealSystem::ALL {
+        let net = sys.build(scale);
+        let mut row = vec![sys.name().to_string(), net.num_terminals().to_string()];
+        for engine in &engines {
+            row.push(repro::ebb_cell(engine.as_ref(), &net));
+        }
+        rows.push(row);
+        eprintln!("  done: {}", sys.name());
+    }
+    repro::print_table(&headers, &rows);
+}

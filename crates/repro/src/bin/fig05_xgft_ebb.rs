@@ -1,0 +1,28 @@
+//! Fig 5: effective bisection bandwidth on extended generalized fat
+//! trees, 64..4096 endpoints.
+
+fn main() {
+    println!(
+        "Figure 5: eBB on XGFTs ({} patterns, cap {})\n",
+        repro::patterns(),
+        repro::max_endpoints()
+    );
+    sweep(repro::xgft_series());
+}
+
+fn sweep(series: Vec<(usize, fabric::Network)>) {
+    let engines = repro::engines();
+    let mut headers = vec!["endpoints", "topology"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for (n, net) in series {
+        let mut row = vec![n.to_string(), net.label().to_string()];
+        for engine in &engines {
+            row.push(repro::ebb_cell(engine.as_ref(), &net));
+        }
+        rows.push(row);
+        eprintln!("  done: {n}");
+    }
+    repro::print_table(&headers, &rows);
+}

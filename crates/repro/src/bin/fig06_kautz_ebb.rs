@@ -1,0 +1,23 @@
+//! Fig 6: effective bisection bandwidth on Kautz networks.
+
+fn main() {
+    println!(
+        "Figure 6: eBB on Kautz graphs ({} patterns, cap {})\n",
+        repro::patterns(),
+        repro::max_endpoints()
+    );
+    let engines = repro::engines();
+    let mut headers = vec!["endpoints", "topology"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for (n, net) in repro::kautz_series() {
+        let mut row = vec![n.to_string(), net.label().to_string()];
+        for engine in &engines {
+            row.push(repro::ebb_cell(engine.as_ref(), &net));
+        }
+        rows.push(row);
+        eprintln!("  done: {n}");
+    }
+    repro::print_table(&headers, &rows);
+}

@@ -1,0 +1,27 @@
+//! Fig 7: routing runtime on k-ary n-trees (wall clock per engine).
+
+use std::time::Instant;
+
+fn main() {
+    println!("Figure 7: routing runtime on k-ary n-trees (seconds)\n");
+    let engines = repro::engines();
+    let mut headers = vec!["endpoints", "topology"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for (n, net) in repro::tree_series() {
+        let mut row = vec![n.to_string(), net.label().to_string()];
+        for engine in &engines {
+            let t = Instant::now();
+            let res = engine.route(&net);
+            let dt = t.elapsed().as_secs_f64();
+            row.push(match res {
+                Ok(_) => format!("{dt:.3}"),
+                Err(e) => repro::failure_label(&e),
+            });
+        }
+        rows.push(row);
+        eprintln!("  done: {n}");
+    }
+    repro::print_table(&headers, &rows);
+}

@@ -1,0 +1,30 @@
+//! Fig 8: routing runtime on the real-world reconstructions.
+
+use fabric::topo::realworld::RealSystem;
+use std::time::Instant;
+
+fn main() {
+    let scale = repro::scale();
+    println!("Figure 8: routing runtime on real systems (seconds, scale={scale})\n");
+    let engines = repro::engines();
+    let mut headers = vec!["system", "endpoints"];
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for sys in RealSystem::ALL {
+        let net = sys.build(scale);
+        let mut row = vec![sys.name().to_string(), net.num_terminals().to_string()];
+        for engine in &engines {
+            let t = Instant::now();
+            let res = engine.route(&net);
+            let dt = t.elapsed().as_secs_f64();
+            row.push(match res {
+                Ok(_) => format!("{dt:.3}"),
+                Err(e) => repro::failure_label(&e),
+            });
+        }
+        rows.push(row);
+        eprintln!("  done: {}", sys.name());
+    }
+    repro::print_table(&headers, &rows);
+}

@@ -1,0 +1,50 @@
+//! Figs 14-16: NAS BT / SP / FT scaling on the Deimos reconstruction,
+//! MinHop vs DFSSSP (total Gflop/s of the model).
+
+use appsim::{Allocation, NasBenchmark};
+use baselines::MinHop;
+use dfsssp_core::{DfSssp, RoutingEngine};
+use fabric::topo::realworld::RealSystem;
+
+fn main() {
+    let scale = repro::scale();
+    let net = RealSystem::Deimos.build(scale);
+    let nt = net.num_terminals();
+    println!("Figures 14-16: NAS models on Deimos (scale={scale}, Gflop/s total)\n");
+    let minhop = MinHop::new().route(&net).unwrap();
+    let dfsssp = DfSssp::new().route(&net).unwrap();
+    for bench in [NasBenchmark::BT, NasBenchmark::SP, NasBenchmark::FT] {
+        println!("{}:", bench.name());
+        let mut rows = Vec::new();
+        // BT/SP need square rank counts; FT takes powers of two. Pick
+        // the largest four that fit the reconstruction.
+        let grid_counts: Vec<usize> = if bench == NasBenchmark::FT {
+            (4..)
+                .map(|k| 1usize << k)
+                .take_while(|&c| c <= nt)
+                .collect()
+        } else {
+            (4..)
+                .map(|k| k * k)
+                .take_while(|&c| c <= nt)
+                .collect()
+        };
+        let tail = grid_counts.len().saturating_sub(4);
+        for &cores in &grid_counts[tail..] {
+            let a = bench.run(&net, &minhop, cores, Allocation::Spread).unwrap();
+            let b = bench.run(&net, &dfsssp, cores, Allocation::Spread).unwrap();
+            rows.push(vec![
+                cores.to_string(),
+                format!("{:.2}", a.gflops_total),
+                format!("{:.2}", b.gflops_total),
+                format!("{:+.1}%", (b.gflops_total / a.gflops_total - 1.0) * 100.0),
+                format!("{:.0}%", b.comm_fraction * 100.0),
+            ]);
+        }
+        repro::print_table(
+            &["cores", "MinHop", "DFSSSP", "improvement", "comm(DFSSSP)"],
+            &rows,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,205 @@
+//! `route_cli` — an `opensm -R <engine>`-flavored command line: load a
+//! topology file, run a routing engine, verify, report, and optionally
+//! export tables.
+//!
+//! ```text
+//! route_cli --topo fabric.topo [--format text|ibnetdiscover|json]
+//!           [--engine dfsssp]           minhop|updown|dor|lash|fattree|sssp|dfsssp
+//!           [--max-vls 8] [--heuristic weakest|heaviest|first|random:<seed>]
+//!           [--no-balance] [--no-compact] [--ebb <patterns>]
+//!           [--out-routes routes.json]
+//! ```
+
+use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
+use dfsssp_core::quality::route_quality;
+use dfsssp_core::verify::deadlock_report;
+use dfsssp_core::{CycleBreakHeuristic, DfSssp, RoutingEngine, Sssp};
+use fabric::{format, Network, TopologyStats};
+use std::process::ExitCode;
+
+struct Args {
+    topo: String,
+    format: String,
+    engine: String,
+    max_vls: usize,
+    heuristic: CycleBreakHeuristic,
+    balance: bool,
+    compact: bool,
+    ebb: Option<usize>,
+    quality: bool,
+    out_routes: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: route_cli --topo <file> [--format text|ibnetdiscover|json] \
+         [--engine minhop|updown|dor|lash|fattree|sssp|dfsssp] [--max-vls N] \
+         [--heuristic weakest|heaviest|first|random:<seed>] [--no-balance] \
+         [--no-compact] [--ebb <patterns>] [--quality] [--out-routes <file>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        topo: String::new(),
+        format: "text".into(),
+        engine: "dfsssp".into(),
+        max_vls: 8,
+        heuristic: CycleBreakHeuristic::WeakestEdge,
+        balance: true,
+        compact: true,
+        ebb: None,
+        quality: false,
+        out_routes: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--topo" => args.topo = val(),
+            "--format" => args.format = val(),
+            "--engine" => args.engine = val().to_lowercase(),
+            "--max-vls" => args.max_vls = val().parse().unwrap_or_else(|_| usage()),
+            "--heuristic" => {
+                let v = val();
+                args.heuristic = match v.as_str() {
+                    "weakest" => CycleBreakHeuristic::WeakestEdge,
+                    "heaviest" => CycleBreakHeuristic::HeaviestEdge,
+                    "first" => CycleBreakHeuristic::FirstEdge,
+                    other => match other.strip_prefix("random:") {
+                        Some(seed) => CycleBreakHeuristic::RandomEdge(
+                            seed.parse().unwrap_or_else(|_| usage()),
+                        ),
+                        None => usage(),
+                    },
+                };
+            }
+            "--no-balance" => args.balance = false,
+            "--no-compact" => args.compact = false,
+            "--ebb" => args.ebb = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--quality" => args.quality = true,
+            "--out-routes" => args.out_routes = Some(val()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.topo.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load(args: &Args) -> Result<Network, String> {
+    let input = std::fs::read_to_string(&args.topo)
+        .map_err(|e| format!("cannot read {}: {e}", args.topo))?;
+    let net = match args.format.as_str() {
+        "text" => format::parse_network(&input).map_err(|e| e.to_string())?,
+        "ibnetdiscover" => format::parse_ibnetdiscover(&input).map_err(|e| e.to_string())?,
+        "json" => format::network_from_json(&input)?,
+        other => return Err(format!("unknown format {other}")),
+    };
+    net.validate()?;
+    Ok(net)
+}
+
+fn engine_of(args: &Args) -> Box<dyn RoutingEngine> {
+    match args.engine.as_str() {
+        "minhop" => Box::new(MinHop::new()),
+        "updown" => Box::new(UpDown::new()),
+        "dor" => Box::new(Dor::new()),
+        "lash" => Box::new(Lash {
+            max_layers: args.max_vls,
+        }),
+        "fattree" => Box::new(FatTree::new()),
+        "sssp" => Box::new(Sssp::new()),
+        "dfsssp" => Box::new(DfSssp {
+            heuristic: args.heuristic,
+            max_layers: args.max_vls,
+            balance: args.balance,
+            compact: args.compact,
+            ..DfSssp::new()
+        }),
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let net = match load(&args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("fabric: {}", TopologyStats::of(&net));
+
+    let engine = engine_of(&args);
+    let t = std::time::Instant::now();
+    let routes = match engine.route(&net) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("routing failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "routed by {} in {:.3}s: {} virtual layer(s)",
+        routes.engine(),
+        t.elapsed().as_secs_f64(),
+        routes.num_layers()
+    );
+
+    match deadlock_report(&net, &routes) {
+        Ok(report) if report.is_deadlock_free() => {
+            println!("deadlock check: PASS (all layers acyclic)");
+        }
+        Ok(report) => {
+            println!(
+                "deadlock check: HAZARD — cyclic dependency layers {:?}",
+                report.cyclic_layers
+            );
+        }
+        Err(e) => {
+            eprintln!("deadlock check failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let nt = net.num_terminals();
+    match routes.validate_connectivity(&net) {
+        Ok(pairs) => println!("connectivity: {pairs}/{} ordered pairs", nt * (nt - 1)),
+        Err(e) => {
+            eprintln!("connectivity check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.quality {
+        match route_quality(&net, &routes) {
+            Ok(q) => println!("quality: {q}"),
+            Err(e) => eprintln!("quality report failed: {e}"),
+        }
+    }
+
+    if let Some(patterns) = args.ebb {
+        let opts = orcs::EbbOptions {
+            patterns,
+            ..Default::default()
+        };
+        match orcs::effective_bisection_bandwidth(&net, &routes, &opts) {
+            Ok(s) => println!("effective bisection bandwidth: {s}"),
+            Err(e) => eprintln!("eBB simulation failed: {e}"),
+        }
+    }
+
+    if let Some(path) = &args.out_routes {
+        let json = format::routes_to_json(&routes);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("routes written to {path}");
+    }
+    ExitCode::SUCCESS
+}

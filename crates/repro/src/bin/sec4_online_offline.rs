@@ -1,0 +1,39 @@
+//! Sec IV: online vs offline DFSSSP layer-assignment runtime (the paper:
+//! ~170 s offline vs ~2 h online at 4096 nodes; we sweep smaller sizes).
+
+use dfsssp_core::{DfSssp, LayerAssignMode};
+use std::time::Instant;
+
+fn main() {
+    println!("Sec IV: online vs offline DFSSSP runtime (seconds)\n");
+    let cap = repro::max_endpoints();
+    let mut rows = Vec::new();
+    for (n, net) in [
+        (64, fabric::topo::torus(&[4, 4], 4)),
+        (128, fabric::topo::torus(&[4, 8], 4)),
+        (256, fabric::topo::torus(&[8, 8], 4)),
+        (512, fabric::topo::torus(&[8, 16], 4)),
+    ] {
+        if n > cap {
+            continue;
+        }
+        let mut row = vec![n.to_string(), net.label().to_string()];
+        for mode in [LayerAssignMode::Offline, LayerAssignMode::Online] {
+            let engine = DfSssp {
+                mode,
+                max_layers: 16, // the IB spec limit, so both modes fit
+                ..DfSssp::new()
+            };
+            let t = Instant::now();
+            let res = engine.route_with_stats(&net);
+            let dt = t.elapsed().as_secs_f64();
+            row.push(match res {
+                Ok((_, stats)) => format!("{dt:.3} ({} VLs)", stats.layers_used),
+                Err(e) => repro::failure_label(&e),
+            });
+        }
+        rows.push(row);
+        eprintln!("  done: {n}");
+    }
+    repro::print_table(&["endpoints", "topology", "offline", "online"], &rows);
+}

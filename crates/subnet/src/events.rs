@@ -1,0 +1,220 @@
+//! The subnet manager's steady-state loop: react to fabric events.
+//!
+//! OpenSM alternates heavy sweeps (full rediscovery) with light sweeps
+//! (port-state polls); on a topology change it re-runs routing and pushes
+//! only the changed LFT entries. This module models that loop over the
+//! simulated fabric: feed it [`FabricEvent`]s, get back the re-programmed
+//! state plus the SMP write cost — the operational story behind the
+//! paper's "can be deployed ... transparently" claim.
+
+use crate::lft::LftDiff;
+use crate::manager::{ProgrammedFabric, SmError, SubnetManager};
+use dfsssp_core::RoutingEngine;
+use fabric::{ChannelId, Network, NodeId};
+use rustc_hash::FxHashSet;
+
+/// A fabric event the SM reacts to.
+#[derive(Clone, Debug)]
+pub enum FabricEvent {
+    /// A cable went down (both directions of the pair).
+    CableDown(ChannelId),
+    /// A switch died (all attached cables with it).
+    SwitchDown(NodeId),
+}
+
+/// A running subnet manager with its current view of the fabric.
+pub struct SmLoop<E> {
+    sm: SubnetManager<E>,
+    net: Network,
+    current: ProgrammedFabric,
+}
+
+impl<E: RoutingEngine> SmLoop<E> {
+    /// Bring up the fabric: initial heavy sweep + routing + programming.
+    pub fn bring_up(engine: E, net: Network, sm_node: NodeId) -> Result<Self, SmError> {
+        let sm = SubnetManager::new(engine);
+        let current = sm.run(&net, sm_node)?;
+        Ok(SmLoop { sm, net, current })
+    }
+
+    /// The current fabric view.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The current programmed state.
+    pub fn programmed(&self) -> &ProgrammedFabric {
+        &self.current
+    }
+
+    /// A light sweep: verify the current programming still connects every
+    /// pair (cheap check against the unchanged fabric view). Returns the
+    /// pair count.
+    pub fn light_sweep(&self) -> Result<usize, SmError> {
+        let mut pairs = 0;
+        for &src in self.net.terminals() {
+            for &dst in self.net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                self.current
+                    .tables
+                    .walk(
+                        &self.net,
+                        &self.current.lids,
+                        src,
+                        self.current.lids.lid(dst),
+                    )
+                    .map_err(SmError::Walk)?;
+                pairs += 1;
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// React to a fabric event: rebuild the fabric view (heavy sweep),
+    /// re-run the engine, re-program, and return the SMP write cost
+    /// relative to the previous programming.
+    ///
+    /// Events that disconnect the fabric surface as errors (a real SM
+    /// escalates those to the operator); the loop's state is unchanged in
+    /// that case, so a follow-up repair event can be handled.
+    pub fn handle(&mut self, event: FabricEvent) -> Result<LftDiff, SmError> {
+        let (dead_nodes, dead_channels): (FxHashSet<NodeId>, FxHashSet<ChannelId>) = match event {
+            FabricEvent::CableDown(c) => {
+                let mut chans = FxHashSet::default();
+                chans.insert(c);
+                if let Some(r) = self.net.channel(c).rev {
+                    chans.insert(r);
+                }
+                (FxHashSet::default(), chans)
+            }
+            FabricEvent::SwitchDown(s) => {
+                let mut nodes = FxHashSet::default();
+                nodes.insert(s);
+                (nodes, FxHashSet::default())
+            }
+        };
+        let new_net = fabric::degrade::remove(&self.net, &dead_nodes, &dead_channels);
+        let sm_node =
+            new_net
+                .terminals()
+                .first()
+                .copied()
+                .ok_or(SmError::PartialDiscovery {
+                    found: 0,
+                    total: new_net.num_nodes(),
+                })?;
+        let fabric = self.sm.run(&new_net, sm_node)?;
+        let diff = fabric.tables.diff(&new_net, &self.current.tables, &self.net);
+        self.net = new_net;
+        self.current = fabric;
+        Ok(diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsssp_core::DfSssp;
+    use fabric::topo;
+
+    /// A redundant fabric where any single uplink can fail.
+    fn fat_tree() -> Network {
+        topo::kary_ntree(4, 2)
+    }
+
+    /// Some switch-switch cable of the fabric.
+    fn an_uplink(net: &Network) -> ChannelId {
+        net.channels()
+            .find(|(_, ch)| net.is_switch(ch.src) && net.is_switch(ch.dst))
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn bring_up_and_light_sweep() {
+        let net = fat_tree();
+        let sm_node = net.terminals()[0];
+        let sm = SmLoop::bring_up(DfSssp::new(), net.clone(), sm_node).unwrap();
+        let nt = net.num_terminals();
+        assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
+    }
+
+    #[test]
+    fn cable_failure_reroutes_with_small_diff() {
+        let net = fat_tree();
+        let sm_node = net.terminals()[0];
+        let mut sm = SmLoop::bring_up(DfSssp::new(), net.clone(), sm_node).unwrap();
+        let victim = an_uplink(sm.network());
+        let diff = sm.handle(FabricEvent::CableDown(victim)).unwrap();
+        assert!(diff.entries_changed > 0);
+        assert_eq!(diff.switches_missing, 0);
+        // Fabric is fully functional again.
+        let nt = sm.network().num_terminals();
+        assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
+        assert_eq!(sm.network().num_cables(), net.num_cables() - 1);
+    }
+
+    #[test]
+    fn root_switch_failure_survivable_on_fat_tree() {
+        let net = fat_tree();
+        let sm_node = net.terminals()[0];
+        let mut sm = SmLoop::bring_up(DfSssp::new(), net.clone(), sm_node).unwrap();
+        // Roots (level n-1) carry no terminals; killing one must reroute.
+        let root = *net
+            .switches()
+            .iter()
+            .find(|&&s| net.node(s).level == Some(1))
+            .unwrap();
+        let diff = sm.handle(FabricEvent::SwitchDown(root)).unwrap();
+        assert_eq!(diff.switches_missing, 0, "survivors all matched by name");
+        assert!(diff.entries_changed > 0);
+        assert_eq!(sm.network().num_switches(), net.num_switches() - 1);
+        let nt = sm.network().num_terminals();
+        assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
+    }
+
+    #[test]
+    fn disconnecting_event_is_rejected_and_state_survives() {
+        // A ring of 3 with a pendant: killing the pendant's only cable
+        // strands its terminal -> the run fails, state unchanged.
+        let mut b = fabric::NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 8);
+        let s1 = b.add_switch("s1", 8);
+        let s2 = b.add_switch("s2", 8);
+        b.link(s0, s1).unwrap();
+        b.link(s1, s2).unwrap();
+        b.link(s2, s0).unwrap();
+        let pendant = b.add_switch("pendant", 4);
+        let (bridge, _) = b.link(pendant, s0).unwrap();
+        for i in 0..4 {
+            let t = b.add_terminal(format!("t{i}"));
+            b.link(t, [s0, s1, s2, pendant][i]).unwrap();
+        }
+        let net = b.build();
+        let sm_node = net.terminals()[0];
+        let mut sm = SmLoop::bring_up(DfSssp::new(), net.clone(), sm_node).unwrap();
+        let before_cables = sm.network().num_cables();
+        let err = sm.handle(FabricEvent::CableDown(bridge));
+        assert!(err.is_err(), "stranding the pendant must fail");
+        // Old state intact and still serving.
+        assert_eq!(sm.network().num_cables(), before_cables);
+        let nt = sm.network().num_terminals();
+        assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
+    }
+
+    #[test]
+    fn consecutive_failures_accumulate() {
+        let net = topo::kary_ntree(4, 3);
+        let sm_node = net.terminals()[0];
+        let mut sm = SmLoop::bring_up(DfSssp::new(), net.clone(), sm_node).unwrap();
+        for _ in 0..3 {
+            let victim = an_uplink(sm.network());
+            sm.handle(FabricEvent::CableDown(victim)).unwrap();
+        }
+        assert_eq!(sm.network().num_cables(), net.num_cables() - 3);
+        let nt = sm.network().num_terminals();
+        assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
+    }
+}

@@ -1,0 +1,348 @@
+//! Linear forwarding tables, SL→VL maps and path records.
+//!
+//! This is where the engine-agnostic [`fabric::Routes`] become hardware
+//! state: each switch holds a table `LID → output port`, each
+//! source-destination pair gets a *service level* (its virtual layer),
+//! and switches map SL→VL identically (the paper's DFSSSP deployment
+//! programs exactly this). Walking the programmed tables port-by-port is
+//! the authoritative connectivity check.
+
+use crate::lid::{Lid, LidMap};
+use fabric::{ChannelId, Network, NodeId, Routes};
+use serde::{Deserialize, Serialize};
+
+/// Path record: what the SM answers to a path query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathRecord {
+    /// Destination LID to put on the wire.
+    pub dlid: Lid,
+    /// Service level (maps to the virtual lane end-to-end).
+    pub sl: u8,
+}
+
+/// Errors when walking programmed tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalkError {
+    /// A switch has no entry (port 0) for the destination LID.
+    NoEntry { switch: NodeId, dlid: Lid },
+    /// An entry names a port with no cable attached.
+    DeadPort { switch: NodeId, port: u8 },
+    /// The hop budget was exceeded: a forwarding loop.
+    Loop,
+    /// LID not assigned.
+    BadLid(Lid),
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::NoEntry { switch, dlid } => {
+                write!(f, "no LFT entry at {switch:?} for dlid {}", dlid.0)
+            }
+            WalkError::DeadPort { switch, port } => {
+                write!(f, "LFT at {switch:?} names dead port {port}")
+            }
+            WalkError::Loop => write!(f, "forwarding loop"),
+            WalkError::BadLid(l) => write!(f, "unassigned lid {}", l.0),
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Result of comparing two programmed fabrics (see
+/// [`FabricTables::diff`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LftDiff {
+    /// `(switch, dlid)` entries whose output port changed.
+    pub entries_changed: usize,
+    /// Switches with at least one changed entry.
+    pub switches_touched: usize,
+    /// Switches of `self` with no same-named peer in `other`.
+    pub switches_missing: usize,
+}
+
+/// All programmed hardware state of the fabric.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FabricTables {
+    /// `lft[switch_index][lid]` = output port (0 = no entry).
+    lfts: Vec<Vec<u8>>,
+    /// `sl2vl[switch_index][sl]` = VL (identity here, length = #VLs).
+    sl2vl: Vec<Vec<u8>>,
+    /// `sl[src_t * T + dst_t]` = service level of the pair.
+    sl: Vec<u8>,
+    num_terminals: usize,
+}
+
+impl FabricTables {
+    /// Compile routes into per-switch LFTs and SL tables.
+    pub fn program(net: &Network, routes: &Routes, lids: &LidMap) -> FabricTables {
+        let nt = net.num_terminals();
+        let max_lid = lids.max_lid().0 as usize;
+        let mut lfts = vec![vec![0u8; max_lid + 1]; net.num_switches()];
+        for (si, &s) in net.switches().iter().enumerate() {
+            for (dst_t, &dst) in net.terminals().iter().enumerate() {
+                if let Some(c) = routes.next_hop(s, dst_t) {
+                    let port = net.channel(c).src_port;
+                    debug_assert!(port <= u8::MAX as u16, "port fits u8 on real switches");
+                    lfts[si][lids.lid(dst).0 as usize] = port as u8;
+                }
+            }
+        }
+        let vls = routes.num_layers();
+        let sl2vl = vec![(0..vls).collect::<Vec<u8>>(); net.num_switches()];
+        let mut sl = vec![0u8; nt * nt];
+        for src_t in 0..nt {
+            for dst_t in 0..nt {
+                sl[src_t * nt + dst_t] = routes.layer(src_t, dst_t);
+            }
+        }
+        FabricTables {
+            lfts,
+            sl2vl,
+            sl,
+            num_terminals: nt,
+        }
+    }
+
+    /// The SM's answer to a path query from `src_t` to `dst_t`.
+    pub fn path_record(&self, lids: &LidMap, net: &Network, src_t: usize, dst_t: usize) -> PathRecord {
+        PathRecord {
+            dlid: lids.lid(net.terminals()[dst_t]),
+            sl: self.sl[src_t * self.num_terminals + dst_t],
+        }
+    }
+
+    /// The VL a packet with service level `sl` travels on at `switch`.
+    pub fn vl_of(&self, switch_index: usize, sl: u8) -> u8 {
+        self.sl2vl[switch_index][sl as usize]
+    }
+
+    /// Number of VLs the programmed fabric requires.
+    pub fn num_vls(&self) -> usize {
+        self.sl2vl.first().map_or(1, Vec::len)
+    }
+
+    /// Compare two programmed fabrics, matching switches by *name* (so a
+    /// rebuilt/degraded network diffs against its ancestor) and table
+    /// slots by destination LID. Returns how many `(switch, dlid)`
+    /// entries changed and how many switches were touched — the update
+    /// cost of a transparent re-route, which OpenSM pushes as SMP writes.
+    pub fn diff(
+        &self,
+        self_net: &Network,
+        other: &FabricTables,
+        other_net: &Network,
+    ) -> LftDiff {
+        let mut entries_changed = 0usize;
+        let mut switches_touched = 0usize;
+        let mut switches_missing = 0usize;
+        for (si, &s) in self_net.switches().iter().enumerate() {
+            let name = &self_net.node(s).name;
+            let Some(os) = other_net.node_by_name(name) else {
+                switches_missing += 1;
+                continue;
+            };
+            let Some(osi) = other_net.switch_index(os) else {
+                switches_missing += 1;
+                continue;
+            };
+            let a = &self.lfts[si];
+            let b = &other.lfts[osi];
+            let changed = (0..a.len().max(b.len()))
+                .filter(|&lid| {
+                    a.get(lid).copied().unwrap_or(0) != b.get(lid).copied().unwrap_or(0)
+                })
+                .count();
+            if changed > 0 {
+                switches_touched += 1;
+                entries_changed += changed;
+            }
+        }
+        LftDiff {
+            entries_changed,
+            switches_touched,
+            switches_missing,
+        }
+    }
+
+    /// Walk the programmed tables from terminal `src` to the destination
+    /// LID, hardware-style: look up the output *port* at each switch and
+    /// follow its cable. Returns the channels traversed.
+    pub fn walk(
+        &self,
+        net: &Network,
+        lids: &LidMap,
+        src: NodeId,
+        dlid: Lid,
+    ) -> Result<Vec<ChannelId>, WalkError> {
+        let dst = lids.node(dlid).ok_or(WalkError::BadLid(dlid))?;
+        let mut at = src;
+        let mut out = Vec::new();
+        let mut budget = net.num_nodes() + 1;
+        while at != dst {
+            if budget == 0 {
+                return Err(WalkError::Loop);
+            }
+            budget -= 1;
+            let c = match net.switch_index(at) {
+                Some(si) => {
+                    let port = self.lfts[si][dlid.0 as usize];
+                    if port == 0 {
+                        return Err(WalkError::NoEntry {
+                            switch: at,
+                            dlid,
+                        });
+                    }
+                    net.out_channels(at)
+                        .iter()
+                        .copied()
+                        .find(|&c| net.channel(c).src_port == port as u16)
+                        .ok_or(WalkError::DeadPort {
+                            switch: at,
+                            port,
+                        })?
+                }
+                None => {
+                    // Terminals inject through their (first) switch port;
+                    // multi-homed terminals follow the routing tables via
+                    // the same LFT-free rule OpenSM uses (host source
+                    // routing picks the port of the path record).
+                    net.out_channels(at)
+                        .iter()
+                        .copied()
+                        .min_by_key(|&c| net.channel(c).src_port)
+                        .ok_or(WalkError::DeadPort {
+                            switch: at,
+                            port: 0,
+                        })?
+                }
+            };
+            out.push(c);
+            at = net.channel(c).dst;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsssp_core::{DfSssp, RoutingEngine};
+    use fabric::topo;
+
+    fn programmed(net: &Network) -> (Routes, LidMap, FabricTables) {
+        let routes = DfSssp::new().route(net).unwrap();
+        let lids = LidMap::assign(net);
+        let tables = FabricTables::program(net, &routes, &lids);
+        (routes, lids, tables)
+    }
+
+    #[test]
+    fn lft_walk_reaches_every_destination() {
+        let net = topo::torus(&[3, 3], 1);
+        let (_, lids, tables) = programmed(&net);
+        for &src in net.terminals() {
+            for &dst in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                let walk = tables.walk(&net, &lids, src, lids.lid(dst)).unwrap();
+                assert_eq!(net.channel(*walk.last().unwrap()).dst, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_matches_routes_paths() {
+        let net = topo::kary_ntree(2, 3);
+        let (routes, lids, tables) = programmed(&net);
+        let src = net.terminals()[0];
+        let dst = net.terminals()[7];
+        let walk = tables.walk(&net, &lids, src, lids.lid(dst)).unwrap();
+        let path = routes.path_channels(&net, src, dst).unwrap();
+        assert_eq!(walk, path);
+    }
+
+    #[test]
+    fn path_records_carry_the_layer() {
+        let net = topo::ring(5, 1);
+        let (routes, lids, tables) = programmed(&net);
+        assert!(routes.num_layers() >= 2);
+        let mut seen_nonzero = false;
+        for s in 0..5 {
+            for d in 0..5 {
+                if s == d {
+                    continue;
+                }
+                let pr = tables.path_record(&lids, &net, s, d);
+                assert_eq!(pr.sl, routes.layer(s, d));
+                assert_eq!(pr.dlid, lids.lid(net.terminals()[d]));
+                seen_nonzero |= pr.sl != 0;
+            }
+        }
+        assert!(seen_nonzero, "the ring needs a second layer somewhere");
+    }
+
+    #[test]
+    fn sl2vl_is_identity_within_vl_count() {
+        let net = topo::ring(5, 1);
+        let (routes, _, tables) = programmed(&net);
+        assert_eq!(tables.num_vls(), routes.num_layers() as usize);
+        for sl in 0..routes.num_layers() {
+            assert_eq!(tables.vl_of(0, sl), sl);
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_fabrics_is_empty() {
+        let net = topo::torus(&[3, 3], 1);
+        let (_, lids, tables) = programmed(&net);
+        let _ = lids;
+        let d = tables.diff(&net, &tables, &net);
+        assert_eq!(d, super::LftDiff::default());
+    }
+
+    #[test]
+    fn diff_after_cable_failure_is_local() {
+        let net = topo::kary_ntree(4, 2);
+        let (_, _, before) = programmed(&net);
+        let (degraded, removed) =
+            fabric::degrade::fail_random_cables(&net, 2, 9);
+        assert!(removed > 0);
+        let (_, _, after) = programmed(&degraded);
+        let d = after.diff(&degraded, &before, &net);
+        assert_eq!(d.switches_missing, 0);
+        assert!(d.entries_changed > 0, "a failure must change some routes");
+        // Transparency: far fewer entries change than exist in total.
+        let total_entries = degraded.num_terminals() * degraded.num_switches();
+        assert!(
+            d.entries_changed < total_entries,
+            "{} of {} entries changed",
+            d.entries_changed,
+            total_entries
+        );
+    }
+
+    #[test]
+    fn missing_entry_is_reported() {
+        let net = topo::ring(4, 1);
+        let lids = LidMap::assign(&net);
+        let empty = Routes::new(&net, "none");
+        let tables = FabricTables::program(&net, &empty, &lids);
+        let src = net.terminals()[0];
+        let dst = net.terminals()[1];
+        let err = tables.walk(&net, &lids, src, lids.lid(dst)).unwrap_err();
+        assert!(matches!(err, WalkError::NoEntry { .. }));
+    }
+
+    #[test]
+    fn bad_lid_is_reported() {
+        let net = topo::ring(4, 1);
+        let (_, lids, tables) = programmed(&net);
+        let err = tables
+            .walk(&net, &lids, net.terminals()[0], Lid(999))
+            .unwrap_err();
+        assert_eq!(err, WalkError::BadLid(Lid(999)));
+    }
+}

@@ -1,0 +1,26 @@
+//! An OpenSM-like subnet manager for the simulated fabric.
+//!
+//! The paper implements DFSSSP inside the InfiniBand Open Subnet Manager;
+//! this crate rebuilds that deployment surface:
+//!
+//! * [`discovery`] — a subnet sweep: starting from the SM's node, walk
+//!   the fabric port by port and inventory nodes and links.
+//! * [`lid`] — local-identifier assignment for every discovered port.
+//! * [`lft`] — linear forwarding tables (LID → output port per switch),
+//!   compiled from a routing engine's [`fabric::Routes`], plus SL→VL
+//!   tables and path records carrying each pair's service level.
+//! * [`manager`] — the orchestration: sweep → assign LIDs → run the
+//!   routing engine → program tables → validate connectivity by walking
+//!   the programmed LFTs (hardware semantics: ports, not channels).
+
+pub mod discovery;
+pub mod events;
+pub mod lft;
+pub mod lid;
+pub mod manager;
+
+pub use discovery::{discover, DiscoveredFabric};
+pub use events::{FabricEvent, SmLoop};
+pub use lft::{FabricTables, LftDiff, PathRecord, WalkError};
+pub use lid::{Lid, LidMap};
+pub use manager::{ProgrammedFabric, SmError, SubnetManager};

@@ -1,0 +1,218 @@
+//! The subnet manager: sweep, route, program, validate.
+
+use crate::discovery::{discover, DiscoveredFabric};
+use crate::lft::{FabricTables, WalkError};
+use crate::lid::LidMap;
+use dfsssp_core::verify::deadlock_report;
+use dfsssp_core::{RouteError, RoutingEngine};
+use fabric::{Network, NodeId, Routes};
+
+/// Errors of a subnet-manager run.
+#[derive(Debug)]
+pub enum SmError {
+    /// The sweep did not reach every node.
+    PartialDiscovery {
+        /// Nodes found.
+        found: usize,
+        /// Nodes in the fabric.
+        total: usize,
+    },
+    /// The routing engine failed.
+    Routing(RouteError),
+    /// The programmed tables fail the connectivity walk.
+    Walk(WalkError),
+    /// The routing needs more VLs than the hardware has.
+    TooManyVls {
+        /// VLs required by the routing.
+        required: usize,
+        /// VLs the hardware offers.
+        available: usize,
+    },
+    /// The routing's dependency graph has a cyclic layer: unsafe to
+    /// deploy (only possible for engines that are not deadlock-free).
+    CyclicLayers(Vec<u8>),
+}
+
+impl std::fmt::Display for SmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmError::PartialDiscovery { found, total } => {
+                write!(f, "sweep found {found} of {total} nodes")
+            }
+            SmError::Routing(e) => write!(f, "routing failed: {e}"),
+            SmError::Walk(e) => write!(f, "LFT validation failed: {e}"),
+            SmError::TooManyVls {
+                required,
+                available,
+            } => write!(f, "routing needs {required} VLs, hardware has {available}"),
+            SmError::CyclicLayers(ls) => write!(f, "cyclic dependency layers: {ls:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SmError {}
+
+impl From<RouteError> for SmError {
+    fn from(e: RouteError) -> Self {
+        SmError::Routing(e)
+    }
+}
+
+/// Everything a successful SM run programmed into the fabric.
+pub struct ProgrammedFabric {
+    /// Sweep result.
+    pub discovery: DiscoveredFabric,
+    /// LID assignment.
+    pub lids: LidMap,
+    /// The engine's routes (for simulators).
+    pub routes: Routes,
+    /// Compiled hardware tables.
+    pub tables: FabricTables,
+    /// Ordered terminal pairs validated by the LFT walk.
+    pub pairs_validated: usize,
+}
+
+/// The subnet manager, parameterized by its routing engine — mirroring
+/// `opensm -R <engine>`.
+pub struct SubnetManager<E> {
+    /// Routing engine to deploy.
+    pub engine: E,
+    /// Data VLs the hardware supports (8 on the paper's clusters).
+    pub hardware_vls: usize,
+    /// Refuse to deploy a routing whose CDG has cycles (the guard rail
+    /// the paper argues every production fabric needs). Disable to
+    /// reproduce running plain SSSP/MinHop like Deimos did.
+    pub require_deadlock_free: bool,
+}
+
+impl<E: RoutingEngine> SubnetManager<E> {
+    /// A production-configured SM: 8 VLs, deadlock guard on.
+    pub fn new(engine: E) -> Self {
+        SubnetManager {
+            engine,
+            hardware_vls: 8,
+            require_deadlock_free: true,
+        }
+    }
+
+    /// Full cycle: sweep from `sm_node`, assign LIDs, run the engine,
+    /// program tables, validate by walking the LFTs for every ordered
+    /// terminal pair.
+    pub fn run(&self, net: &Network, sm_node: NodeId) -> Result<ProgrammedFabric, SmError> {
+        let discovery = discover(net, sm_node);
+        if !discovery.complete(net) {
+            return Err(SmError::PartialDiscovery {
+                found: discovery.nodes.len(),
+                total: net.num_nodes(),
+            });
+        }
+        let routes = self.engine.route(net)?;
+        if routes.num_layers() as usize > self.hardware_vls {
+            return Err(SmError::TooManyVls {
+                required: routes.num_layers() as usize,
+                available: self.hardware_vls,
+            });
+        }
+        if self.require_deadlock_free {
+            let report = deadlock_report(net, &routes)
+                .map_err(|_| SmError::Walk(WalkError::Loop))?;
+            if !report.is_deadlock_free() {
+                return Err(SmError::CyclicLayers(report.cyclic_layers));
+            }
+        }
+        let lids = LidMap::assign(net);
+        let tables = FabricTables::program(net, &routes, &lids);
+        let mut pairs_validated = 0;
+        for &src in net.terminals() {
+            for &dst in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                tables
+                    .walk(net, &lids, src, lids.lid(dst))
+                    .map_err(SmError::Walk)?;
+                pairs_validated += 1;
+            }
+        }
+        Ok(ProgrammedFabric {
+            discovery,
+            lids,
+            routes,
+            tables,
+            pairs_validated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::MinHop;
+    use dfsssp_core::{DfSssp, Sssp};
+    use fabric::topo;
+
+    #[test]
+    fn dfsssp_deploys_on_a_torus() {
+        let net = topo::torus(&[3, 3], 1);
+        let sm = SubnetManager::new(DfSssp::new());
+        let fabric = sm.run(&net, net.terminals()[0]).unwrap();
+        assert_eq!(fabric.pairs_validated, 9 * 8);
+        assert!(fabric.routes.num_layers() >= 2);
+    }
+
+    #[test]
+    fn plain_sssp_is_refused_on_a_ring() {
+        // The guard rail: SSSP's cyclic CDG on the ring must be refused.
+        let net = topo::ring(5, 1);
+        let sm = SubnetManager::new(Sssp::new());
+        match sm.run(&net, net.terminals()[0]) {
+            Err(SmError::CyclicLayers(layers)) => assert_eq!(layers, vec![0]),
+            other => panic!("expected cyclic-layer refusal, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn guard_can_be_disabled_like_real_deployments() {
+        let net = topo::ring(5, 1);
+        let mut sm = SubnetManager::new(MinHop::new());
+        sm.require_deadlock_free = false;
+        assert!(sm.run(&net, net.terminals()[0]).is_ok());
+    }
+
+    #[test]
+    fn vl_budget_enforced() {
+        let net = topo::ring(5, 1);
+        let mut sm = SubnetManager::new(DfSssp::new());
+        sm.hardware_vls = 1;
+        match sm.run(&net, net.terminals()[0]) {
+            Err(SmError::Routing(RouteError::NeedMoreLayers { .. })) => {}
+            Err(SmError::TooManyVls { .. }) => {}
+            other => panic!("expected VL failure, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn partial_fabric_refused() {
+        let mut b = fabric::NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let t0 = b.add_terminal("t0");
+        b.link(t0, s0).unwrap();
+        let s1 = b.add_switch("s1", 4);
+        let t1 = b.add_terminal("t1");
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        let sm = SubnetManager::new(DfSssp::new());
+        match sm.run(&net, t0) {
+            Err(SmError::PartialDiscovery { found: 2, total: 4 }) => {}
+            other => panic!("expected partial discovery, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn deploys_on_deimos_reconstruction() {
+        let net = fabric::topo::realworld::RealSystem::Deimos.build(0.05);
+        let sm = SubnetManager::new(DfSssp::new());
+        let fabric = sm.run(&net, net.terminals()[0]).unwrap();
+        assert!(fabric.pairs_validated > 0);
+    }
+}

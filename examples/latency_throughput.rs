@@ -1,0 +1,53 @@
+//! Latency-throughput curves: the classic interconnect view, produced by
+//! the open-loop packet simulator. Shows (a) how routing quality moves
+//! the saturation point and (b) what a cyclic routing does to a network
+//! pushed past its comfort zone.
+//!
+//! ```sh
+//! cargo run --release --example latency_throughput
+//! ```
+
+use dfsssp::flitsim::{load_sweep, OpenLoopConfig};
+use dfsssp::prelude::*;
+
+fn main() {
+    // An oversubscribed fat tree: 256 endpoints behind 2:1 tapering.
+    let net = dfsssp::topo::xgft(2, &[16, 16], &[8, 8]);
+    println!(
+        "network: {} ({} endpoints)\n",
+        net.label(),
+        net.num_terminals()
+    );
+
+    let config = OpenLoopConfig {
+        buffer_capacity: 2,
+        warmup: 300,
+        measure: 1200,
+        seed: 7,
+    };
+    let loads = [0.01, 0.05, 0.1, 0.2, 0.4];
+
+    for engine in [
+        Box::new(MinHop::new()) as Box<dyn RoutingEngine>,
+        Box::new(DfSssp::new()),
+    ] {
+        let routes = engine.route(&net).expect("routable");
+        println!("{} (uniform random traffic):", engine.name());
+        println!(
+            "  {:>8} {:>10} {:>12} {:>8}",
+            "offered", "accepted", "latency(cyc)", "wedged"
+        );
+        for p in load_sweep(&net, &routes, &loads, &config) {
+            println!(
+                "  {:>8.2} {:>10.4} {:>12.1} {:>8}",
+                p.offered,
+                p.accepted,
+                p.mean_latency,
+                if p.deadlocked { "YES" } else { "no" }
+            );
+        }
+        println!();
+    }
+    println!("DFSSSP's balanced paths push saturation higher: acceptance keeps");
+    println!("tracking offered load where MinHop has already flattened.");
+}

@@ -1,0 +1,73 @@
+//! # dfsssp — Deadlock-Free Oblivious Routing for Arbitrary Topologies
+//!
+//! A from-scratch Rust reproduction of Domke, Hoefler & Nagel (IPDPS
+//! 2011): the **DFSSSP** routing algorithm — balanced shortest-path
+//! routing made deadlock-free by assigning paths to virtual layers whose
+//! channel dependency graphs are acyclic — together with every substrate
+//! and baseline the paper's evaluation needs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dfsssp::prelude::*;
+//!
+//! // A 2D torus: minimal routing deadlocks here without virtual lanes.
+//! let net = dfsssp::topo::torus(&[4, 4], 1);
+//!
+//! // Route it deadlock-free.
+//! let engine = DfSssp::new();
+//! let routes = engine.route(&net).unwrap();
+//! assert!(routes.num_layers() >= 2);
+//!
+//! // Verify the Dally & Seitz condition holds per layer.
+//! dfsssp::verify::verify_deadlock_free(&net, &routes).unwrap();
+//!
+//! // Measure the effective bisection bandwidth.
+//! let opts = EbbOptions { patterns: 100, ..Default::default() };
+//! let ebb = effective_bisection_bandwidth(&net, &routes, &opts).unwrap();
+//! assert!(ebb.mean > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`fabric`] | network model, topology generators, forwarding tables |
+//! | [`core`] | SSSP, DFSSSP, CDGs, the APP problem, verification |
+//! | [`baselines`] | MinHop, Up*/Down*, DOR, LASH, FatTree |
+//! | [`orcs`] | congestion simulator (effective bisection bandwidth) |
+//! | [`flitsim`] | buffer-level simulator with deadlock detection |
+//! | [`subnet`] | OpenSM-like subnet manager (sweep, LIDs, LFTs) |
+//! | [`appsim`] | Netgauge / all-to-all / NAS workload models |
+//!
+//! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
+//! for the reproduced tables and figures.
+
+pub use appsim;
+pub use baselines;
+pub use dfsssp_core as core;
+pub use fabric;
+pub use flitsim;
+pub use orcs;
+pub use subnet;
+
+/// Topology generators, re-exported from [`fabric`].
+pub use fabric::topo;
+
+/// Deadlock-freedom and minimality verification, re-exported from
+/// [`core`](dfsssp_core).
+pub use dfsssp_core::verify;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use appsim::{alltoall_time, netgauge_ebb, Allocation, NasBenchmark};
+    pub use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
+    pub use dfsssp_core::{
+        CycleBreakHeuristic, DeadlockFree, DfSssp, LayerAssignMode, RouteError, RoutingEngine,
+        Sssp,
+    };
+    pub use fabric::{Network, NetworkBuilder, Routes};
+    pub use flitsim::{simulate, Outcome, SimConfig, Workload};
+    pub use orcs::{effective_bisection_bandwidth, EbbOptions, Pattern};
+    pub use subnet::SubnetManager;
+}

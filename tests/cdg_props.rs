@@ -1,0 +1,105 @@
+//! Property tests on the channel-dependency-graph machinery: the
+//! resumable cycle search against its from-scratch counterpart, and the
+//! interchange formats against generated networks.
+
+use dfsssp::core::cdg::{Cdg, CycleSearch};
+use dfsssp::core::dfsssp::{assign_layers_offline, assign_layers_offline_restart};
+use dfsssp::core::paths::PathSet;
+use dfsssp::prelude::*;
+use proptest::prelude::*;
+
+/// Random digraph as an edge list over `n` nodes.
+fn arb_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3usize..16).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(a, b)| a != b);
+        proptest::collection::vec(edge, 0..40).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Draining cycles with the resumable search always terminates with an
+    /// acyclic graph, and it never reports a cycle containing dead edges.
+    #[test]
+    fn resumable_search_drains_arbitrary_digraphs((n, edges) in arb_digraph()) {
+        let mut cdg = Cdg::new(n);
+        for &(a, b) in &edges {
+            cdg.add_dependency(a, b);
+        }
+        let mut search = CycleSearch::new(n);
+        let mut rounds = 0;
+        while let Some(cycle) = search.next_cycle(&cdg) {
+            rounds += 1;
+            prop_assert!(rounds <= edges.len() + 1, "non-termination");
+            prop_assert!(!cycle.is_empty());
+            // The reported cycle chains and is live.
+            for w in cycle.windows(2) {
+                prop_assert_eq!(cdg.edge(w[0]).to, cdg.edge(w[1]).from);
+            }
+            let first = cdg.edge(cycle[0]).from;
+            let last = cdg.edge(*cycle.last().unwrap()).to;
+            prop_assert_eq!(first, last);
+            for &e in &cycle {
+                prop_assert!(cdg.edge(e).count > 0, "dead edge in reported cycle");
+            }
+            // Break the cycle like the offline algorithm would: kill one
+            // edge entirely.
+            let victim = cycle[0];
+            cdg.remove_edge(victim);
+        }
+        prop_assert!(cdg.is_acyclic());
+    }
+
+    /// Resumable and restart-based offline assignment agree on validity
+    /// (both produce covers) for SSSP paths on random topologies.
+    #[test]
+    fn offline_variants_both_produce_covers(
+        switches in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let spec = dfsssp::topo::RandomTopoSpec {
+            switches,
+            radix: 16,
+            terminals_per_switch: 2,
+            interswitch_links: (switches * 3 / 2).min(switches * (switches - 1) / 2),
+        };
+        let net = dfsssp::topo::random_topology(&spec, seed);
+        let routes = Sssp::new().route(&net).unwrap();
+        let ps = PathSet::extract(&net, &routes).unwrap();
+        for assignment in [
+            assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, 32, false).unwrap().0,
+            assign_layers_offline_restart(&ps, CycleBreakHeuristic::WeakestEdge, 32).unwrap().0,
+        ] {
+            let mut r = routes.clone();
+            for p in ps.ids() {
+                let (s, d) = ps.pair(p);
+                r.set_layer(s as usize, d as usize, assignment[p as usize]);
+            }
+            r.recompute_num_layers();
+            prop_assert!(dfsssp::verify::verify_deadlock_free(&net, &r).is_ok());
+        }
+    }
+
+    /// The ibnetdiscover writer/parser round-trips random topologies with
+    /// exact port preservation.
+    #[test]
+    fn ibnetdiscover_round_trips(switches in 3usize..8, seed in any::<u64>()) {
+        let spec = dfsssp::topo::RandomTopoSpec {
+            switches,
+            radix: 12,
+            terminals_per_switch: 2,
+            interswitch_links: (switches - 1).max(switches).min(switches * (switches - 1) / 2),
+        };
+        let net = dfsssp::topo::random_topology(&spec, seed);
+        let dump = dfsssp::fabric::format::write_ibnetdiscover(&net);
+        let back = dfsssp::fabric::format::parse_ibnetdiscover(&dump).unwrap();
+        prop_assert_eq!(back.num_nodes(), net.num_nodes());
+        prop_assert_eq!(back.num_cables(), net.num_cables());
+        back.validate().map_err(TestCaseError::fail)?;
+        // Routing the reparsed fabric behaves identically.
+        let a = DfSssp::new().route(&net).unwrap();
+        let b = DfSssp::new().route(&back).unwrap();
+        prop_assert_eq!(a.num_layers(), b.num_layers());
+    }
+}

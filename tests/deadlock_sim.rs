@@ -1,0 +1,99 @@
+//! Cross-validation of the static deadlock analysis (channel dependency
+//! graphs) against the dynamic packet simulator: acyclic CDGs must never
+//! wedge, and the known cyclic configurations must wedge under pressure.
+
+use dfsssp::prelude::*;
+use dfsssp::verify::deadlock_report;
+
+/// Any routing whose per-layer CDGs are acyclic must complete any finite
+/// workload (the Dally & Seitz direction we rely on).
+#[test]
+fn acyclic_routings_never_wedge() {
+    let cases: Vec<Network> = vec![
+        dfsssp::topo::ring(5, 1),
+        dfsssp::topo::ring(8, 1),
+        dfsssp::topo::torus(&[4, 4], 1),
+        dfsssp::topo::torus(&[5, 5], 1),
+        dfsssp::topo::kautz(2, 2, 12, true),
+        dfsssp::topo::dragonfly(3, 1, 1),
+    ];
+    for net in cases {
+        for engine in [
+            Box::new(DfSssp::new()) as Box<dyn RoutingEngine>,
+            Box::new(Lash::new()),
+            Box::new(UpDown::new()),
+        ] {
+            let routes = engine.route(&net).unwrap();
+            assert!(deadlock_report(&net, &routes).unwrap().is_deadlock_free());
+            for (cap, seed) in [(1, 1u64), (2, 2), (4, 3)] {
+                let w = Workload::uniform_random(net.num_terminals(), 12, seed);
+                let config = SimConfig {
+                    buffer_capacity: cap,
+                    max_cycles: 2_000_000,
+                    ..SimConfig::default()
+                };
+                let out = simulate(&net, &routes, &w, &config);
+                assert!(
+                    out.completed(),
+                    "{} on {} cap={cap}: {out:?}",
+                    engine.name(),
+                    net.label()
+                );
+            }
+        }
+    }
+}
+
+/// The cyclic configurations of the paper's argument wedge in practice.
+#[test]
+fn cyclic_routings_wedge_under_adversarial_load() {
+    // (network, shift hops): saturating directional patterns.
+    let cases = [
+        (dfsssp::topo::ring(5, 1), 2usize),
+        (dfsssp::topo::ring(8, 1), 3),
+        (dfsssp::topo::ring(11, 1), 4),
+    ];
+    for (net, hops) in cases {
+        let routes = Sssp::new().route(&net).unwrap();
+        assert!(!deadlock_report(&net, &routes).unwrap().is_deadlock_free());
+        let w = Workload::shift(net.num_terminals(), hops, 32);
+        let config = SimConfig {
+            buffer_capacity: 1,
+            max_cycles: 1_000_000,
+            ..SimConfig::default()
+        };
+        let out = simulate(&net, &routes, &w, &config);
+        assert!(out.deadlocked(), "{}: {out:?}", net.label());
+    }
+}
+
+/// A cyclic CDG is only a hazard, not a guarantee: light traffic on the
+/// same rings sails through. (This is why the bug class is so insidious
+/// on production clusters — and why the paper insists on the static
+/// guarantee.)
+#[test]
+fn cyclic_routings_survive_light_traffic() {
+    let net = dfsssp::topo::ring(5, 1);
+    let routes = Sssp::new().route(&net).unwrap();
+    let mut w = Workload::new(5);
+    w.queues[0] = vec![2]; // one packet, no contention
+    let out = simulate(&net, &routes, &w, &SimConfig::default());
+    assert!(out.completed());
+}
+
+/// The balancing step must not reintroduce deadlock: simulate heavily on
+/// balanced vs unbalanced DFSSSP.
+#[test]
+fn balanced_layers_still_safe_dynamically() {
+    let net = dfsssp::topo::torus(&[4, 4], 1);
+    for balance in [false, true] {
+        let engine = DfSssp {
+            balance,
+            ..DfSssp::new()
+        };
+        let routes = engine.route(&net).unwrap();
+        let w = Workload::uniform_random(net.num_terminals(), 25, 5);
+        let out = simulate(&net, &routes, &w, &SimConfig::default());
+        assert!(out.completed(), "balance={balance}: {out:?}");
+    }
+}

