@@ -34,9 +34,7 @@ impl Allocation {
         assert!(cores <= nt, "allocation of {cores} ranks on {nt} terminals");
         match self {
             Allocation::Packed => (0..cores as u32).collect(),
-            Allocation::Spread => (0..cores)
-                .map(|i| ((i * nt) / cores) as u32)
-                .collect(),
+            Allocation::Spread => (0..cores).map(|i| ((i * nt) / cores) as u32).collect(),
             Allocation::Random(seed) => {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut ids: Vec<u32> = (0..nt as u32).collect();

@@ -281,10 +281,20 @@ mod tests {
     fn compute_term_is_routing_independent() {
         let net = topo::kary_ntree(2, 3);
         let a = NasBenchmark::BT
-            .run(&net, &MinHop::new().route(&net).unwrap(), 8, Allocation::Packed)
+            .run(
+                &net,
+                &MinHop::new().route(&net).unwrap(),
+                8,
+                Allocation::Packed,
+            )
             .unwrap();
         let b = NasBenchmark::BT
-            .run(&net, &DfSssp::new().route(&net).unwrap(), 8, Allocation::Packed)
+            .run(
+                &net,
+                &DfSssp::new().route(&net).unwrap(),
+                8,
+                Allocation::Packed,
+            )
             .unwrap();
         assert_eq!(a.comp_seconds, b.comp_seconds);
     }

@@ -127,11 +127,8 @@ impl Lash {
                 pairs.push((s.0, tid as u32));
             }
         }
-        let index_of: FxHashMap<(u32, u32), usize> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
+        let index_of: FxHashMap<(u32, u32), usize> =
+            pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let ps = PathSet::from_parts(channels, offsets, pairs);
         let (path_layer, stats) = assign_layers_online(&ps, self.max_layers)?;
 

@@ -227,13 +227,7 @@ impl RoutingEngine for UpDown {
                         // be all-down.
                         continue;
                     }
-                    heap.push(Reverse((
-                        d + 1,
-                        u8::from(up),
-                        load[c.idx()],
-                        w.0,
-                        c.0,
-                    )));
+                    heap.push(Reverse((d + 1, u8::from(up), load[c.idx()], w.0, c.0)));
                 }
             }
             // Consistency requires relaxing from settled nodes only; a

@@ -230,10 +230,12 @@ pub fn lower_bound_layers(g: &Generator) -> usize {
     // among remaining candidates.
     let mut clique: Vec<usize> = Vec::new();
     let mut candidates: Vec<usize> = (0..n).collect();
-    while let Some(&best) = candidates
-        .iter()
-        .max_by_key(|&&i| conflicts[i].iter().filter(|x| candidates.contains(x)).count())
-    {
+    while let Some(&best) = candidates.iter().max_by_key(|&&i| {
+        conflicts[i]
+            .iter()
+            .filter(|x| candidates.contains(x))
+            .count()
+    }) {
         clique.push(best);
         candidates.retain(|&c| c != best && conflicts[best].contains(&c));
         if candidates.is_empty() {
@@ -307,14 +309,10 @@ pub fn is_k_colorable(n: u32, edges: &[(u32, u32)], k: usize) -> bool {
         // Symmetry breaking as in Generator::try_assign.
         let used = colors[..v].iter().copied().max().map_or(0, |m| m + 1);
         for c in 0..k.min(used + 1) {
-            if edges
-                .iter()
-                .all(|&(a, b)| {
-                    let (a, b) = (a as usize, b as usize);
-                    !((a == v && b < v && colors[b] == c)
-                        || (b == v && a < v && colors[a] == c))
-                })
-            {
+            if edges.iter().all(|&(a, b)| {
+                let (a, b) = (a as usize, b as usize);
+                !((a == v && b < v && colors[b] == c) || (b == v && a < v && colors[a] == c))
+            }) {
                 colors[v] = c;
                 if go(v + 1, n, k, edges, colors) {
                     return true;
@@ -349,9 +347,13 @@ mod tests {
         assert!(lb <= exact, "lower bound {lb} > exact {exact}");
         assert_eq!(exact, 2, "the 5-ring needs exactly 2 layers");
         assert!(g.is_cover(&assignment, exact));
-        let (_, stats) =
-            crate::dfsssp::assign_layers_offline(&ps, crate::CycleBreakHeuristic::WeakestEdge, 8, false)
-                .unwrap();
+        let (_, stats) = crate::dfsssp::assign_layers_offline(
+            &ps,
+            crate::CycleBreakHeuristic::WeakestEdge,
+            8,
+            false,
+        )
+        .unwrap();
         assert!(stats.layers_used >= exact, "heuristic beats the optimum?!");
     }
 
@@ -369,8 +371,8 @@ mod tests {
     fn lower_bound_sees_mutual_conflicts() {
         // Three paths pairwise traversing opposite edges: needs 3 layers.
         let g = Generator::new(vec![
-            AppPath::new(vec![0, 1, 2, 3]), // 0->1, 2->3
-            AppPath::new(vec![1, 0, 4, 2]), // 1->0 (conflict a), 4->2
+            AppPath::new(vec![0, 1, 2, 3]),         // 0->1, 2->3
+            AppPath::new(vec![1, 0, 4, 2]),         // 1->0 (conflict a), 4->2
             AppPath::new(vec![3, 2, 2 + 8, 1 + 8]), // 3->2 (conflict a)...
         ]);
         // p0/p1 conflict via (0,1)/(1,0); p0/p2 via (2,3)/(3,2).
@@ -385,9 +387,9 @@ mod tests {
     #[test]
     fn figure3_example_cover() {
         let g = Generator::new(vec![
-            AppPath::new(vec![1, 2]),          // p1 = b c
-            AppPath::new(vec![0, 1, 2]),       // p2 = a b c
-            AppPath::new(vec![2, 3, 0, 1]),    // p3 = c d a b
+            AppPath::new(vec![1, 2]),       // p1 = b c
+            AppPath::new(vec![0, 1, 2]),    // p2 = a b c
+            AppPath::new(vec![2, 3, 0, 1]), // p3 = c d a b
         ]);
         // The union contains the cycle a->b->c->d->a, so k=1 fails...
         assert!(!g.is_cover(&[0, 0, 0], 1));

@@ -233,6 +233,17 @@ impl Cdg {
         let mut search = CycleSearch::new(self.num_channels());
         search.next_cycle(self)
     }
+
+    /// Map an edge cycle (as returned by [`Cdg::find_cycle`] or
+    /// [`CycleSearch::next_cycle`]) to the channel sequence it traverses:
+    /// each edge contributes its source channel, so consecutive channels
+    /// hold a dependency and the last one feeds the first.
+    pub fn cycle_channels(&self, cycle: &[EdgeId]) -> Vec<fabric::ChannelId> {
+        cycle
+            .iter()
+            .map(|&e| fabric::ChannelId(self.edges[e as usize].from))
+            .collect()
+    }
 }
 
 const WHITE: u8 = 0;
@@ -352,10 +363,8 @@ impl CycleSearch {
                                 .iter()
                                 .position(|f| f.chan == edge.to)
                                 .expect("grey nodes are on the stack");
-                            let mut cycle: Vec<EdgeId> = self.stack[start + 1..]
-                                .iter()
-                                .map(|f| f.via)
-                                .collect();
+                            let mut cycle: Vec<EdgeId> =
+                                self.stack[start + 1..].iter().map(|f| f.via).collect();
                             cycle.push(e);
                             return Some(cycle);
                         }
@@ -406,6 +415,12 @@ mod tests {
         let first = cdg.edge(cycle[0]);
         let last = cdg.edge(*cycle.last().unwrap());
         assert_eq!(last.to, first.from);
+        // The channel view is the edge sources, in order.
+        let chans = cdg.cycle_channels(&cycle);
+        assert_eq!(chans.len(), cycle.len());
+        for (c, &e) in chans.iter().zip(&cycle) {
+            assert_eq!(c.0, cdg.edge(e).from);
+        }
     }
 
     #[test]

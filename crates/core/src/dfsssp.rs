@@ -223,8 +223,7 @@ fn compact_layers(
     let num_channels = layers.first().map_or(0, |l| l.num_channels());
     let mut seen = vec![0u32; num_channels];
     let mut epoch = 0u32;
-    let non_empty =
-        |layers: &Vec<Cdg>| layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
+    let non_empty = |layers: &Vec<Cdg>| layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
     // Paths grouped by their current layer, highest layer first.
     let mut by_layer: Vec<Vec<PathId>> = vec![Vec::new(); layers.len()];
     for p in ps.ids() {

@@ -58,14 +58,12 @@ impl CycleBreakHeuristic {
                 .copied()
                 .min_by_key(|&e| cdg.edge(e).count)
                 .unwrap(),
-            CycleBreakHeuristic::HeaviestEdge => {
-                cycle
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(i, &e)| (cdg.edge(e).count, std::cmp::Reverse(i)))
-                    .map(|(_, &e)| e)
-                    .unwrap()
-            }
+            CycleBreakHeuristic::HeaviestEdge => cycle
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &e)| (cdg.edge(e).count, std::cmp::Reverse(i)))
+                .map(|(_, &e)| e)
+                .unwrap(),
             CycleBreakHeuristic::RandomEdge(seed) => {
                 let x = splitmix64(seed ^ calls.wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 cycle[(x % cycle.len() as u64) as usize]
@@ -133,7 +131,10 @@ mod tests {
         let cdg = weighted(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
         let cycle = cdg.find_cycle().unwrap();
         let h = CycleBreakHeuristic::RandomEdge(42);
-        assert_eq!(h.pick_counted(&cdg, &cycle, 0), h.pick_counted(&cdg, &cycle, 0));
+        assert_eq!(
+            h.pick_counted(&cdg, &cycle, 0),
+            h.pick_counted(&cdg, &cycle, 0)
+        );
         // Different counters spread over the cycle (statistically: over
         // many counters every edge gets picked).
         let mut seen = std::collections::HashSet::new();

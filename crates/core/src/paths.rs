@@ -33,31 +33,30 @@ impl PathSet {
     pub fn extract(net: &Network, routes: &Routes) -> Result<PathSet, RouteError> {
         let terminals = net.terminals();
         // Parallel per-source extraction, then flatten.
-        let per_src: Vec<Result<SourcePaths, RouteError>> =
-            terminals
-                .par_iter()
-                .enumerate()
-                .map(|(src_t, &src)| {
-                    let mut chans = Vec::new();
-                    let mut lens = Vec::new();
-                    let mut pairs = Vec::new();
-                    for (dst_t, &dst) in terminals.iter().enumerate() {
-                        if src == dst {
-                            continue;
-                        }
-                        let before = chans.len();
-                        for step in routes
-                            .path(net, src, dst)
-                            .map_err(|_| RouteError::Disconnected)?
-                        {
-                            chans.push(step.map_err(|_| RouteError::Disconnected)?);
-                        }
-                        lens.push((chans.len() - before) as u32);
-                        pairs.push((src_t as u32, dst_t as u32));
+        let per_src: Vec<Result<SourcePaths, RouteError>> = terminals
+            .par_iter()
+            .enumerate()
+            .map(|(src_t, &src)| {
+                let mut chans = Vec::new();
+                let mut lens = Vec::new();
+                let mut pairs = Vec::new();
+                for (dst_t, &dst) in terminals.iter().enumerate() {
+                    if src == dst {
+                        continue;
                     }
-                    Ok((chans, lens, pairs))
-                })
-                .collect();
+                    let before = chans.len();
+                    for step in routes
+                        .path(net, src, dst)
+                        .map_err(|_| RouteError::Disconnected)?
+                    {
+                        chans.push(step.map_err(|_| RouteError::Disconnected)?);
+                    }
+                    lens.push((chans.len() - before) as u32);
+                    pairs.push((src_t as u32, dst_t as u32));
+                }
+                Ok((chans, lens, pairs))
+            })
+            .collect();
         let mut channels = Vec::new();
         let mut offsets = vec![0u64];
         let mut pairs = Vec::new();

@@ -276,7 +276,10 @@ mod tests {
         b.link(t0, s0).unwrap();
         b.link(t1, s1).unwrap();
         let net = b.build();
-        assert_eq!(Sssp::new().route(&net).unwrap_err(), RouteError::Disconnected);
+        assert_eq!(
+            Sssp::new().route(&net).unwrap_err(),
+            RouteError::Disconnected
+        );
         assert!(unbalanced_shortest_paths(&net).is_err());
     }
 }

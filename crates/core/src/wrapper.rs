@@ -12,8 +12,8 @@
 //! with path-level layers); `DeadlockFree<MinHop>` upgrades OpenSM's
 //! default engine.
 
-use crate::dfsssp::{assign_layers_offline, assign_layers_online, DfStats, LayerAssignMode};
 use crate::balance::balance_layers;
+use crate::dfsssp::{assign_layers_offline, assign_layers_online, DfStats, LayerAssignMode};
 use crate::engine::{RouteError, RoutingEngine};
 use crate::heuristics::CycleBreakHeuristic;
 use crate::paths::PathSet;

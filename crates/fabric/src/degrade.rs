@@ -152,10 +152,7 @@ mod tests {
         assert_eq!(removed, 5);
         assert!(degraded.is_strongly_connected());
         assert_eq!(degraded.num_terminals(), net.num_terminals());
-        assert_eq!(
-            degraded.num_cables(),
-            net.num_cables() - 5,
-        );
+        assert_eq!(degraded.num_cables(), net.num_cables() - 5,);
         degraded.validate().unwrap();
     }
 

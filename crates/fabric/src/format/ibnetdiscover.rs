@@ -91,8 +91,8 @@ pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
             current = Some(id);
         } else if line.starts_with('[') {
             let node = current.ok_or_else(|| err(ln, "port line before any node"))?;
-            let (port, rest) = parse_bracketed(line)
-                .ok_or_else(|| err(ln, "malformed port specifier"))?;
+            let (port, rest) =
+                parse_bracketed(line).ok_or_else(|| err(ln, "malformed port specifier"))?;
             let rest = rest.trim_start();
             let peer = parse_quoted(rest).ok_or_else(|| err(ln, "missing peer GUID"))?;
             let after_quote = &rest[peer.len() + 2..];
@@ -120,11 +120,12 @@ pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
             .get(&link.to_guid)
             .ok_or_else(|| err(link.line, format!("unknown peer {}", link.to_guid)))?;
         // The mirror record must exist and agree.
-        let mirror = pending.iter().find(|m| {
-            m.from == to && m.from_port == link.to_port
-        });
+        let mirror = pending
+            .iter()
+            .find(|m| m.from == to && m.from_port == link.to_port);
         match mirror {
-            Some(m) if nodes.get(&m.to_guid) == Some(&link.from) && m.to_port == link.from_port => {}
+            Some(m) if nodes.get(&m.to_guid) == Some(&link.from) && m.to_port == link.from_port => {
+            }
             _ => {
                 return Err(err(
                     link.line,
@@ -280,13 +281,10 @@ Switch 4 "S-0001"
             for (_, ch) in net.channels() {
                 let a = back.node_by_name(&net.node(ch.src).name).unwrap();
                 let b2 = back.node_by_name(&net.node(ch.dst).name).unwrap();
-                let found = back
-                    .channels_between(a, b2)
-                    .into_iter()
-                    .any(|c| {
-                        back.channel(c).src_port == ch.src_port
-                            && back.channel(c).dst_port == ch.dst_port
-                    });
+                let found = back.channels_between(a, b2).into_iter().any(|c| {
+                    back.channel(c).src_port == ch.src_port
+                        && back.channel(c).dst_port == ch.dst_port
+                });
                 assert!(found, "cable missing in round trip");
             }
             back.validate().unwrap();

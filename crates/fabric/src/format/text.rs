@@ -84,8 +84,7 @@ pub fn parse_network(input: &str) -> Result<Network, ParseError> {
                         "coord" => {
                             let c: Result<Vec<u16>, _> =
                                 val.split(',').map(|x| x.parse()).collect();
-                            coord =
-                                Some(c.map_err(|_| err(ln, format!("bad coord {val}")))?);
+                            coord = Some(c.map_err(|_| err(ln, format!("bad coord {val}")))?);
                         }
                         "level" => {
                             level = Some(

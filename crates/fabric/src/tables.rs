@@ -91,6 +91,13 @@ impl Routes {
         self.num_terminals
     }
 
+    /// Number of nodes the tables were sized for. Static checkers compare
+    /// this against the network before indexing, so stale tables are
+    /// reported instead of panicking.
+    pub fn num_nodes(&self) -> usize {
+        self.next.len()
+    }
+
     /// Program the next hop at `node` toward terminal index `dst_t`.
     #[inline]
     pub fn set_next(&mut self, node: NodeId, dst_t: usize, channel: ChannelId) {
@@ -104,6 +111,13 @@ impl Routes {
             NONE_U32 => None,
             c => Some(ChannelId(c)),
         }
+    }
+
+    /// Erase the next hop at `node` toward terminal index `dst_t` (used by
+    /// fault-injection tests and table scrubbing).
+    #[inline]
+    pub fn clear_next(&mut self, node: NodeId, dst_t: usize) {
+        self.next[node.idx()][dst_t] = NONE_U32;
     }
 
     /// Assign the virtual layer for the path `src_t → dst_t`

@@ -26,8 +26,8 @@ pub use random::{random_topology, RandomTopoSpec};
 pub use ring::{fully_connected, ring, star};
 pub use tree::{clos2, kary_ntree, xgft};
 
-use crate::NetworkBuilder;
 use crate::graph::NodeId;
+use crate::NetworkBuilder;
 
 /// Attach `count` terminals to `switch`, naming them `t{start+i}`.
 /// Returns the terminal ids. Helper shared by the generators.

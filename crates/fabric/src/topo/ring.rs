@@ -18,8 +18,7 @@ pub fn ring(n_switches: usize, terminals_per_switch: usize) -> Network {
         .map(|i| b.add_switch(format!("s{i}"), radix))
         .collect();
     for i in 0..n_switches {
-        b.link(switches[i], switches[(i + 1) % n_switches])
-            .unwrap();
+        b.link(switches[i], switches[(i + 1) % n_switches]).unwrap();
     }
     let mut tid = 0;
     for &s in &switches {

@@ -77,8 +77,14 @@ pub fn xgft(h: usize, m: &[usize], w: &[usize]) -> Network {
     let mut b = NetworkBuilder::new();
     b.label(format!(
         "xgft({h};{};{})",
-        m.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","),
-        w.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","),
+        m.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        w.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
     ));
     let mut tid = 0usize;
     let mut sid = 0usize;
@@ -139,13 +145,7 @@ fn build_xgft(
 ///
 /// Returns the network and the leaf switch ids. `terminals` endpoints are
 /// distributed as evenly as possible across leaves.
-pub fn clos2(
-    terminals: usize,
-    n_leaf: usize,
-    down: usize,
-    up: usize,
-    n_spine: usize,
-) -> Network {
+pub fn clos2(terminals: usize, n_leaf: usize, down: usize, up: usize, n_spine: usize) -> Network {
     let (net, _) = clos2_into(terminals, n_leaf, down, up, n_spine);
     net
 }

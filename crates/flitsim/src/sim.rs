@@ -117,7 +117,12 @@ impl OccupancyStats {
 ///
 /// Virtual lanes come from `routes` (a path's packets travel on its
 /// assigned layer end to end, like InfiniBand SL-to-VL mapping).
-pub fn simulate(net: &Network, routes: &Routes, workload: &Workload, config: &SimConfig) -> Outcome {
+pub fn simulate(
+    net: &Network,
+    routes: &Routes,
+    workload: &Workload,
+    config: &SimConfig,
+) -> Outcome {
     simulate_detailed(net, routes, workload, config).0
 }
 
@@ -410,7 +415,10 @@ mod tests {
                 ..SimConfig::default()
             };
             let out = simulate(&net, &routes, &Workload::shift(8, 3, 64), &config);
-            assert!(out.deadlocked(), "cap {cap}: expected deadlock, got {out:?}");
+            assert!(
+                out.deadlocked(),
+                "cap {cap}: expected deadlock, got {out:?}"
+            );
         }
         // Control: the same buffers with the 5-ring 2-hop pattern drain.
         let net5 = topo::ring(5, 1);

@@ -240,12 +240,7 @@ mod tests {
         // uniform traffic saturates well below full injection.
         let net = topo::ring(4, 4);
         let routes = DfSssp::new().route(&net).unwrap();
-        let pts = load_sweep(
-            &net,
-            &routes,
-            &[0.05, 0.9],
-            &OpenLoopConfig::default(),
-        );
+        let pts = load_sweep(&net, &routes, &[0.05, 0.9], &OpenLoopConfig::default());
         assert!(!pts[0].deadlocked && !pts[1].deadlocked);
         assert!(pts[1].accepted < 0.9, "saturated acceptance must flatten");
         assert!(pts[1].mean_latency > pts[0].mean_latency);

@@ -130,10 +130,19 @@ mod tests {
         let p = Pattern {
             flows: vec![(0, 9)],
         };
-        assert_eq!(Metric::MeanFlowBandwidth.eval(&net, &routes, &p).unwrap(), 1.0);
-        assert_eq!(Metric::MinFlowBandwidth.eval(&net, &routes, &p).unwrap(), 1.0);
+        assert_eq!(
+            Metric::MeanFlowBandwidth.eval(&net, &routes, &p).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            Metric::MinFlowBandwidth.eval(&net, &routes, &p).unwrap(),
+            1.0
+        );
         assert_eq!(Metric::MaxCongestion.eval(&net, &routes, &p).unwrap(), 1.0);
-        assert_eq!(Metric::SumMaxCongestion.eval(&net, &routes, &p).unwrap(), 1.0);
+        assert_eq!(
+            Metric::SumMaxCongestion.eval(&net, &routes, &p).unwrap(),
+            1.0
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl Pattern {
     /// `i + ceil(n/2) - 1` — the classic adversary for minimal routing on
     /// rings/tori.
     pub fn tornado(num_terminals: usize) -> Pattern {
-        Pattern::shift(num_terminals, num_terminals.div_ceil(2).saturating_sub(1).max(1))
+        Pattern::shift(
+            num_terminals,
+            num_terminals.div_ceil(2).saturating_sub(1).max(1),
+        )
     }
 
     /// Hotspot: every rank sends to one victim (rank 0), modeling an

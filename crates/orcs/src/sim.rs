@@ -263,7 +263,11 @@ mod tests {
             .iter()
             .map(|&(s, d)| {
                 routes
-                    .path_channels(&net, net.terminals()[s as usize], net.terminals()[d as usize])
+                    .path_channels(
+                        &net,
+                        net.terminals()[s as usize],
+                        net.terminals()[d as usize],
+                    )
                     .unwrap()
                     .len()
             })

@@ -10,7 +10,10 @@ fn bench_orcs(c: &mut Criterion) {
     let nets = vec![
         ("kary 4-2 (16t)", fabric::topo::kary_ntree(4, 2)),
         ("kary 8-2 (64t)", fabric::topo::kary_ntree(8, 2)),
-        ("xgft 16x16 (256t)", fabric::topo::xgft(2, &[16, 16], &[8, 8])),
+        (
+            "xgft 16x16 (256t)",
+            fabric::topo::xgft(2, &[16, 16], &[8, 8]),
+        ),
     ];
     let mut group = c.benchmark_group("orcs_pattern");
     for (label, net) in &nets {

@@ -29,5 +29,15 @@ fn main() {
             !report.is_deadlock_free(),
             outcome
         );
+        for (layer, cycle) in &report.cycles {
+            let chain: Vec<String> = cycle
+                .iter()
+                .map(|&c| {
+                    let ch = net.channel(c);
+                    format!("{:?}->{:?}", ch.src, ch.dst)
+                })
+                .collect();
+            println!("         layer {layer} witness cycle: {}", chain.join(" "));
+        }
     }
 }

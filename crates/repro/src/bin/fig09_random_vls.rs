@@ -47,8 +47,5 @@ fn main() {
         ]);
         eprintln!("  done: {links} links");
     }
-    repro::print_table(
-        &["links", "DFSSSP min/avg/max", "LASH min/avg/max"],
-        &rows,
-    );
+    repro::print_table(&["links", "DFSSSP min/avg/max", "LASH min/avg/max"], &rows);
 }

@@ -10,9 +10,7 @@ fn main() {
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
     let cores = 128.min(net.num_terminals());
-    println!(
-        "Figure 13: all-to-all runtime on Deimos, {cores} cores (milliseconds)\n"
-    );
+    println!("Figure 13: all-to-all runtime on Deimos, {cores} cores (milliseconds)\n");
     let minhop = MinHop::new().route(&net).unwrap();
     let dfsssp = DfSssp::new().route(&net).unwrap();
     let mut rows = Vec::new();

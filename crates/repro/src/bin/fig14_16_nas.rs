@@ -24,10 +24,7 @@ fn main() {
                 .take_while(|&c| c <= nt)
                 .collect()
         } else {
-            (4..)
-                .map(|k| k * k)
-                .take_while(|&c| c <= nt)
-                .collect()
+            (4..).map(|k| k * k).take_while(|&c| c <= nt).collect()
         };
         let tail = grid_counts.len().saturating_sub(4);
         for &cores in &grid_counts[tail..] {

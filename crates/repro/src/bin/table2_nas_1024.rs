@@ -25,7 +25,12 @@ fn main() {
         ]);
     }
     repro::print_table(
-        &["benchmark", "MinHop Gflop/s", "DFSSSP Gflop/s", "improvement"],
+        &[
+            "benchmark",
+            "MinHop Gflop/s",
+            "DFSSSP Gflop/s",
+            "improvement",
+        ],
         &rows,
     );
 }

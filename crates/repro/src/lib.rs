@@ -181,7 +181,15 @@ mod tests {
         let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
         assert_eq!(
             names,
-            vec!["MinHop", "Up*/Down*", "DOR", "LASH", "FatTree", "SSSP", "DFSSSP"]
+            vec![
+                "MinHop",
+                "Up*/Down*",
+                "DOR",
+                "LASH",
+                "FatTree",
+                "SSSP",
+                "DFSSSP"
+            ]
         );
     }
 

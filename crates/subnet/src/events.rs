@@ -96,17 +96,18 @@ impl<E: RoutingEngine> SmLoop<E> {
             }
         };
         let new_net = fabric::degrade::remove(&self.net, &dead_nodes, &dead_channels);
-        let sm_node =
-            new_net
-                .terminals()
-                .first()
-                .copied()
-                .ok_or(SmError::PartialDiscovery {
-                    found: 0,
-                    total: new_net.num_nodes(),
-                })?;
+        let sm_node = new_net
+            .terminals()
+            .first()
+            .copied()
+            .ok_or(SmError::PartialDiscovery {
+                found: 0,
+                total: new_net.num_nodes(),
+            })?;
         let fabric = self.sm.run(&new_net, sm_node)?;
-        let diff = fabric.tables.diff(&new_net, &self.current.tables, &self.net);
+        let diff = fabric
+            .tables
+            .diff(&new_net, &self.current.tables, &self.net);
         self.net = new_net;
         self.current = fabric;
         Ok(diff)

@@ -106,7 +106,13 @@ impl FabricTables {
     }
 
     /// The SM's answer to a path query from `src_t` to `dst_t`.
-    pub fn path_record(&self, lids: &LidMap, net: &Network, src_t: usize, dst_t: usize) -> PathRecord {
+    pub fn path_record(
+        &self,
+        lids: &LidMap,
+        net: &Network,
+        src_t: usize,
+        dst_t: usize,
+    ) -> PathRecord {
         PathRecord {
             dlid: lids.lid(net.terminals()[dst_t]),
             sl: self.sl[src_t * self.num_terminals + dst_t],
@@ -128,12 +134,7 @@ impl FabricTables {
     /// slots by destination LID. Returns how many `(switch, dlid)`
     /// entries changed and how many switches were touched — the update
     /// cost of a transparent re-route, which OpenSM pushes as SMP writes.
-    pub fn diff(
-        &self,
-        self_net: &Network,
-        other: &FabricTables,
-        other_net: &Network,
-    ) -> LftDiff {
+    pub fn diff(&self, self_net: &Network, other: &FabricTables, other_net: &Network) -> LftDiff {
         let mut entries_changed = 0usize;
         let mut switches_touched = 0usize;
         let mut switches_missing = 0usize;
@@ -150,9 +151,7 @@ impl FabricTables {
             let a = &self.lfts[si];
             let b = &other.lfts[osi];
             let changed = (0..a.len().max(b.len()))
-                .filter(|&lid| {
-                    a.get(lid).copied().unwrap_or(0) != b.get(lid).copied().unwrap_or(0)
-                })
+                .filter(|&lid| a.get(lid).copied().unwrap_or(0) != b.get(lid).copied().unwrap_or(0))
                 .count();
             if changed > 0 {
                 switches_touched += 1;
@@ -189,19 +188,13 @@ impl FabricTables {
                 Some(si) => {
                     let port = self.lfts[si][dlid.0 as usize];
                     if port == 0 {
-                        return Err(WalkError::NoEntry {
-                            switch: at,
-                            dlid,
-                        });
+                        return Err(WalkError::NoEntry { switch: at, dlid });
                     }
                     net.out_channels(at)
                         .iter()
                         .copied()
                         .find(|&c| net.channel(c).src_port == port as u16)
-                        .ok_or(WalkError::DeadPort {
-                            switch: at,
-                            port,
-                        })?
+                        .ok_or(WalkError::DeadPort { switch: at, port })?
                 }
                 None => {
                     // Terminals inject through their (first) switch port;
@@ -307,8 +300,7 @@ mod tests {
     fn diff_after_cable_failure_is_local() {
         let net = topo::kary_ntree(4, 2);
         let (_, _, before) = programmed(&net);
-        let (degraded, removed) =
-            fabric::degrade::fail_random_cables(&net, 2, 9);
+        let (degraded, removed) = fabric::degrade::fail_random_cables(&net, 2, 9);
         assert!(removed > 0);
         let (_, _, after) = programmed(&degraded);
         let d = after.diff(&degraded, &before, &net);

@@ -114,8 +114,8 @@ impl<E: RoutingEngine> SubnetManager<E> {
             });
         }
         if self.require_deadlock_free {
-            let report = deadlock_report(net, &routes)
-                .map_err(|_| SmError::Walk(WalkError::Loop))?;
+            let report =
+                deadlock_report(net, &routes).map_err(|_| SmError::Walk(WalkError::Loop))?;
             if !report.is_deadlock_free() {
                 return Err(SmError::CyclicLayers(report.cyclic_layers));
             }

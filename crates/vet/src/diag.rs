@@ -1,0 +1,401 @@
+//! Diagnostic model: lint codes, severities, witnesses, and the report a
+//! [`crate::analyze`] run produces.
+
+use fabric::{ChannelId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of one lint. The numeric codes are part of the tool's
+/// interface (CI greps for them; docs list them) — never renumber.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum LintCode {
+    /// `V001`: walking the forwarding tables toward some destination
+    /// revisits a node — packets cycle forever.
+    ForwardingLoop,
+    /// `V002`: a (node, destination) pair has no programmed next hop.
+    MissingEntry,
+    /// `V003`: a programmed next hop is unusable — the channel id is out
+    /// of range (e.g. stale tables after a topology rebuild), does not
+    /// originate at the node holding the entry, or enters a terminal that
+    /// cannot forward.
+    InvalidNextHop,
+    /// `V004`: a virtual layer's channel dependency graph has a cycle, so
+    /// the Dally & Seitz deadlock-freedom condition is violated.
+    CdgCycle,
+    /// `V005`: virtual-layer assignment problems — a path's layer is out
+    /// of range, the layer count exceeds the hardware VL limit, or the
+    /// layer population is badly imbalanced.
+    VlOutOfRange,
+    /// `V006`: a pair is routed over more hops than the shortest path.
+    NonMinimalPath,
+}
+
+impl LintCode {
+    /// All codes, in numeric order. `counts` arrays index by this order.
+    pub const ALL: [LintCode; 6] = [
+        LintCode::ForwardingLoop,
+        LintCode::MissingEntry,
+        LintCode::InvalidNextHop,
+        LintCode::CdgCycle,
+        LintCode::VlOutOfRange,
+        LintCode::NonMinimalPath,
+    ];
+
+    /// The stable `V00x` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::ForwardingLoop => "V001",
+            LintCode::MissingEntry => "V002",
+            LintCode::InvalidNextHop => "V003",
+            LintCode::CdgCycle => "V004",
+            LintCode::VlOutOfRange => "V005",
+            LintCode::NonMinimalPath => "V006",
+        }
+    }
+
+    /// Short kebab-case name, matching the docs table.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::ForwardingLoop => "forwarding-loop",
+            LintCode::MissingEntry => "missing-entry",
+            LintCode::InvalidNextHop => "invalid-next-hop",
+            LintCode::CdgCycle => "cdg-cycle",
+            LintCode::VlOutOfRange => "vl-out-of-range",
+            LintCode::NonMinimalPath => "non-minimal-path",
+        }
+    }
+
+    /// Position within [`LintCode::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LintCode::ForwardingLoop => 0,
+            LintCode::MissingEntry => 1,
+            LintCode::InvalidNextHop => 2,
+            LintCode::CdgCycle => 3,
+            LintCode::VlOutOfRange => 4,
+            LintCode::NonMinimalPath => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.as_str(), self.name())
+    }
+}
+
+/// How bad a finding is. `Error` findings make the `vet` binary exit
+/// non-zero; `Warning` and `Info` are advisory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// Position within per-severity count arrays (info, warning, error).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Machine-checkable evidence attached to a diagnostic. Every lint has a
+/// witness shape that lets a reader (or a test) reproduce the finding
+/// without re-running the analysis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Witness {
+    /// V001: the channel cycle a table walk toward `dst` falls into.
+    /// Consecutive channels chain head-to-tail and the last feeds the
+    /// first; never empty.
+    TableLoop {
+        dst: NodeId,
+        channels: Vec<ChannelId>,
+    },
+    /// V002: the (node, destination) pair lacking an entry.
+    Entry { node: NodeId, dst: NodeId },
+    /// V003: the raw channel value programmed at `node` toward `dst`
+    /// (kept as `u32` — it may not be a valid [`ChannelId`]).
+    NextHop {
+        node: NodeId,
+        dst: NodeId,
+        channel: u32,
+    },
+    /// V003 (shape variant): the artifact was sized for a different
+    /// network than the one being vetted.
+    Shape {
+        table_nodes: usize,
+        net_nodes: usize,
+        table_terminals: usize,
+        net_terminals: usize,
+    },
+    /// V004: the channel cycle inside one layer's dependency graph.
+    /// Consecutive channels chain head-to-tail and the last feeds the
+    /// first; never empty.
+    CdgCycle { layer: u8, channels: Vec<ChannelId> },
+    /// V005: the terminal pair whose layer assignment is out of range.
+    Layer { src: NodeId, dst: NodeId, layer: u8 },
+    /// V005 (imbalance / hardware-limit variants): routed paths per layer.
+    LayerHistogram { populations: Vec<usize> },
+    /// V006: the offending pair with its routed and minimal hop counts.
+    Stretch {
+        src: NodeId,
+        dst: NodeId,
+        hops: u32,
+        minimal: u32,
+    },
+}
+
+/// One finding: a lint code, its severity, a human message and a witness.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub code: LintCode,
+    pub severity: Severity,
+    pub message: String,
+    pub witness: Witness,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} {}: {}",
+            self.code.as_str(),
+            self.severity,
+            self.code.name(),
+            self.message
+        )
+    }
+}
+
+/// Aggregate facts about the artifact, computed alongside the lints.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Stats {
+    pub num_nodes: usize,
+    pub num_switches: usize,
+    pub num_terminals: usize,
+    pub num_channels: usize,
+    /// Ordered terminal pairs with distinct endpoints.
+    pub pairs: usize,
+    /// Pairs whose table walk reaches the destination.
+    pub pairs_routed: usize,
+    /// Pairs broken by a loop, missing entry or invalid next hop.
+    pub pairs_broken: usize,
+    /// Pairs with no physical path (expected to be unrouted).
+    pub pairs_unreachable: usize,
+    pub num_layers: u8,
+    /// Routed paths assigned to each virtual layer.
+    pub paths_per_layer: Vec<usize>,
+    /// Dependency-graph edges per virtual layer.
+    pub edges_per_layer: Vec<usize>,
+    /// Layers whose dependency graph is cyclic, ascending.
+    pub cyclic_layers: Vec<u8>,
+    /// Longest routed path, in hops.
+    pub max_hops: u32,
+    /// Sample of terminal pairs whose table walk failed (broken or
+    /// unreachable), capped at [`Stats::BROKEN_PAIR_SAMPLE`] entries.
+    pub broken_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl Stats {
+    /// Cap on the [`Stats::broken_pairs`] sample.
+    pub const BROKEN_PAIR_SAMPLE: usize = 16;
+}
+
+/// The outcome of one [`crate::analyze`] run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Engine name recorded in the routes artifact.
+    pub engine: String,
+    /// Topology label of the vetted network.
+    pub network: String,
+    pub stats: Stats,
+    /// Retained diagnostics (per-code capped; see `suppressed`).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings per lint code, indexed like [`LintCode::ALL`]. Counts
+    /// include suppressed findings.
+    pub counts: [usize; 6],
+    /// Findings per severity (info, warning, error), including suppressed.
+    pub severity_counts: [usize; 3],
+    /// Findings dropped by the per-code diagnostic cap.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Total findings for `code`, including suppressed ones.
+    #[inline]
+    pub fn count(&self, code: LintCode) -> usize {
+        self.counts[code.index()]
+    }
+
+    /// Whether any finding with `code` was emitted.
+    #[inline]
+    pub fn has(&self, code: LintCode) -> bool {
+        self.count(code) > 0
+    }
+
+    /// Number of error-severity findings.
+    #[inline]
+    pub fn num_errors(&self) -> usize {
+        self.severity_counts[Severity::Error.index()]
+    }
+
+    /// Number of warning-severity findings.
+    #[inline]
+    pub fn num_warnings(&self) -> usize {
+        self.severity_counts[Severity::Warning.index()]
+    }
+
+    /// Whether the artifact passed: no error-severity findings.
+    #[inline]
+    pub fn clean(&self) -> bool {
+        self.num_errors() == 0
+    }
+
+    /// Retained diagnostics carrying `code`.
+    pub fn diagnostics_for(&self, code: LintCode) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// Multi-line human rendering (what the `vet` binary prints).
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "vet: engine={} network={} nodes={} ({} switches, {} terminals) channels={} layers={}",
+            self.engine,
+            self.network,
+            s.num_nodes,
+            s.num_switches,
+            s.num_terminals,
+            s.num_channels,
+            s.num_layers,
+        );
+        let _ = writeln!(
+            out,
+            "     pairs: {} routed, {} broken, {} unreachable of {}; max path {} hops",
+            s.pairs_routed, s.pairs_broken, s.pairs_unreachable, s.pairs, s.max_hops,
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        let _ = write!(
+            out,
+            "summary: {} error(s), {} warning(s), {} info",
+            self.num_errors(),
+            self.num_warnings(),
+            self.severity_counts[Severity::Info.index()],
+        );
+        if self.suppressed > 0 {
+            let _ = write!(
+                out,
+                " ({} finding(s) suppressed by per-code cap)",
+                self.suppressed
+            );
+        }
+        out.push('\n');
+        out
+    }
+
+    /// JSON rendering of the full report.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// Collects diagnostics during analysis, enforcing the per-code cap.
+pub(crate) struct Emitter {
+    pub diagnostics: Vec<Diagnostic>,
+    pub counts: [usize; 6],
+    pub severity_counts: [usize; 3],
+    pub suppressed: usize,
+    cap: usize,
+}
+
+impl Emitter {
+    pub fn new(cap: usize) -> Self {
+        Emitter {
+            diagnostics: Vec::new(),
+            counts: [0; 6],
+            severity_counts: [0; 3],
+            suppressed: 0,
+            cap,
+        }
+    }
+
+    pub fn emit(&mut self, code: LintCode, severity: Severity, message: String, witness: Witness) {
+        self.counts[code.index()] += 1;
+        self.severity_counts[severity.index()] += 1;
+        if self.counts[code.index()] > self.cap {
+            self.suppressed += 1;
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            message,
+            witness,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_indexed() {
+        for (i, code) in LintCode::ALL.iter().enumerate() {
+            assert_eq!(code.index(), i);
+            assert_eq!(code.as_str(), format!("V{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn emitter_caps_per_code() {
+        let mut e = Emitter::new(2);
+        for i in 0..5 {
+            e.emit(
+                LintCode::MissingEntry,
+                Severity::Error,
+                format!("missing {i}"),
+                Witness::Entry {
+                    node: NodeId(i),
+                    dst: NodeId(0),
+                },
+            );
+        }
+        e.emit(
+            LintCode::ForwardingLoop,
+            Severity::Warning,
+            "loop".into(),
+            Witness::TableLoop {
+                dst: NodeId(0),
+                channels: vec![ChannelId(0)],
+            },
+        );
+        assert_eq!(e.counts[LintCode::MissingEntry.index()], 5);
+        assert_eq!(e.suppressed, 3);
+        assert_eq!(e.diagnostics.len(), 3); // 2 capped + 1 loop
+        assert_eq!(e.severity_counts[Severity::Error.index()], 5);
+        assert_eq!(e.severity_counts[Severity::Warning.index()], 1);
+    }
+}

@@ -1,0 +1,477 @@
+//! `vet` — static analysis of routing artifacts.
+//!
+//! Routing engines produce `(Network, Routes)` pairs; simulators consume
+//! them. This crate sits between: it lints an artifact *without*
+//! simulating, emitting structured diagnostics with machine-checkable
+//! witnesses. The checks:
+//!
+//! | code | name | what it catches |
+//! |------|------|-----------------|
+//! | V001 | forwarding-loop | table walks that revisit a node |
+//! | V002 | missing-entry | (node, destination) pairs with no next hop |
+//! | V003 | invalid-next-hop | entries naming unusable channels |
+//! | V004 | cdg-cycle | cyclic channel dependencies within a layer |
+//! | V005 | vl-out-of-range | layer assignment out of range / over the hardware limit / imbalanced |
+//! | V006 | non-minimal-path | routes longer than the shortest path |
+//!
+//! The analysis is destination-centric: one colored walk of the next-hop
+//! function per destination classifies every node in O(V), instead of
+//! re-walking each of the O(V²) pairs. See [`analyze`] and [`Report`].
+
+mod cdg_lint;
+mod diag;
+mod walk;
+
+pub use diag::{Diagnostic, LintCode, Report, Severity, Stats, Witness};
+
+use fabric::{Network, Routes};
+
+/// Tunables for one analysis run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Hardware virtual-lane budget (InfiniBand switches commonly expose
+    /// 8). When set, using more layers than this is a V005 error.
+    pub hw_vls: Option<u8>,
+    /// Whether a cyclic dependency graph (V004) is an error. Engines that
+    /// never claimed deadlock freedom (plain SSSP) can downgrade it to a
+    /// warning.
+    pub deadlock_error: bool,
+    /// Whether to emit V006 for non-minimal routes. Engines that are
+    /// non-minimal by design (Up*/Down*) can switch it off.
+    pub check_minimal: bool,
+    /// V005 imbalance warning threshold: fires when the most-populated
+    /// layer holds more than `imbalance_factor` times the mean.
+    pub imbalance_factor: f64,
+    /// Retain at most this many diagnostics per lint code; the rest are
+    /// counted but dropped (see [`Report::suppressed`]).
+    pub max_diagnostics_per_code: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            hw_vls: None,
+            deadlock_error: true,
+            check_minimal: true,
+            imbalance_factor: 4.0,
+            max_diagnostics_per_code: 25,
+        }
+    }
+}
+
+/// Analyze `routes` against `net` with default settings.
+pub fn analyze(net: &Network, routes: &Routes) -> Report {
+    analyze_with(net, routes, &Config::default())
+}
+
+/// Analyze `routes` against `net` with explicit settings.
+pub fn analyze_with(net: &Network, routes: &Routes, cfg: &Config) -> Report {
+    let mut em = diag::Emitter::new(cfg.max_diagnostics_per_code);
+    let mut stats = Stats {
+        num_nodes: net.num_nodes(),
+        num_switches: net.num_switches(),
+        num_terminals: net.num_terminals(),
+        num_channels: net.num_channels(),
+        num_layers: routes.num_layers(),
+        ..Stats::default()
+    };
+
+    // Shape guard: tables sized for a different network cannot be indexed
+    // safely — one V003 and out (degraded fabrics renumber everything).
+    if routes.num_nodes() != net.num_nodes() || routes.num_terminals() != net.num_terminals() {
+        em.emit(
+            LintCode::InvalidNextHop,
+            Severity::Error,
+            format!(
+                "tables sized for {} node(s) / {} terminal(s), network has {} / {} — \
+                 artifact does not match this network",
+                routes.num_nodes(),
+                routes.num_terminals(),
+                net.num_nodes(),
+                net.num_terminals()
+            ),
+            Witness::Shape {
+                table_nodes: routes.num_nodes(),
+                net_nodes: net.num_nodes(),
+                table_terminals: routes.num_terminals(),
+                net_terminals: net.num_terminals(),
+            },
+        );
+        return finish(net, routes, em, stats);
+    }
+
+    let walked = walk::walk_tables(net, routes, cfg, &mut em);
+    stats.pairs = walked.pairs;
+    stats.pairs_routed = walked.pairs_routed;
+    stats.pairs_broken = walked.pairs_broken;
+    stats.pairs_unreachable = walked.pairs_unreachable;
+    stats.max_hops = walked.max_hops;
+    stats.paths_per_layer = walked.paths_per_layer;
+    stats.edges_per_layer = walked.edges.iter().map(|e| e.len()).collect();
+    stats.broken_pairs = walked.broken_pairs;
+
+    // V004: Dally & Seitz — every layer's dependency graph must be acyclic.
+    let cdg_sev = if cfg.deadlock_error {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    for (layer, edges) in walked.edges.iter().enumerate() {
+        if let Some(channels) = cdg_lint::find_cycle(net.num_channels(), edges) {
+            stats.cyclic_layers.push(layer as u8);
+            em.emit(
+                LintCode::CdgCycle,
+                cdg_sev,
+                format!(
+                    "layer {layer} channel dependency graph has a cycle of {} channel(s) — \
+                     routes on this layer can deadlock",
+                    channels.len()
+                ),
+                Witness::CdgCycle {
+                    layer: layer as u8,
+                    channels,
+                },
+            );
+        }
+    }
+
+    // V005 summary checks: hardware budget and population balance.
+    if let Some(hw) = cfg.hw_vls {
+        if routes.num_layers() > hw {
+            em.emit(
+                LintCode::VlOutOfRange,
+                Severity::Error,
+                format!(
+                    "routes use {} virtual layers but the hardware provides {hw} VLs",
+                    routes.num_layers()
+                ),
+                Witness::LayerHistogram {
+                    populations: stats.paths_per_layer.clone(),
+                },
+            );
+        }
+    }
+    if stats.num_layers > 1 && stats.pairs_routed > 0 {
+        let max = *stats.paths_per_layer.iter().max().unwrap_or(&0);
+        let mean = stats.pairs_routed as f64 / stats.num_layers as f64;
+        if max as f64 > cfg.imbalance_factor * mean {
+            em.emit(
+                LintCode::VlOutOfRange,
+                Severity::Warning,
+                format!(
+                    "layer population imbalanced: busiest layer carries {max} of {} routed \
+                     path(s) across {} layers (mean {mean:.1})",
+                    stats.pairs_routed, stats.num_layers
+                ),
+                Witness::LayerHistogram {
+                    populations: stats.paths_per_layer.clone(),
+                },
+            );
+        }
+    }
+
+    finish(net, routes, em, stats)
+}
+
+fn finish(net: &Network, routes: &Routes, em: diag::Emitter, stats: Stats) -> Report {
+    Report {
+        engine: routes.engine().to_string(),
+        network: net.label().to_string(),
+        stats,
+        diagnostics: em.diagnostics,
+        counts: em.counts,
+        severity_counts: em.severity_counts,
+        suppressed: em.suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{ChannelId, Network, NetworkBuilder, NodeId};
+
+    /// t0 - s0 - s1 - t1, plus t2 on s1 (same shape as the fabric tests).
+    fn line() -> Network {
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 36);
+        let s1 = b.add_switch("s1", 36);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        let t2 = b.add_terminal("t2");
+        b.link(s0, s1).unwrap();
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        b.link(t2, s1).unwrap();
+        b.build()
+    }
+
+    fn bfs_routes(net: &Network) -> fabric::Routes {
+        let mut r = fabric::Routes::new(net, "bfs-test");
+        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            let hops = net.hops_to(dst);
+            for (id, _) in net.nodes() {
+                if id == dst || hops[id.idx()] == u32::MAX {
+                    continue;
+                }
+                let best = net
+                    .out_channels(id)
+                    .iter()
+                    .copied()
+                    .min_by_key(|&c| hops[net.channel(c).dst.idx()])
+                    .unwrap();
+                r.set_next(id, dst_t, best);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn clean_tables_produce_clean_report() {
+        let net = line();
+        let report = analyze(&net, &bfs_routes(&net));
+        assert!(
+            report.clean(),
+            "unexpected findings: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.num_warnings(), 0);
+        assert_eq!(report.stats.pairs, 6);
+        assert_eq!(report.stats.pairs_routed, 6);
+        assert_eq!(report.stats.pairs_broken, 0);
+        assert_eq!(report.stats.max_hops, 3);
+        assert_eq!(report.stats.paths_per_layer, vec![6]);
+        assert_eq!(report.engine, "bfs-test");
+    }
+
+    #[test]
+    fn dropped_entry_is_v002() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        let s0 = net.node_by_name("s0").unwrap();
+        r.clear_next(s0, 1); // s0 no longer knows about t1
+        let report = analyze(&net, &r);
+        assert!(report.has(LintCode::MissingEntry));
+        assert!(!report.clean());
+        // t0 -> t1 is the broken pair; t2 -> t1 does not cross s0.
+        assert_eq!(report.stats.pairs_broken, 1);
+        let d = report
+            .diagnostics_for(LintCode::MissingEntry)
+            .next()
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(matches!(d.witness, Witness::Entry { node, .. } if node == s0));
+    }
+
+    #[test]
+    fn unreachable_pairs_are_v002_warnings_not_errors() {
+        // Two disconnected islands: t0-s0 and t1-s1. No table can route
+        // across, so the missing entries are latent facts about the
+        // fabric, not artifact bugs.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        let report = analyze(&net, &bfs_routes(&net));
+        assert!(report.has(LintCode::MissingEntry));
+        assert!(report.clean(), "{:?}", report.diagnostics);
+        assert!(report.num_warnings() > 0);
+        assert_eq!(report.stats.pairs_unreachable, 2);
+        assert_eq!(report.stats.pairs_broken, 0);
+    }
+
+    #[test]
+    fn two_switch_loop_is_v001_with_witness() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        let s0 = net.node_by_name("s0").unwrap();
+        let s1 = net.node_by_name("s1").unwrap();
+        // Route s1's traffic for t1 back to s0: s0 <-> s1 ping-pong.
+        r.set_next(s1, 1, net.channel_between(s1, s0).unwrap());
+        let report = analyze(&net, &r);
+        assert!(report.has(LintCode::ForwardingLoop));
+        let d = report
+            .diagnostics_for(LintCode::ForwardingLoop)
+            .next()
+            .unwrap();
+        let Witness::TableLoop { channels, .. } = &d.witness else {
+            panic!("V001 must carry a TableLoop witness");
+        };
+        assert_eq!(channels.len(), 2);
+        // The loop chains: each channel's head is the next channel's tail.
+        for w in channels.windows(2) {
+            assert_eq!(net.channel(w[0]).dst, net.channel(w[1]).src);
+        }
+        assert_eq!(
+            net.channel(*channels.last().unwrap()).dst,
+            net.channel(channels[0]).src
+        );
+    }
+
+    #[test]
+    fn garbage_channel_is_v003() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        let s0 = net.node_by_name("s0").unwrap();
+        r.set_next(s0, 1, ChannelId(9999));
+        let report = analyze(&net, &r);
+        assert!(report.has(LintCode::InvalidNextHop));
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn foreign_channel_is_v003() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        let s0 = net.node_by_name("s0").unwrap();
+        let s1 = net.node_by_name("s1").unwrap();
+        let t1 = net.node_by_name("t1").unwrap();
+        // A real channel, but it leaves s1, not s0.
+        r.set_next(s0, 1, net.channel_between(s1, t1).unwrap());
+        let report = analyze(&net, &r);
+        let d = report
+            .diagnostics_for(LintCode::InvalidNextHop)
+            .next()
+            .unwrap();
+        assert!(matches!(d.witness, Witness::NextHop { node, .. } if node == s0));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_single_v003() {
+        let net = line();
+        let routes = bfs_routes(&net);
+        // Vet those tables against a *different* network.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 36);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(t0, s0).unwrap();
+        b.link(t1, s0).unwrap();
+        let other = b.build();
+        let report = analyze(&other, &routes);
+        assert_eq!(report.count(LintCode::InvalidNextHop), 1);
+        assert!(!report.clean());
+        assert!(matches!(
+            report.diagnostics[0].witness,
+            Witness::Shape { .. }
+        ));
+    }
+
+    #[test]
+    fn overflowing_hw_vls_is_v005() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        r.set_layer(0, 1, 3); // forces num_layers to 4
+        let cfg = Config {
+            hw_vls: Some(2),
+            ..Config::default()
+        };
+        let report = analyze_with(&net, &r, &cfg);
+        assert!(report.has(LintCode::VlOutOfRange));
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn detour_is_v006_with_stretch_witness() {
+        // Triangle a-c, a-d, d-c: the a -> d -> c detour is one hop longer
+        // than a -> c.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_switch("a", 36);
+        let c = b.add_switch("c", 36);
+        let d = b.add_switch("d", 36);
+        let ta = b.add_terminal("ta");
+        let tc = b.add_terminal("tc");
+        b.link(a, c).unwrap();
+        b.link(a, d).unwrap();
+        b.link(d, c).unwrap();
+        b.link(ta, a).unwrap();
+        b.link(tc, c).unwrap();
+        let net = b.build();
+        let mut r = bfs_routes(&net);
+        // ta -> a -> d -> c -> tc (4 hops) instead of ta -> a -> c -> tc.
+        let tc_t = net.terminal_index(tc).unwrap();
+        r.set_next(a, tc_t, net.channel_between(a, d).unwrap());
+        let report = analyze(&net, &r);
+        assert!(report.has(LintCode::NonMinimalPath));
+        let diag = report
+            .diagnostics_for(LintCode::NonMinimalPath)
+            .next()
+            .unwrap();
+        let Witness::Stretch {
+            src,
+            dst,
+            hops,
+            minimal,
+        } = diag.witness
+        else {
+            panic!("V006 must carry a Stretch witness");
+        };
+        assert_eq!((src, dst, hops, minimal), (ta, tc, 4, 3));
+        // Non-minimal alone is a warning, not an error.
+        assert!(report.clean());
+        assert_eq!(report.num_warnings(), 1);
+    }
+
+    #[test]
+    fn cdg_cycle_on_ring_is_v004_with_chained_witness() {
+        // 4-switch unidirectional-ish ring routed the "wrong way" so layer
+        // 0's dependencies close a cycle: route everything clockwise.
+        let mut b = NetworkBuilder::new();
+        let s: Vec<_> = (0..4).map(|i| b.add_switch(format!("s{i}"), 36)).collect();
+        let t: Vec<_> = (0..4).map(|i| b.add_terminal(format!("t{i}"))).collect();
+        for i in 0..4 {
+            b.link(s[i], s[(i + 1) % 4]).unwrap();
+            b.link(t[i], s[i]).unwrap();
+        }
+        let net = b.build();
+        let mut r = fabric::Routes::new(&net, "clockwise");
+        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            let host = net.channel(net.out_channels(dst)[0]).dst; // its switch
+            for i in 0..4 {
+                if t[i] == dst {
+                    continue;
+                }
+                r.set_next(t[i], dst_t, net.channel_between(t[i], s[i]).unwrap());
+            }
+            for i in 0..4 {
+                if s[i] == host {
+                    r.set_next(s[i], dst_t, net.channel_between(s[i], dst).unwrap());
+                } else {
+                    r.set_next(
+                        s[i],
+                        dst_t,
+                        net.channel_between(s[i], s[(i + 1) % 4]).unwrap(),
+                    );
+                }
+            }
+        }
+        let report = analyze(&net, &r);
+        assert!(report.has(LintCode::CdgCycle));
+        assert!(!report.clean());
+        assert_eq!(report.stats.cyclic_layers, vec![0]);
+        let d = report.diagnostics_for(LintCode::CdgCycle).next().unwrap();
+        let Witness::CdgCycle { channels, .. } = &d.witness else {
+            panic!("V004 must carry a CdgCycle witness");
+        };
+        assert!(!channels.is_empty());
+        // Witness channels chain: consecutive dependencies share a node.
+        for w in channels.windows(2) {
+            assert_eq!(net.channel(w[0]).dst, net.channel(w[1]).src);
+        }
+    }
+
+    #[test]
+    fn renderers_mention_code_and_summary() {
+        let net = line();
+        let mut r = bfs_routes(&net);
+        r.clear_next(net.node_by_name("s0").unwrap(), 1);
+        let report = analyze(&net, &r);
+        let human = report.render_human();
+        assert!(human.contains("V002"));
+        assert!(human.contains("summary:"));
+        assert!(report.to_json().is_ok());
+    }
+}

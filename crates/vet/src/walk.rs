@@ -1,0 +1,349 @@
+//! Destination-based table walk.
+//!
+//! For each destination terminal the forwarding tables induce a next-hop
+//! function over nodes. One colored walk per destination classifies every
+//! node as reaching the destination, looping, or broken — O(V) work per
+//! destination instead of the O(pairs · hops) of walking every
+//! source/destination pair separately. Dependency-graph edges are also
+//! collected here, memoized per (destination, layer) so shared path
+//! suffixes are traversed once.
+
+use fabric::{ChannelId, Network, NodeId, Routes};
+use rustc_hash::FxHashSet;
+
+use crate::diag::{Emitter, LintCode, Severity, Witness};
+use crate::Config;
+
+const UNVISITED: u8 = 0;
+const ON_STACK: u8 = 1;
+const OK: u8 = 2;
+const BROKEN: u8 = 3;
+
+/// Everything the per-destination walks learned, for the report.
+pub(crate) struct WalkResult {
+    pub pairs: usize,
+    pub pairs_routed: usize,
+    pub pairs_broken: usize,
+    pub pairs_unreachable: usize,
+    pub max_hops: u32,
+    /// Routed paths per virtual layer.
+    pub paths_per_layer: Vec<usize>,
+    /// Per-layer dependency edges between channel ids.
+    pub edges: Vec<FxHashSet<(u32, u32)>>,
+    /// Sample of failed terminal pairs (see [`crate::Stats::broken_pairs`]).
+    pub broken_pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Why one walk stopped.
+enum Stop {
+    /// Reached a node already known to route to the destination.
+    Reached,
+    /// Hit a loop, a broken node, or an unusable entry.
+    Failed,
+}
+
+pub(crate) fn walk_tables(
+    net: &Network,
+    routes: &Routes,
+    cfg: &Config,
+    em: &mut Emitter,
+) -> WalkResult {
+    let n = net.num_nodes();
+    let nl = routes.num_layers() as usize;
+    let mut res = WalkResult {
+        pairs: 0,
+        pairs_routed: 0,
+        pairs_broken: 0,
+        pairs_unreachable: 0,
+        max_hops: 0,
+        paths_per_layer: vec![0; nl],
+        edges: vec![FxHashSet::default(); nl],
+        broken_pairs: Vec::new(),
+    };
+
+    // Reused across destinations.
+    let mut state = vec![UNVISITED; n];
+    let mut tdist = vec![u32::MAX; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut srcs_by_layer: Vec<Vec<NodeId>> = vec![Vec::new(); nl];
+    let mut mark = vec![0u32; n];
+    let mut generation = 0u32;
+
+    for (dst_t, &dst) in net.terminals().iter().enumerate() {
+        state.iter_mut().for_each(|s| *s = UNVISITED);
+        tdist.iter_mut().for_each(|d| *d = u32::MAX);
+        srcs_by_layer.iter_mut().for_each(Vec::clear);
+        state[dst.idx()] = OK;
+        tdist[dst.idx()] = 0;
+        let hops = net.hops_to(dst);
+
+        // Terminal sources first (broken walks here are reachable-pair
+        // errors), then leftover switches (latent findings, warnings).
+        for &src in net.terminals() {
+            if src == dst {
+                continue;
+            }
+            res.pairs += 1;
+            let src_t = net.terminal_index(src).expect("terminal list entry");
+            match walk_one(
+                net, routes, dst, dst_t, src, true, &hops, &mut state, &mut stack, em,
+            ) {
+                Stop::Reached => {
+                    unwind(net, routes, dst_t, &stack, &mut state, &mut tdist);
+                    res.pairs_routed += 1;
+                    let routed = tdist[src.idx()];
+                    res.max_hops = res.max_hops.max(routed);
+                    let minimal = hops[src.idx()];
+                    if cfg.check_minimal && minimal != u32::MAX && routed > minimal {
+                        em.emit(
+                            LintCode::NonMinimalPath,
+                            Severity::Warning,
+                            format!(
+                                "route {src:?} -> {dst:?} takes {routed} hops, minimum is \
+                                 {minimal} (stretch {:.2})",
+                                routed as f64 / minimal as f64
+                            ),
+                            Witness::Stretch {
+                                src,
+                                dst,
+                                hops: routed,
+                                minimal,
+                            },
+                        );
+                    }
+                    let layer = routes.layer(src_t, dst_t);
+                    if (layer as usize) < nl {
+                        res.paths_per_layer[layer as usize] += 1;
+                        srcs_by_layer[layer as usize].push(src);
+                    } else {
+                        em.emit(
+                            LintCode::VlOutOfRange,
+                            Severity::Error,
+                            format!(
+                                "path {src:?} -> {dst:?} assigned layer {layer}, but only \
+                                 {nl} layer(s) exist"
+                            ),
+                            Witness::Layer { src, dst, layer },
+                        );
+                    }
+                }
+                Stop::Failed => {
+                    fail(&stack, &mut state);
+                    if hops[src.idx()] == u32::MAX {
+                        res.pairs_unreachable += 1;
+                    } else {
+                        res.pairs_broken += 1;
+                    }
+                    if res.broken_pairs.len() < crate::Stats::BROKEN_PAIR_SAMPLE {
+                        res.broken_pairs.push((src, dst));
+                    }
+                }
+            }
+        }
+        for &sw in net.switches() {
+            if state[sw.idx()] != UNVISITED {
+                continue;
+            }
+            match walk_one(
+                net, routes, dst, dst_t, sw, false, &hops, &mut state, &mut stack, em,
+            ) {
+                Stop::Reached => unwind(net, routes, dst_t, &stack, &mut state, &mut tdist),
+                Stop::Failed => fail(&stack, &mut state),
+            }
+        }
+
+        // Dependency edges: per (destination, layer), each node's entry is
+        // followed at most once — chains shared by many sources are
+        // traversed a single time.
+        for (layer, srcs) in srcs_by_layer.iter().enumerate() {
+            if srcs.is_empty() {
+                continue;
+            }
+            generation += 1;
+            for &src in srcs {
+                let mut at = src;
+                let mut prev: Option<ChannelId> = None;
+                while at != dst {
+                    let c = routes
+                        .next_hop(at, dst_t)
+                        .expect("entry exists on a routed path");
+                    if let Some(p) = prev {
+                        res.edges[layer].insert((p.0, c.0));
+                    }
+                    if mark[at.idx()] == generation {
+                        break;
+                    }
+                    mark[at.idx()] = generation;
+                    prev = Some(c);
+                    at = net.channel(c).dst;
+                }
+            }
+        }
+    }
+    res
+}
+
+/// Follow the next-hop function from `start` toward `dst` until a node of
+/// known state, a loop, or an unusable entry. Pushes the newly visited
+/// nodes (all left `ON_STACK`) onto `stack` for the caller to resolve.
+#[allow(clippy::too_many_arguments)]
+fn walk_one(
+    net: &Network,
+    routes: &Routes,
+    dst: NodeId,
+    dst_t: usize,
+    start: NodeId,
+    terminal_pass: bool,
+    hops: &[u32],
+    state: &mut [u8],
+    stack: &mut Vec<NodeId>,
+    em: &mut Emitter,
+) -> Stop {
+    // Broken walks from a terminal are errors a packet would hit; walks
+    // only reachable from unrouted switches are latent — warnings.
+    let broken_sev = if terminal_pass {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    stack.clear();
+    let mut at = start;
+    loop {
+        match state[at.idx()] {
+            OK => return Stop::Reached,
+            BROKEN => return Stop::Failed,
+            ON_STACK => {
+                // `at` closes a cycle: the stack suffix from its first
+                // occurrence is the loop body.
+                let pos = stack
+                    .iter()
+                    .position(|&v| v == at)
+                    .expect("on-stack node is on the stack");
+                let channels: Vec<ChannelId> = stack[pos..]
+                    .iter()
+                    .map(|&v| routes.next_hop(v, dst_t).expect("stacked entry is valid"))
+                    .collect();
+                em.emit(
+                    LintCode::ForwardingLoop,
+                    broken_sev,
+                    format!(
+                        "tables toward {dst:?} loop through {} node(s) starting at {:?}",
+                        channels.len(),
+                        stack[pos]
+                    ),
+                    Witness::TableLoop { dst, channels },
+                );
+                return Stop::Failed;
+            }
+            _ => {}
+        }
+        let Some(c) = routes.next_hop(at, dst_t) else {
+            let (sev, why) = if hops[at.idx()] == u32::MAX {
+                // No physical path either: a coverage gap, not a bug.
+                (Severity::Warning, "no entry and no physical path")
+            } else {
+                (broken_sev, "no entry despite a physical path")
+            };
+            em.emit(
+                LintCode::MissingEntry,
+                sev,
+                format!("{why} at {at:?} toward {dst:?}"),
+                Witness::Entry { node: at, dst },
+            );
+            state[at.idx()] = BROKEN;
+            return Stop::Failed;
+        };
+        if c.idx() >= net.num_channels() {
+            em.emit(
+                LintCode::InvalidNextHop,
+                Severity::Error,
+                format!(
+                    "entry at {at:?} toward {dst:?} names channel {} but the network has \
+                     only {} (stale tables?)",
+                    c.0,
+                    net.num_channels()
+                ),
+                Witness::NextHop {
+                    node: at,
+                    dst,
+                    channel: c.0,
+                },
+            );
+            state[at.idx()] = BROKEN;
+            return Stop::Failed;
+        }
+        let ch = net.channel(c);
+        if ch.src != at {
+            em.emit(
+                LintCode::InvalidNextHop,
+                Severity::Error,
+                format!(
+                    "entry at {at:?} toward {dst:?} names channel {c:?}, which leaves \
+                     {:?} instead",
+                    ch.src
+                ),
+                Witness::NextHop {
+                    node: at,
+                    dst,
+                    channel: c.0,
+                },
+            );
+            state[at.idx()] = BROKEN;
+            return Stop::Failed;
+        }
+        if ch.dst != dst && net.is_terminal(ch.dst) {
+            em.emit(
+                LintCode::InvalidNextHop,
+                Severity::Error,
+                format!(
+                    "entry at {at:?} toward {dst:?} enters terminal {:?}, which cannot \
+                     forward",
+                    ch.dst
+                ),
+                Witness::NextHop {
+                    node: at,
+                    dst,
+                    channel: c.0,
+                },
+            );
+            state[at.idx()] = BROKEN;
+            return Stop::Failed;
+        }
+        state[at.idx()] = ON_STACK;
+        stack.push(at);
+        at = ch.dst;
+    }
+}
+
+/// Successful walk: every stacked node routes to the destination. The
+/// stack top's entry points at the junction node whose table distance is
+/// already known; distances accumulate backward from there.
+fn unwind(
+    net: &Network,
+    routes: &Routes,
+    dst_t: usize,
+    stack: &[NodeId],
+    state: &mut [u8],
+    tdist: &mut [u32],
+) {
+    let Some(&top) = stack.last() else {
+        return;
+    };
+    let junction = net
+        .channel(routes.next_hop(top, dst_t).expect("stacked entry is valid"))
+        .dst;
+    let mut d = tdist[junction.idx()];
+    debug_assert_ne!(d, u32::MAX, "junction distance must be resolved");
+    for &v in stack.iter().rev() {
+        d += 1;
+        tdist[v.idx()] = d;
+        state[v.idx()] = OK;
+    }
+}
+
+/// Failed walk: nothing on the stack can reach the destination.
+fn fail(stack: &[NodeId], state: &mut [u8]) {
+    for &v in stack {
+        state[v.idx()] = BROKEN;
+    }
+}

@@ -10,39 +10,8 @@ use dfsssp::prelude::*;
 
 /// A small irregular cluster: two racks of leaf switches with uneven
 /// uplinks plus a legacy ring segment — the kind of grown network the
-/// paper targets.
-const CABLING: &str = "
-label grown-cluster
-switch rack1-leaf1 ports=8
-switch rack1-leaf2 ports=8
-switch rack2-leaf1 ports=8
-switch core1 ports=8
-switch core2 ports=8
-switch legacy1 ports=4
-switch legacy2 ports=4
-
-link rack1-leaf1 core1
-link rack1-leaf1 core2
-link rack1-leaf2 core1
-link rack2-leaf1 core2
-link core1 core2
-link legacy1 legacy2
-link legacy1 rack1-leaf2
-link legacy2 rack2-leaf1
-
-terminal n1
-terminal n2
-terminal n3
-terminal n4
-terminal n5
-terminal n6
-link n1 rack1-leaf1
-link n2 rack1-leaf1
-link n3 rack1-leaf2
-link n4 rack2-leaf1
-link n5 legacy1
-link n6 legacy2
-";
+/// paper targets. The same file feeds CI's route + vet artifact gate.
+const CABLING: &str = include_str!("grown-cluster.topo");
 
 fn main() {
     let net = format::parse_network(CABLING).expect("cabling file parses");
@@ -76,5 +45,8 @@ fn main() {
     let json = format::routes_to_json(&routes);
     println!("routes serialize to {} bytes of JSON", json.len());
     let text = format::write_network(&net);
-    println!("network round-trips through the text format: {} lines", text.lines().count());
+    println!(
+        "network round-trips through the text format: {} lines",
+        text.lines().count()
+    );
 }

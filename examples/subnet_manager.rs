@@ -63,5 +63,9 @@ fn main() {
         .iter()
         .map(|&c| net.node(net.channel(c).dst).name.as_str())
         .collect();
-    println!("hardware walk: {} hops via {}", walk.len(), names.join(" > "));
+    println!(
+        "hardware walk: {} hops via {}",
+        walk.len(),
+        names.join(" > ")
+    );
 }

@@ -39,6 +39,7 @@
 //! | [`flitsim`] | buffer-level simulator with deadlock detection |
 //! | [`subnet`] | OpenSM-like subnet manager (sweep, LIDs, LFTs) |
 //! | [`appsim`] | Netgauge / all-to-all / NAS workload models |
+//! | [`vet`] | static analyzer for routing artifacts (lints V001–V006) |
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
 //! for the reproduced tables and figures.
@@ -50,6 +51,7 @@ pub use fabric;
 pub use flitsim;
 pub use orcs;
 pub use subnet;
+pub use vet;
 
 /// Topology generators, re-exported from [`fabric`].
 pub use fabric::topo;
@@ -63,8 +65,7 @@ pub mod prelude {
     pub use appsim::{alltoall_time, netgauge_ebb, Allocation, NasBenchmark};
     pub use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
     pub use dfsssp_core::{
-        CycleBreakHeuristic, DeadlockFree, DfSssp, LayerAssignMode, RouteError, RoutingEngine,
-        Sssp,
+        CycleBreakHeuristic, DeadlockFree, DfSssp, LayerAssignMode, RouteError, RoutingEngine, Sssp,
     };
     pub use fabric::{Network, NetworkBuilder, Routes};
     pub use flitsim::{simulate, Outcome, SimConfig, Workload};

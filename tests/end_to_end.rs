@@ -57,6 +57,45 @@ fn universal_engines_connect_every_pair_everywhere() {
     }
 }
 
+/// Post-routing static analysis: every engine's artifact must survive the
+/// vet walk (no loops, no missing entries, no invalid hops); engines that
+/// claim deadlock freedom must additionally be V004-clean under the
+/// default (strict) configuration.
+#[test]
+fn every_artifact_passes_vet() {
+    // Cyclic CDGs and detours are engine design choices, not table bugs;
+    // tolerate them for the non-deadlock-free, non-minimal baselines.
+    let lenient = vet::Config {
+        deadlock_error: false,
+        check_minimal: false,
+        ..vet::Config::default()
+    };
+    for net in topologies() {
+        for engine in universal_engines() {
+            let routes = engine.route(&net).unwrap();
+            let report = vet::analyze_with(&net, &routes, &lenient);
+            assert_eq!(
+                report.num_errors(),
+                0,
+                "{} on {}: {:?}",
+                engine.name(),
+                net.label(),
+                report.diagnostics
+            );
+            if engine.deadlock_free() {
+                let strict = vet::analyze(&net, &routes);
+                assert!(
+                    strict.clean(),
+                    "{} on {}: {:?}",
+                    engine.name(),
+                    net.label(),
+                    strict.diagnostics
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn deadlock_free_claims_hold() {
     for net in topologies() {
@@ -87,8 +126,13 @@ fn minimal_engines_are_minimal() {
             Box::new(Lash::new()),
         ] {
             let routes = engine.route(&net).unwrap();
-            verify_minimal(&net, &routes)
-                .unwrap_or_else(|(s, d)| panic!("{} non-minimal on {} for {s:?}->{d:?}", engine.name(), net.label()));
+            verify_minimal(&net, &routes).unwrap_or_else(|(s, d)| {
+                panic!(
+                    "{} non-minimal on {} for {s:?}->{d:?}",
+                    engine.name(),
+                    net.label()
+                )
+            });
         }
     }
 }

@@ -6,11 +6,31 @@ use dfsssp::prelude::*;
 use orcs::effective_bisection_bandwidth;
 
 fn ebb(net: &Network, routes: &fabric::Routes) -> f64 {
+    // Quality numbers are only meaningful for artifacts that actually
+    // walk: gate every measurement on the static analyzer first (cyclic
+    // CDGs and detours are legitimate engine trade-offs here, broken
+    // tables are not).
+    let lenient = vet::Config {
+        deadlock_error: false,
+        check_minimal: false,
+        ..vet::Config::default()
+    };
+    let report = vet::analyze_with(net, routes, &lenient);
+    assert_eq!(
+        report.num_errors(),
+        0,
+        "{} tables broken on {}: {:?}",
+        routes.engine(),
+        net.label(),
+        report.diagnostics
+    );
     let opts = EbbOptions {
         patterns: 150,
         ..Default::default()
     };
-    effective_bisection_bandwidth(net, routes, &opts).unwrap().mean
+    effective_bisection_bandwidth(net, routes, &opts)
+        .unwrap()
+        .mean
 }
 
 /// Fig 5's core claim: on oversubscribed fat trees, DFSSSP clearly beats
@@ -58,7 +78,7 @@ fn engines_tie_on_kautz() {
 /// DFSSSP's layers must never *cost* bandwidth: eBB is computed on
 /// physical channels, so DFSSSP == SSSP exactly (same paths).
 #[test]
-fn layers_are_free_for_bandwidth()  {
+fn layers_are_free_for_bandwidth() {
     let net = dfsssp::topo::torus(&[4, 4], 2);
     let sssp = Sssp::new().route(&net).unwrap();
     let dfsssp = DfSssp::new().route(&net).unwrap();
@@ -80,8 +100,7 @@ fn updown_bottlenecks_on_torus() {
 #[test]
 fn dfsssp_degrades_gracefully() {
     let pristine = dfsssp::topo::kary_ntree(4, 3);
-    let (degraded, removed) =
-        dfsssp::fabric::degrade::fail_random_cables(&pristine, 16, 4);
+    let (degraded, removed) = dfsssp::fabric::degrade::fail_random_cables(&pristine, 16, 4);
     assert!(removed >= 8);
     let before = ebb(&pristine, &DfSssp::new().route(&pristine).unwrap());
     let after = ebb(&degraded, &DfSssp::new().route(&degraded).unwrap());
@@ -89,7 +108,9 @@ fn dfsssp_degrades_gracefully() {
         after > 0.5 * before,
         "DFSSSP lost too much: {before:.3} -> {after:.3}"
     );
-    // And it still guarantees deadlock freedom there.
+    // And it still guarantees deadlock freedom there — vet-clean under
+    // the strict default configuration.
     let routes = DfSssp::new().route(&degraded).unwrap();
     dfsssp::verify::verify_deadlock_free(&degraded, &routes).unwrap();
+    assert!(vet::analyze(&degraded, &routes).clean());
 }
