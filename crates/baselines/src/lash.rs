@@ -193,6 +193,15 @@ impl RoutingEngine for Lash {
     fn deadlock_free(&self) -> bool {
         true
     }
+
+    fn max_layers(&self) -> Option<usize> {
+        Some(self.max_layers)
+    }
+
+    fn set_max_layers(&mut self, layers: usize) -> bool {
+        self.max_layers = layers;
+        true
+    }
 }
 
 #[cfg(test)]

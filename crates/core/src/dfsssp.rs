@@ -137,6 +137,15 @@ impl RoutingEngine for DfSssp {
     fn deadlock_free(&self) -> bool {
         true
     }
+
+    fn max_layers(&self) -> Option<usize> {
+        Some(self.max_layers)
+    }
+
+    fn set_max_layers(&mut self, layers: usize) -> bool {
+        self.max_layers = layers;
+        true
+    }
 }
 
 /// Offline layer assignment (Algorithm 2). Returns the per-path layer and

@@ -50,6 +50,43 @@ pub trait RoutingEngine {
     /// Whether the routes this engine produces are guaranteed
     /// deadlock-free on arbitrary topologies.
     fn deadlock_free(&self) -> bool;
+
+    /// Current virtual-layer budget, when the engine has one. Engines
+    /// without a layer knob (MinHop, plain SSSP) report `None`; the
+    /// subnet manager's escalation ladder skips them.
+    fn max_layers(&self) -> Option<usize> {
+        None
+    }
+
+    /// Adjust the virtual-layer budget. Returns `false` when the engine
+    /// has no such knob, so callers know the escalation was ignored.
+    fn set_max_layers(&mut self, _layers: usize) -> bool {
+        false
+    }
+}
+
+/// Boxed engines route too, so runtime-selected engines (CLI flags,
+/// fallback ladders) can drive generic consumers like `SmLoop`.
+impl<T: RoutingEngine + ?Sized> RoutingEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+        (**self).route(net)
+    }
+
+    fn deadlock_free(&self) -> bool {
+        (**self).deadlock_free()
+    }
+
+    fn max_layers(&self) -> Option<usize> {
+        (**self).max_layers()
+    }
+
+    fn set_max_layers(&mut self, layers: usize) -> bool {
+        (**self).set_max_layers(layers)
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,15 @@ impl<E: RoutingEngine> RoutingEngine for DeadlockFree<E> {
     fn deadlock_free(&self) -> bool {
         true
     }
+
+    fn max_layers(&self) -> Option<usize> {
+        Some(self.max_layers)
+    }
+
+    fn set_max_layers(&mut self, layers: usize) -> bool {
+        self.max_layers = layers;
+        true
+    }
 }
 
 #[cfg(test)]

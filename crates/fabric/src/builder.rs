@@ -208,6 +208,37 @@ impl NetworkBuilder {
         Ok((ab, ba))
     }
 
+    /// Add a single unidirectional channel `a→b` at explicit 1-based port
+    /// numbers (the directed counterpart of [`Self::link_at`]).
+    pub fn add_channel_at(
+        &mut self,
+        a: NodeId,
+        pa: u16,
+        b: NodeId,
+        pb: u16,
+    ) -> Result<ChannelId, BuildError> {
+        if a == b {
+            return Err(BuildError::SelfLoop(self.nodes[a.idx()].name.clone()));
+        }
+        let pa = self.take_specific_port(a, pa)?;
+        let pb = match self.take_specific_port(b, pb) {
+            Ok(p) => p,
+            Err(e) => {
+                self.used_ports[a.idx()].remove(&pa);
+                return Err(e);
+            }
+        };
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel {
+            src: a,
+            dst: b,
+            src_port: pa,
+            dst_port: pb,
+            rev: None,
+        });
+        Ok(id)
+    }
+
     /// Add a single unidirectional channel `a→b` (directed topologies).
     pub fn add_channel(&mut self, a: NodeId, b: NodeId) -> Result<ChannelId, BuildError> {
         if a == b {
@@ -318,6 +349,24 @@ mod tests {
         let net = b.build();
         assert!(net.channel(ch).rev.is_none());
         assert!(!net.is_strongly_connected());
+    }
+
+    #[test]
+    fn explicit_ports_on_unidirectional_channels() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_switch("a", 8);
+        let c = b.add_switch("c", 8);
+        let ch = b.add_channel_at(a, 5, c, 3).unwrap();
+        // A failed claim must roll back the source port.
+        assert!(matches!(
+            b.add_channel_at(a, 6, c, 3),
+            Err(BuildError::PortTaken(_, 3))
+        ));
+        b.add_channel_at(a, 6, c, 4).unwrap();
+        let net = b.build();
+        assert_eq!(net.channel(ch).src_port, 5);
+        assert_eq!(net.channel(ch).dst_port, 3);
+        assert!(net.channel(ch).rev.is_none());
     }
 
     #[test]

@@ -1,21 +1,27 @@
-//! Failure injection: remove cables or switches from a network while
-//! keeping it connected.
+//! Failure injection and recovery: remove cables or switches from a
+//! network, restore them, and carve out the serving core of a
+//! partitioned fabric.
 //!
 //! The paper's introduction motivates DFSSSP with networks that grew or
 //! degraded away from their ideal structure ("supercomputers are extended
 //! later and topologies grow with the machines"); these helpers create
-//! such networks from the regular generators.
+//! such networks from the regular generators. Node names and *port
+//! numbers* survive every rebuild, so a degraded network's hardware can
+//! be identified with its ancestor's — the property the subnet manager's
+//! fault-tolerance loop relies on to address events and diff tables
+//! across rebuilds.
 
 use crate::graph::{ChannelId, NodeId, NodeKind};
 use crate::{Network, NetworkBuilder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Rebuild `net` without the channels in `dead_channels` and without the
 /// nodes in `dead_nodes` (and all channels touching them). Names, kinds,
-/// coordinates and levels are preserved; ports are renumbered.
+/// coordinates, levels and port numbers are preserved: a surviving cable
+/// keeps the exact ports it was plugged into, like real hardware.
 pub fn remove(
     net: &Network,
     dead_nodes: &FxHashSet<NodeId>,
@@ -49,15 +55,232 @@ pub fn remove(
         match ch.rev {
             Some(r) if !dead_channels.contains(&r) => {
                 done[r.idx()] = true;
-                b.link(src, dst).expect("ports cannot overflow on removal");
+                b.link_at(src, ch.src_port, dst, ch.dst_port)
+                    .expect("surviving ports cannot collide on removal");
             }
             _ => {
-                b.add_channel(src, dst)
-                    .expect("ports cannot overflow on removal");
+                b.add_channel_at(src, ch.src_port, dst, ch.dst_port)
+                    .expect("surviving ports cannot collide on removal");
             }
         }
     }
     b.build()
+}
+
+/// Rebuild `degraded` with hardware of `reference` brought back:
+/// the nodes in `revive_nodes` and the channels in `revive_channels`
+/// (both identified by their *reference* ids). `reference` must be the
+/// pristine network `degraded` was derived from via [`remove`] — node
+/// names and port numbers identify the surviving hardware.
+///
+/// A channel absent from `degraded` between two *live* endpoints is an
+/// individually failed cable and stays down unless revived; a channel
+/// that was down only because an endpoint node was dead comes back
+/// automatically when that node is revived (switch recovery restores its
+/// cabling, cable failures persist).
+pub fn restore(
+    degraded: &Network,
+    reference: &Network,
+    revive_nodes: &FxHashSet<NodeId>,
+    revive_channels: &FxHashSet<ChannelId>,
+) -> Network {
+    let mut alive_name: FxHashMap<&str, NodeId> = FxHashMap::default();
+    for (id, node) in degraded.nodes() {
+        alive_name.insert(node.name.as_str(), id);
+    }
+    // Reference nodes still missing after revival.
+    let mut dead_nodes = FxHashSet::default();
+    let mut alive = vec![false; reference.num_nodes()];
+    for (id, node) in reference.nodes() {
+        if alive_name.contains_key(node.name.as_str()) || revive_nodes.contains(&id) {
+            alive[id.idx()] = true;
+        } else {
+            dead_nodes.insert(id);
+        }
+    }
+    // A reference channel is present in `degraded` iff its source node
+    // survives and still transmits on the same port.
+    let present = |id: ChannelId| -> bool {
+        let ch = reference.channel(id);
+        let Some(&src) = alive_name.get(reference.node(ch.src).name.as_str()) else {
+            return false;
+        };
+        degraded
+            .out_channels(src)
+            .iter()
+            .any(|&c| degraded.channel(c).src_port == ch.src_port)
+    };
+    let mut dead_channels = FxHashSet::default();
+    for (id, ch) in reference.channels() {
+        if present(id) || revive_channels.contains(&id) {
+            continue;
+        }
+        if let Some(r) = ch.rev {
+            if revive_channels.contains(&r) {
+                continue; // either direction's id revives the cable
+            }
+        }
+        let both_were_alive = alive_name.contains_key(reference.node(ch.src).name.as_str())
+            && alive_name.contains_key(reference.node(ch.dst).name.as_str());
+        if both_were_alive {
+            dead_channels.insert(id); // individually failed cable
+        }
+        // Otherwise the channel was down because an endpoint was: it
+        // follows its endpoints (absent while dead, back when revived).
+    }
+    remove(reference, &dead_nodes, &dead_channels)
+}
+
+/// Carve the largest serving core out of a (possibly disconnected)
+/// network: the mutually-reachable node set of the undirected component
+/// holding the most terminals (ties: most nodes, then lowest node id).
+/// Returns the core as its own network plus the ids (of `net`) of the
+/// stranded nodes left outside it.
+pub fn extract_core(net: &Network) -> (Network, Vec<NodeId>) {
+    let n = net.num_nodes();
+    // Undirected components over all channels.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0;
+    let mut queue = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = ncomp;
+        queue.push(NodeId(start as u32));
+        while let Some(v) = queue.pop() {
+            for &c in net.out_channels(v).iter().chain(net.in_channels(v)) {
+                let ch = net.channel(c);
+                for w in [ch.src, ch.dst] {
+                    if comp[w.idx()] == usize::MAX {
+                        comp[w.idx()] = ncomp;
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        ncomp += 1;
+    }
+    let mut terminals = vec![0usize; ncomp];
+    let mut sizes = vec![0usize; ncomp];
+    for (id, node) in net.nodes() {
+        sizes[comp[id.idx()]] += 1;
+        if node.kind == NodeKind::Terminal {
+            terminals[comp[id.idx()]] += 1;
+        }
+    }
+    let best = (0..ncomp)
+        .max_by_key(|&c| (terminals[c], sizes[c], std::cmp::Reverse(c)))
+        .expect("a network has at least one component");
+    // Within the best component, keep the strong component of its
+    // lowest-id node (for all-bidirectional fabrics this is the whole
+    // component; unidirectional channels can shrink it further).
+    let pivot = NodeId((0..n).find(|&i| comp[i] == best).expect("non-empty") as u32);
+    let fwd = reach(net, pivot, false);
+    let bwd = reach(net, pivot, true);
+    let mut dead = FxHashSet::default();
+    let mut stranded = Vec::new();
+    for i in 0..n {
+        if !(fwd[i] && bwd[i]) {
+            dead.insert(NodeId(i as u32));
+            stranded.push(NodeId(i as u32));
+        }
+    }
+    (remove(net, &dead, &FxHashSet::default()), stranded)
+}
+
+/// Nodes reachable from `start` following channels forward (or backward).
+fn reach(net: &Network, start: NodeId, backward: bool) -> Vec<bool> {
+    let mut seen = vec![false; net.num_nodes()];
+    seen[start.idx()] = true;
+    let mut queue = vec![start];
+    while let Some(v) = queue.pop() {
+        let chans = if backward {
+            net.in_channels(v)
+        } else {
+            net.out_channels(v)
+        };
+        for &c in chans {
+            let ch = net.channel(c);
+            let w = if backward { ch.src } else { ch.dst };
+            if !seen[w.idx()] {
+                seen[w.idx()] = true;
+                queue.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Bridge cables of `net`: bidirectional channel pairs whose removal
+/// disconnects the undirected cable graph. Both direction ids of each
+/// bridge are in the returned set. Parallel cables between the same
+/// switch pair are handled (neither is a bridge). Unidirectional
+/// channels are not cables and are ignored.
+pub fn cable_bridges(net: &Network) -> FxHashSet<ChannelId> {
+    let n = net.num_nodes();
+    // One undirected edge per cable, keyed by the lower channel id.
+    let mut edges: Vec<(NodeId, NodeId, ChannelId)> = Vec::new();
+    let mut adj: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+    for (id, ch) in net.channels() {
+        match ch.rev {
+            Some(r) if r.0 > id.0 => {
+                let e = edges.len();
+                edges.push((ch.src, ch.dst, id));
+                adj[ch.src.idx()].push((ch.dst, e));
+                adj[ch.dst.idx()].push((ch.src, e));
+            }
+            _ => {}
+        }
+    }
+    // Iterative Tarjan low-link over the undirected multigraph: a tree
+    // edge (v, w) is a bridge iff low[w] > disc[v]; entering a node again
+    // through a different parallel edge keeps both off the bridge list.
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut bridges = FxHashSet::default();
+    let mut timer = 0u32;
+    // Stack frames: (node, incoming edge, next adjacency index).
+    let mut stack: Vec<(NodeId, usize, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != u32::MAX {
+            continue;
+        }
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        stack.push((NodeId(root as u32), usize::MAX, 0));
+        while let Some(&mut (v, via, ref mut next)) = stack.last_mut() {
+            let slot = *next;
+            *next += 1;
+            if let Some(&(w, e)) = adj[v.idx()].get(slot) {
+                if e == via {
+                    continue; // the edge we came in on; a parallel edge differs
+                }
+                if disc[w.idx()] == u32::MAX {
+                    disc[w.idx()] = timer;
+                    low[w.idx()] = timer;
+                    timer += 1;
+                    stack.push((w, e, 0));
+                } else {
+                    low[v.idx()] = low[v.idx()].min(disc[w.idx()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(parent, _, _)) = stack.last() {
+                    low[parent.idx()] = low[parent.idx()].min(low[v.idx()]);
+                    if low[v.idx()] > disc[parent.idx()] {
+                        let c = edges[via].2;
+                        bridges.insert(c);
+                        if let Some(r) = net.channel(c).rev {
+                            bridges.insert(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bridges
 }
 
 /// Remove `count` random cables (bidirectional channel pairs), skipping
@@ -68,22 +291,30 @@ pub fn fail_random_cables(net: &Network, count: usize, seed: u64) -> (Network, u
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = net.clone();
     let mut removed = 0;
-    let mut attempts = 0;
-    while removed < count && attempts < 20 * count + 100 {
-        attempts += 1;
-        // Candidate cables: switch-switch bidirectional pairs only, so
-        // terminals keep their attachment.
+    // With unidirectional channels around, undirected bridges are too
+    // conservative a filter (a directed shortcut can cover for a cable),
+    // so fall back to testing candidates by trial removal.
+    let mixed = net.channels().any(|(_, c)| c.rev.is_none());
+    while removed < count {
+        // Bridges are computed once per removal round — O(V + E) — so
+        // only the chosen candidate's network is ever cloned.
+        let bridges = if mixed {
+            FxHashSet::default()
+        } else {
+            cable_bridges(&current)
+        };
         let mut cables: Vec<ChannelId> = current
             .channels()
-            .filter(|(_, c)| {
+            .filter(|(id, c)| {
                 c.rev.is_some()
                     && current.node(c.src).kind == NodeKind::Switch
                     && current.node(c.dst).kind == NodeKind::Switch
+                    && !bridges.contains(id)
             })
             .map(|(id, _)| id)
             .collect();
         if cables.is_empty() {
-            break;
+            break; // every remaining cable is a bridge
         }
         cables.shuffle(&mut rng);
         let mut progressed = false;
@@ -99,7 +330,7 @@ pub fn fail_random_cables(net: &Network, count: usize, seed: u64) -> (Network, u
             }
         }
         if !progressed {
-            break; // every remaining cable is a bridge
+            break;
         }
     }
     (current, removed)
@@ -143,6 +374,125 @@ mod tests {
         assert_eq!(same.num_nodes(), net.num_nodes());
         assert_eq!(same.num_channels(), net.num_channels());
         same.validate().unwrap();
+    }
+
+    #[test]
+    fn removal_preserves_port_numbers() {
+        let net = topo::kary_ntree(2, 3);
+        let victim = net
+            .channels()
+            .find(|(_, c)| c.rev.is_some() && net.is_switch(c.src) && net.is_switch(c.dst))
+            .map(|(id, _)| id)
+            .unwrap();
+        let rev = net.channel(victim).rev.unwrap();
+        let dead: FxHashSet<ChannelId> = [victim, rev].into_iter().collect();
+        let degraded = remove(&net, &FxHashSet::default(), &dead);
+        degraded.validate().unwrap();
+        for (_, ch) in degraded.channels() {
+            let src = net
+                .node_by_name(&degraded.node(ch.src).name)
+                .expect("same nodes");
+            let orig = net
+                .out_channels(src)
+                .iter()
+                .find(|&&c| net.channel(c).src_port == ch.src_port)
+                .map(|&c| net.channel(c))
+                .expect("cable existed at this port before degradation");
+            assert_eq!(net.node(orig.dst).name, degraded.node(ch.dst).name);
+            assert_eq!(orig.dst_port, ch.dst_port);
+        }
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let net = topo::torus(&[3, 3], 1);
+        let victim = net
+            .channels()
+            .find(|(_, c)| net.is_switch(c.src) && net.is_switch(c.dst))
+            .map(|(id, _)| id)
+            .unwrap();
+        let rev = net.channel(victim).rev.unwrap();
+        let dead_ch: FxHashSet<ChannelId> = [victim, rev].into_iter().collect();
+        let sw = net.switches()[4];
+        let dead_n: FxHashSet<NodeId> = [sw].into_iter().collect();
+        let degraded = remove(&net, &dead_n, &dead_ch);
+
+        // Reviving only the switch brings back its cables, not the
+        // individually failed one.
+        let half = restore(&degraded, &net, &dead_n, &FxHashSet::default());
+        assert_eq!(half.num_nodes(), net.num_nodes());
+        assert_eq!(half.num_cables(), net.num_cables() - 1);
+
+        // Reviving both restores the reference exactly.
+        let whole = restore(&half, &net, &FxHashSet::default(), &dead_ch);
+        assert_eq!(whole.num_nodes(), net.num_nodes());
+        assert_eq!(whole.num_channels(), net.num_channels());
+        whole.validate().unwrap();
+        for (id, ch) in net.channels() {
+            let r = whole
+                .node_by_name(&net.node(ch.src).name)
+                .and_then(|src| {
+                    whole
+                        .out_channels(src)
+                        .iter()
+                        .find(|&&c| whole.channel(c).src_port == ch.src_port)
+                        .map(|&c| whole.channel(c))
+                })
+                .unwrap_or_else(|| panic!("channel {id:?} missing after restore"));
+            assert_eq!(whole.node(r.dst).name, net.node(ch.dst).name);
+        }
+    }
+
+    #[test]
+    fn extract_core_keeps_the_bigger_side() {
+        // Two islands: a 3-ring with 3 terminals and a lone switch with 1.
+        let mut b = NetworkBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.add_switch(format!("s{i}"), 8)).collect();
+        for i in 0..3 {
+            b.link(s[i], s[(i + 1) % 3]).unwrap();
+            let t = b.add_terminal(format!("t{i}"));
+            b.link(t, s[i]).unwrap();
+        }
+        let lone = b.add_switch("lone", 4);
+        let tl = b.add_terminal("tl");
+        b.link(tl, lone).unwrap();
+        let net = b.build();
+        assert!(!net.is_strongly_connected());
+        let (core, stranded) = extract_core(&net);
+        assert!(core.is_strongly_connected());
+        assert_eq!(core.num_terminals(), 3);
+        assert_eq!(stranded.len(), 2);
+        let names: Vec<&str> = stranded
+            .iter()
+            .map(|&n| net.node(n).name.as_str())
+            .collect();
+        assert!(names.contains(&"lone") && names.contains(&"tl"));
+    }
+
+    #[test]
+    fn bridge_detection_on_line_ring_and_parallel_cables() {
+        // Line: both cables are bridges.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 8);
+        let s1 = b.add_switch("s1", 8);
+        let s2 = b.add_switch("s2", 8);
+        b.link(s0, s1).unwrap();
+        b.link(s1, s2).unwrap();
+        let line = b.build();
+        assert_eq!(cable_bridges(&line).len(), 4, "2 cables x 2 directions");
+
+        // Ring: no bridges.
+        let ring = topo::ring(4, 0);
+        assert!(cable_bridges(&ring).is_empty());
+
+        // Two parallel cables between the same pair: neither is a bridge.
+        let mut b = NetworkBuilder::new();
+        let a = b.add_switch("a", 8);
+        let c = b.add_switch("c", 8);
+        b.link(a, c).unwrap();
+        b.link(a, c).unwrap();
+        let parallel = b.build();
+        assert!(cable_bridges(&parallel).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use fabric::{ChannelId, Network, NodeId};
 use rustc_hash::FxHashSet;
 
 /// Result of a sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DiscoveredFabric {
     /// Nodes in discovery (BFS) order; the SM's node is first.
     pub nodes: Vec<NodeId>,

@@ -63,7 +63,7 @@ pub struct LftDiff {
 }
 
 /// All programmed hardware state of the fabric.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FabricTables {
     /// `lft[switch_index][lid]` = output port (0 = no entry).
     lfts: Vec<Vec<u8>>,

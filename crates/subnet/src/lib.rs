@@ -12,15 +12,27 @@
 //! * [`manager`] — the orchestration: sweep → assign LIDs → run the
 //!   routing engine → program tables → validate connectivity by walking
 //!   the programmed LFTs (hardware semantics: ports, not channels).
+//! * [`events`] — the fault-tolerance runtime: cable/switch down *and up*
+//!   events, flap coalescing, and a graceful-degradation escalation
+//!   ladder (widen the VL budget, fall back to Up*/Down*, quarantine
+//!   stranded terminals).
+//! * [`transition`] — safe table transitions: old∪new CDG union checks
+//!   and destination-batched drain-and-swap plans for hazardous windows.
+//! * [`chaos`] — a failure-campaign harness: seeded schedules of faults
+//!   and recoveries with per-event repair-cost accounting.
 
+pub mod chaos;
 pub mod discovery;
 pub mod events;
 pub mod lft;
 pub mod lid;
 pub mod manager;
+pub mod transition;
 
+pub use chaos::{run_campaign, schedule, Batch, CampaignReport, CampaignSpec, EventRecord};
 pub use discovery::{discover, DiscoveredFabric};
-pub use events::{FabricEvent, SmLoop};
+pub use events::{EventOutcome, FabricEvent, Rung, SmLoop};
 pub use lft::{FabricTables, LftDiff, PathRecord, WalkError};
 pub use lid::{Lid, LidMap};
 pub use manager::{ProgrammedFabric, SmError, SubnetManager};
+pub use transition::{plan_update, remap_routes, UpdatePlan, UpdateStage};

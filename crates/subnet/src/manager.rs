@@ -31,6 +31,9 @@ pub enum SmError {
     /// The routing's dependency graph has a cyclic layer: unsafe to
     /// deploy (only possible for engines that are not deadlock-free).
     CyclicLayers(Vec<u8>),
+    /// A fabric event referenced hardware the reference network does not
+    /// have (or the wrong kind of node).
+    InvalidEvent(String),
 }
 
 impl std::fmt::Display for SmError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for SmError {
                 available,
             } => write!(f, "routing needs {required} VLs, hardware has {available}"),
             SmError::CyclicLayers(ls) => write!(f, "cyclic dependency layers: {ls:?}"),
+            SmError::InvalidEvent(why) => write!(f, "invalid fabric event: {why}"),
         }
     }
 }
@@ -99,6 +103,18 @@ impl<E: RoutingEngine> SubnetManager<E> {
     /// program tables, validate by walking the LFTs for every ordered
     /// terminal pair.
     pub fn run(&self, net: &Network, sm_node: NodeId) -> Result<ProgrammedFabric, SmError> {
+        self.run_with(&self.engine, net, sm_node)
+    }
+
+    /// Like [`Self::run`], but deploying `engine` instead of the
+    /// configured one — the hook the fault-tolerance loop uses to push a
+    /// fallback engine through the same sweep/program/validate cycle.
+    pub fn run_with(
+        &self,
+        engine: &dyn RoutingEngine,
+        net: &Network,
+        sm_node: NodeId,
+    ) -> Result<ProgrammedFabric, SmError> {
         let discovery = discover(net, sm_node);
         if !discovery.complete(net) {
             return Err(SmError::PartialDiscovery {
@@ -106,7 +122,7 @@ impl<E: RoutingEngine> SubnetManager<E> {
                 total: net.num_nodes(),
             });
         }
-        let routes = self.engine.route(net)?;
+        let routes = engine.route(net)?;
         if routes.num_layers() as usize > self.hardware_vls {
             return Err(SmError::TooManyVls {
                 required: routes.num_layers() as usize,

@@ -24,7 +24,8 @@ mod walk;
 
 pub use diag::{Diagnostic, LintCode, Report, Severity, Stats, Witness};
 
-use fabric::{Network, Routes};
+use fabric::{ChannelId, Network, Routes};
+use rustc_hash::FxHashSet;
 
 /// Tunables for one analysis run.
 #[derive(Clone, Debug)]
@@ -171,6 +172,50 @@ pub fn analyze_with(net: &Network, routes: &Routes, cfg: &Config) -> Report {
     }
 
     finish(net, routes, em, stats)
+}
+
+/// The per-layer channel-dependency edge sets induced by walking
+/// `routes`' tables on `net`, without emitting diagnostics — the raw
+/// material for update-window hazard checks (see [`union_cycles`]).
+/// Pairs that do not walk cleanly contribute no edges; an artifact sized
+/// for a different network yields an empty vector.
+pub fn dependency_edges(net: &Network, routes: &Routes) -> Vec<FxHashSet<(u32, u32)>> {
+    if routes.num_nodes() != net.num_nodes() || routes.num_terminals() != net.num_terminals() {
+        return Vec::new();
+    }
+    let cfg = Config {
+        check_minimal: false,
+        ..Config::default()
+    };
+    let mut em = diag::Emitter::new(0);
+    walk::walk_tables(net, routes, &cfg, &mut em).edges
+}
+
+/// Check the union of several artifacts' per-layer CDGs for cycles.
+///
+/// This is the safety condition for an unsynchronized table-update
+/// window: while switches are being reprogrammed from one artifact to
+/// another, in-flight packets can follow any mix of the artifacts'
+/// entries, so the dependencies of the *union* must satisfy Dally &
+/// Seitz, not just each artifact's own. Layers are matched by index
+/// (shorter artifacts simply contribute nothing to higher layers).
+/// Returns each cyclic layer with a witness cycle.
+pub fn union_cycles(net: &Network, artifacts: &[&Routes]) -> Vec<(u8, Vec<ChannelId>)> {
+    let per_artifact: Vec<_> = artifacts.iter().map(|r| dependency_edges(net, r)).collect();
+    let layers = per_artifact.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::new();
+    for layer in 0..layers {
+        let mut union: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for edges in &per_artifact {
+            if let Some(e) = edges.get(layer) {
+                union.extend(e.iter().copied());
+            }
+        }
+        if let Some(channels) = cdg_lint::find_cycle(net.num_channels(), &union) {
+            out.push((layer as u8, channels));
+        }
+    }
+    out
 }
 
 fn finish(net: &Network, routes: &Routes, em: diag::Emitter, stats: Stats) -> Report {
@@ -461,6 +506,70 @@ mod tests {
         for w in channels.windows(2) {
             assert_eq!(net.channel(w[0]).dst, net.channel(w[1]).src);
         }
+    }
+
+    #[test]
+    fn dependency_edges_follow_the_tables() {
+        let net = line();
+        let r = bfs_routes(&net);
+        let edges = dependency_edges(&net, &r);
+        assert_eq!(edges.len(), 1, "single-layer artifact");
+        assert!(!edges[0].is_empty());
+        // Every edge chains two channels through a node.
+        for &(a, b) in &edges[0] {
+            assert_eq!(net.channel(ChannelId(a)).dst, net.channel(ChannelId(b)).src);
+        }
+        // An artifact for a different network contributes nothing.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let t0 = b.add_terminal("t0");
+        b.link(t0, s0).unwrap();
+        let other = b.build();
+        assert!(dependency_edges(&other, &r).is_empty());
+    }
+
+    #[test]
+    fn union_cycles_catch_update_window_hazards() {
+        let net = line();
+        let r = bfs_routes(&net);
+        // A clean artifact unioned with itself stays clean.
+        assert!(union_cycles(&net, &[&r, &r]).is_empty());
+
+        // A ring routed all-clockwise toward one destination is an
+        // acyclic dependency arc; two such artifacts toward *opposite*
+        // destinations each stay acyclic, but their union closes the
+        // ring — the classic update-window hazard.
+        let mut b = NetworkBuilder::new();
+        let s: Vec<_> = (0..4).map(|i| b.add_switch(format!("s{i}"), 36)).collect();
+        let t: Vec<_> = (0..4).map(|i| b.add_terminal(format!("t{i}"))).collect();
+        for i in 0..4 {
+            b.link(s[i], s[(i + 1) % 4]).unwrap();
+            b.link(t[i], s[i]).unwrap();
+        }
+        let ring = b.build();
+        let route_to = |dst: usize| {
+            let mut r = fabric::Routes::new(&ring, format!("cw-to-{dst}"));
+            for i in 0..4 {
+                if i != dst {
+                    r.set_next(t[i], dst, ring.channel_between(t[i], s[i]).unwrap());
+                }
+                let hop = if i == dst {
+                    ring.channel_between(s[i], t[dst]).unwrap()
+                } else {
+                    ring.channel_between(s[i], s[(i + 1) % 4]).unwrap()
+                };
+                r.set_next(s[i], dst, hop);
+            }
+            r
+        };
+        let a = route_to(2);
+        let b = route_to(0);
+        assert!(union_cycles(&ring, &[&a]).is_empty(), "one arc is acyclic");
+        assert!(union_cycles(&ring, &[&b]).is_empty(), "one arc is acyclic");
+        let hazards = union_cycles(&ring, &[&a, &b]);
+        assert_eq!(hazards.len(), 1, "the union closes the ring on layer 0");
+        assert_eq!(hazards[0].0, 0);
+        assert!(!hazards[0].1.is_empty());
     }
 
     #[test]

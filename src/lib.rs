@@ -70,5 +70,5 @@ pub mod prelude {
     pub use fabric::{Network, NetworkBuilder, Routes};
     pub use flitsim::{simulate, Outcome, SimConfig, Workload};
     pub use orcs::{effective_bisection_bandwidth, EbbOptions, Pattern};
-    pub use subnet::SubnetManager;
+    pub use subnet::{FabricEvent, Rung, SmLoop, SubnetManager};
 }
