@@ -12,22 +12,29 @@
 //! SSSP-based routing on fat trees (Fig 5) while matching it on Kautz
 //! graphs (Fig 6).
 
-use dfsssp_core::dfsssp::assign_layers_online;
+use dfsssp_core::dfsssp::assign_layers_online_recorded;
 use dfsssp_core::paths::PathSet;
-use dfsssp_core::{RouteError, RoutingEngine};
+use dfsssp_core::{EngineConfig, RouteError, RoutingEngine};
 use fabric::{ChannelId, Network, NodeId, Routes};
 use rustc_hash::FxHashMap;
+use telemetry::{phases, Recorder, RecorderHandle};
 
 /// The LASH engine.
 #[derive(Clone, Debug)]
 pub struct Lash {
     /// Virtual-layer budget (InfiniBand: 8 in hardware).
     pub max_layers: usize,
+    /// Telemetry sink (`cycle_search`/`layer_assign` phases of the
+    /// online assignment; `cdg_build` covers tree + path extraction).
+    pub recorder: RecorderHandle,
 }
 
 impl Default for Lash {
     fn default() -> Self {
-        Lash { max_layers: 8 }
+        Lash {
+            max_layers: 8,
+            recorder: telemetry::noop(),
+        }
     }
 }
 
@@ -92,45 +99,51 @@ impl Lash {
         if !net.is_strongly_connected() {
             return Err(RouteError::Disconnected);
         }
-        // One tree per distinct attachment set.
-        let mut tree_of_key: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
-        let mut trees: Vec<Tree> = Vec::new();
-        let mut terminal_tree: Vec<u32> = Vec::with_capacity(net.num_terminals());
-        for &t in net.terminals() {
-            let key = Self::attachments(net, t);
-            let id = *tree_of_key.entry(key.clone()).or_insert_with(|| {
-                trees.push(Self::build_tree(net, &key));
-                (trees.len() - 1) as u32
-            });
-            terminal_tree.push(id);
-        }
+        let rec: &dyn Recorder = &*self.recorder;
+        let (trees, terminal_tree, index_of, ps) =
+            telemetry::timed(rec, phases::CDG_BUILD, || {
+                // One tree per distinct attachment set.
+                let mut tree_of_key: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+                let mut trees: Vec<Tree> = Vec::new();
+                let mut terminal_tree: Vec<u32> = Vec::with_capacity(net.num_terminals());
+                for &t in net.terminals() {
+                    let key = Self::attachments(net, t);
+                    let id = *tree_of_key.entry(key.clone()).or_insert_with(|| {
+                        trees.push(Self::build_tree(net, &key));
+                        (trees.len() - 1) as u32
+                    });
+                    terminal_tree.push(id);
+                }
 
-        // Switch-pair paths for the layer assignment: for every tree and
-        // every switch, the channel walk to the nearest attachment.
-        let mut channels: Vec<ChannelId> = Vec::new();
-        let mut offsets = vec![0u64];
-        let mut pairs: Vec<(u32, u32)> = Vec::new();
-        for (tid, tree) in trees.iter().enumerate() {
-            for &s in net.switches() {
-                if tree.dist[s.idx()] == u32::MAX {
-                    return Err(RouteError::Disconnected);
+                // Switch-pair paths for the layer assignment: for every
+                // tree and every switch, the channel walk to the nearest
+                // attachment.
+                let mut channels: Vec<ChannelId> = Vec::new();
+                let mut offsets = vec![0u64];
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                for (tid, tree) in trees.iter().enumerate() {
+                    for &s in net.switches() {
+                        if tree.dist[s.idx()] == u32::MAX {
+                            return Err(RouteError::Disconnected);
+                        }
+                        if tree.dist[s.idx()] == 0 {
+                            continue;
+                        }
+                        let mut at = s;
+                        while let Some(c) = tree.parent[at.idx()] {
+                            channels.push(c);
+                            at = net.channel(c).dst;
+                        }
+                        offsets.push(channels.len() as u64);
+                        pairs.push((s.0, tid as u32));
+                    }
                 }
-                if tree.dist[s.idx()] == 0 {
-                    continue;
-                }
-                let mut at = s;
-                while let Some(c) = tree.parent[at.idx()] {
-                    channels.push(c);
-                    at = net.channel(c).dst;
-                }
-                offsets.push(channels.len() as u64);
-                pairs.push((s.0, tid as u32));
-            }
-        }
-        let index_of: FxHashMap<(u32, u32), usize> =
-            pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-        let ps = PathSet::from_parts(channels, offsets, pairs);
-        let (path_layer, stats) = assign_layers_online(&ps, self.max_layers)?;
+                let index_of: FxHashMap<(u32, u32), usize> =
+                    pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+                let ps = PathSet::from_parts(channels, offsets, pairs);
+                Ok((trees, terminal_tree, index_of, ps))
+            })?;
+        let (path_layer, stats) = assign_layers_online_recorded(&ps, self.max_layers, rec)?;
 
         // Compile destination-based tables.
         let mut routes = Routes::new(net, self.name());
@@ -194,12 +207,18 @@ impl RoutingEngine for Lash {
         true
     }
 
-    fn max_layers(&self) -> Option<usize> {
-        Some(self.max_layers)
+    fn config(&self) -> Option<EngineConfig> {
+        Some(EngineConfig {
+            max_layers: self.max_layers,
+            // LASH has no balancing step; report the config default.
+            balance: true,
+            recorder: self.recorder.clone(),
+        })
     }
 
-    fn set_max_layers(&mut self, layers: usize) -> bool {
-        self.max_layers = layers;
+    fn set_config(&mut self, config: EngineConfig) -> bool {
+        self.max_layers = config.max_layers;
+        self.recorder = config.recorder;
         true
     }
 }
@@ -241,7 +260,10 @@ mod tests {
 
     #[test]
     fn layer_budget_enforced() {
-        let engine = Lash { max_layers: 1 };
+        let engine = Lash {
+            max_layers: 1,
+            ..Lash::new()
+        };
         let err = engine.route(&topo::ring(5, 1)).unwrap_err();
         assert!(matches!(err, RouteError::NeedMoreLayers { .. }));
     }

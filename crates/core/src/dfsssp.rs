@@ -24,11 +24,12 @@
 
 use crate::balance::balance_layers;
 use crate::cdg::{Cdg, CycleSearch};
-use crate::engine::{RouteError, RoutingEngine};
+use crate::engine::{EngineConfig, RouteError, RoutingEngine};
 use crate::heuristics::CycleBreakHeuristic;
 use crate::paths::{PathId, PathSet};
 use crate::sssp::Sssp;
 use fabric::{Network, Routes};
+use telemetry::{counters, phases, Acc, Noop, Recorder, RecorderHandle};
 
 /// How paths are assigned to virtual layers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +72,9 @@ pub struct DfSssp {
     /// dense networks (e.g. large Kautz graphs); disable to measure the
     /// unmodified algorithm. Default: true.
     pub compact: bool,
+    /// Telemetry sink for phase timings and counters. Default: the
+    /// shared no-op (no measurement overhead).
+    pub recorder: RecorderHandle,
 }
 
 impl Default for DfSssp {
@@ -81,6 +85,7 @@ impl Default for DfSssp {
             mode: LayerAssignMode::Offline,
             balance: true,
             compact: true,
+            recorder: telemetry::noop(),
         }
     }
 }
@@ -100,21 +105,44 @@ impl DfSssp {
     }
 
     /// Route and also return run statistics (layer counts etc.).
+    ///
+    /// When a recorder is attached, the run reports the five DFSSSP
+    /// phases (`sssp`, `cdg_build`, `cycle_search`, `layer_assign`,
+    /// `balance`) plus the `edges_weighted`, `cycles_broken` and
+    /// `paths_moved` counters; with the no-op recorder not even the
+    /// clock is read.
     pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
-        let mut routes = Sssp::new().route(net)?;
-        let ps = PathSet::extract(net, &routes)?;
-        let (path_layer, mut stats) = match self.mode {
-            LayerAssignMode::Offline => {
-                assign_layers_offline(&ps, self.heuristic, self.max_layers, self.compact)?
+        let rec: &dyn Recorder = &*self.recorder;
+        let sssp = Sssp::new();
+        let mut routes = telemetry::timed(rec, phases::SSSP, || {
+            if rec.enabled() {
+                let (routes, weights) = sssp.route_with_weights(net)?;
+                let w0 = sssp.base_weight(net);
+                let grown = weights.iter().filter(|&&w| w > w0).count() as u64;
+                rec.add(counters::EDGES_WEIGHTED, grown);
+                Ok(routes)
+            } else {
+                sssp.route(net)
             }
-            LayerAssignMode::Online => assign_layers_online(&ps, self.max_layers)?,
+        })?;
+        let ps = telemetry::timed(rec, phases::CDG_BUILD, || PathSet::extract(net, &routes))?;
+        let (mut path_layer, mut stats) = match self.mode {
+            LayerAssignMode::Offline => {
+                assign_layers_recorded(&ps, self.heuristic, self.max_layers, self.compact, rec)?
+            }
+            LayerAssignMode::Online => assign_layers_online_recorded(&ps, self.max_layers, rec)?,
         };
-        let mut path_layer = path_layer;
-        stats.layers_final = if self.balance {
-            balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
-        } else {
-            stats.layers_used
-        };
+        stats.layers_final = telemetry::timed(rec, phases::BALANCE, || {
+            if self.balance {
+                balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
+            } else {
+                stats.layers_used
+            }
+        });
+        if rec.enabled() {
+            rec.add(counters::CYCLES_BROKEN, stats.cycles_broken as u64);
+            rec.add(counters::PATHS_MOVED, stats.paths_moved as u64);
+        }
         for p in ps.ids() {
             let (s, d) = ps.pair(p);
             routes.set_layer(s as usize, d as usize, path_layer[p as usize]);
@@ -138,12 +166,18 @@ impl RoutingEngine for DfSssp {
         true
     }
 
-    fn max_layers(&self) -> Option<usize> {
-        Some(self.max_layers)
+    fn config(&self) -> Option<EngineConfig> {
+        Some(EngineConfig {
+            max_layers: self.max_layers,
+            balance: self.balance,
+            recorder: self.recorder.clone(),
+        })
     }
 
-    fn set_max_layers(&mut self, layers: usize) -> bool {
-        self.max_layers = layers;
+    fn set_config(&mut self, config: EngineConfig) -> bool {
+        self.max_layers = config.max_layers;
+        self.balance = config.balance;
+        self.recorder = config.recorder;
         true
     }
 }
@@ -162,6 +196,21 @@ pub fn assign_layers_offline(
     max_layers: usize,
     compact: bool,
 ) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assign_layers_recorded(ps, heuristic, max_layers, compact, &Noop)
+}
+
+/// [`assign_layers_offline`] with phase telemetry: initial CDG
+/// population reports as `cdg_build`, the resumable search as
+/// `cycle_search`, victim moves and compaction as `layer_assign`. The
+/// loop phases report once per call (via [`telemetry::Acc`]) even when
+/// zero cycles were found, so manifests always carry all phases.
+pub fn assign_layers_recorded(
+    ps: &PathSet,
+    heuristic: CycleBreakHeuristic,
+    max_layers: usize,
+    compact: bool,
+    rec: &dyn Recorder,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
     assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
     let work_budget = if compact {
         (max_layers * 4).clamp(max_layers, u8::MAX as usize + 1)
@@ -170,15 +219,20 @@ pub fn assign_layers_offline(
     };
     let num_channels = num_channels_of(ps);
     let mut path_layer = vec![0u8; ps.len()];
-    let mut layers: Vec<Cdg> = vec![Cdg::new(num_channels)];
-    for p in ps.ids() {
-        layers[0].add_path(ps, p);
-    }
+    let mut layers: Vec<Cdg> = telemetry::timed(rec, phases::CDG_BUILD, || {
+        let mut layers = vec![Cdg::new(num_channels)];
+        for p in ps.ids() {
+            layers[0].add_path(ps, p);
+        }
+        layers
+    });
     let mut stats = DfStats::default();
+    let mut search_acc = Acc::new(rec, phases::CYCLE_SEARCH);
+    let mut assign_acc = Acc::new(rec, phases::LAYER_ASSIGN);
     let mut i = 0usize;
     while i < layers.len() {
         let mut search = CycleSearch::new(num_channels);
-        while let Some(cycle) = search.next_cycle(&layers[i]) {
+        while let Some(cycle) = search_acc.measure(|| search.next_cycle(&layers[i])) {
             stats.cycles_broken += 1;
             let edge = heuristic.pick_counted(&layers[i], &cycle, stats.cycles_broken as u64);
             let victims = layers[i].live_paths_of(edge, &path_layer, i as u8);
@@ -192,19 +246,22 @@ pub fn assign_layers_offline(
             if i + 1 >= layers.len() {
                 layers.push(Cdg::new(num_channels));
             }
-            let (head, tail) = layers.split_at_mut(i + 1);
-            let (cur, next) = (&mut head[i], &mut tail[0]);
-            for p in victims {
-                cur.remove_path(ps, p);
-                next.add_path(ps, p);
-                path_layer[p as usize] = (i + 1) as u8;
-                stats.paths_moved += 1;
-            }
+            assign_acc.measure(|| {
+                let (head, tail) = layers.split_at_mut(i + 1);
+                let (cur, next) = (&mut head[i], &mut tail[0]);
+                for p in victims {
+                    cur.remove_path(ps, p);
+                    next.add_path(ps, p);
+                    path_layer[p as usize] = (i + 1) as u8;
+                    stats.paths_moved += 1;
+                }
+            });
         }
         i += 1;
     }
     if compact {
-        compact_layers(ps, &mut path_layer, &mut layers, &mut stats, max_layers);
+        assign_acc
+            .measure(|| compact_layers(ps, &mut path_layer, &mut layers, &mut stats, max_layers));
     }
     stats.layers_used = layers.iter().filter(|l| l.num_paths() > 0).count().max(1);
     if stats.layers_used > max_layers {
@@ -339,6 +396,17 @@ pub fn assign_layers_online(
     ps: &PathSet,
     max_layers: usize,
 ) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assign_layers_online_recorded(ps, max_layers, &Noop)
+}
+
+/// [`assign_layers_online`] with phase telemetry: the per-placement
+/// acyclicity checks report as `cycle_search`, the add/remove traffic
+/// as `layer_assign`.
+pub fn assign_layers_online_recorded(
+    ps: &PathSet,
+    max_layers: usize,
+    rec: &dyn Recorder,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
     assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
     let num_channels = num_channels_of(ps);
     let mut path_layer = vec![0u8; ps.len()];
@@ -346,16 +414,18 @@ pub fn assign_layers_online(
     let mut stats = DfStats::default();
     let mut seen = vec![0u32; num_channels];
     let mut epoch = 0u32;
+    let mut search_acc = Acc::new(rec, phases::CYCLE_SEARCH);
+    let mut assign_acc = Acc::new(rec, phases::LAYER_ASSIGN);
     for p in ps.ids() {
         let mut placed = false;
         for l in 0..max_layers {
             if l >= layers.len() {
                 layers.push(Cdg::new(num_channels));
             }
-            layers[l].add_path(ps, p);
+            assign_acc.measure(|| layers[l].add_path(ps, p));
             // Incremental check: the layer was acyclic before, so any
             // new cycle runs through one of p's edges.
-            if !layers[l].path_closes_cycle(ps, p, &mut seen, &mut epoch) {
+            if !search_acc.measure(|| layers[l].path_closes_cycle(ps, p, &mut seen, &mut epoch)) {
                 path_layer[p as usize] = l as u8;
                 placed = true;
                 if l > 0 {
@@ -363,7 +433,7 @@ pub fn assign_layers_online(
                 }
                 break;
             }
-            layers[l].remove_path(ps, p);
+            assign_acc.measure(|| layers[l].remove_path(ps, p));
         }
         if !placed {
             return Err(RouteError::NeedMoreLayers {

@@ -1,6 +1,7 @@
 //! The routing-engine interface shared by DFSSSP and all baselines.
 
 use fabric::{Network, Routes};
+use telemetry::{counters, hists, phases, Recorder, RecorderHandle};
 
 /// Errors a routing engine can raise.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,60 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Uniform configuration for configurable routing engines: the
+/// virtual-layer budget, the post-assignment balancing toggle, and the
+/// telemetry sink. One struct instead of one setter per knob, so the
+/// subnet manager's escalation ladder, the CLIs and the benches all
+/// tune engines the same way ([`RoutingEngine::with_config`]).
+///
+/// Engines apply the fields they understand and ignore the rest (a
+/// balancing toggle means nothing to LASH); [`RoutingEngine::config`]
+/// reports the engine's current view.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Virtual-layer budget. InfiniBand hardware allows 8 data VLs.
+    pub max_layers: usize,
+    /// Spread paths over unused layers after assignment.
+    pub balance: bool,
+    /// Telemetry sink; defaults to the shared no-op.
+    pub recorder: RecorderHandle,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_layers: 8,
+            balance: true,
+            recorder: telemetry::noop(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's defaults: 8 layers, balancing on, no telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the virtual-layer budget.
+    pub fn max_layers(mut self, layers: usize) -> Self {
+        self.max_layers = layers;
+        self
+    }
+
+    /// Toggle post-assignment balancing.
+    pub fn balance(mut self, on: bool) -> Self {
+        self.balance = on;
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+}
+
 /// A routing algorithm: consumes a network, produces forwarding tables
 /// plus a virtual-layer assignment.
 pub trait RoutingEngine {
@@ -51,17 +106,42 @@ pub trait RoutingEngine {
     /// deadlock-free on arbitrary topologies.
     fn deadlock_free(&self) -> bool;
 
-    /// Current virtual-layer budget, when the engine has one. Engines
-    /// without a layer knob (MinHop, plain SSSP) report `None`; the
-    /// subnet manager's escalation ladder skips them.
-    fn max_layers(&self) -> Option<usize> {
+    /// The engine's current configuration. Engines without tunables
+    /// (MinHop, plain SSSP) report `None`; the subnet manager's
+    /// escalation ladder skips them.
+    fn config(&self) -> Option<EngineConfig> {
         None
     }
 
-    /// Adjust the virtual-layer budget. Returns `false` when the engine
-    /// has no such knob, so callers know the escalation was ignored.
-    fn set_max_layers(&mut self, _layers: usize) -> bool {
+    /// Apply a configuration. Returns `false` when the engine has no
+    /// tunables, so callers know the request was ignored.
+    fn set_config(&mut self, _config: EngineConfig) -> bool {
         false
+    }
+
+    /// Builder form of [`RoutingEngine::set_config`].
+    fn with_config(mut self, config: EngineConfig) -> Self
+    where
+        Self: Sized,
+    {
+        self.set_config(config);
+        self
+    }
+
+    /// Current virtual-layer budget, when the engine has one.
+    #[deprecated(note = "use `config()` and read `max_layers` from it")]
+    fn max_layers(&self) -> Option<usize> {
+        self.config().map(|c| c.max_layers)
+    }
+
+    /// Adjust the virtual-layer budget. Returns `false` when the engine
+    /// has no such knob.
+    #[deprecated(note = "use `set_config()` / `with_config()`")]
+    fn set_max_layers(&mut self, layers: usize) -> bool {
+        match self.config() {
+            Some(config) => self.set_config(config.max_layers(layers)),
+            None => false,
+        }
     }
 }
 
@@ -80,12 +160,104 @@ impl<T: RoutingEngine + ?Sized> RoutingEngine for Box<T> {
         (**self).deadlock_free()
     }
 
-    fn max_layers(&self) -> Option<usize> {
-        (**self).max_layers()
+    fn config(&self) -> Option<EngineConfig> {
+        (**self).config()
     }
 
-    fn set_max_layers(&mut self, layers: usize) -> bool {
-        (**self).set_max_layers(layers)
+    fn set_config(&mut self, config: EngineConfig) -> bool {
+        (**self).set_config(config)
+    }
+}
+
+/// Wraps any engine so every `route` call is measured: wall-clock as
+/// the `route_total` phase plus the standard route-quality metrics
+/// ([`record_route_metrics`]). This is what makes baseline comparisons
+/// apples-to-apples — MinHop and DFSSSP go through the identical
+/// measurement path. Costs nothing when the recorder is disabled.
+#[derive(Clone, Debug)]
+pub struct Recorded<E> {
+    /// The measured engine.
+    pub inner: E,
+    recorder: RecorderHandle,
+}
+
+impl<E: RoutingEngine> Recorded<E> {
+    /// Measure `inner` through `recorder`.
+    pub fn new(inner: E, recorder: RecorderHandle) -> Self {
+        Recorded { inner, recorder }
+    }
+
+    /// Unwrap the measured engine.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: RoutingEngine> RoutingEngine for Recorded<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+        let routes = telemetry::timed(&*self.recorder, phases::ROUTE_TOTAL, || {
+            self.inner.route(net)
+        })?;
+        record_route_metrics(net, &routes, &*self.recorder);
+        Ok(routes)
+    }
+
+    fn deadlock_free(&self) -> bool {
+        self.inner.deadlock_free()
+    }
+
+    fn config(&self) -> Option<EngineConfig> {
+        self.inner.config()
+    }
+
+    fn set_config(&mut self, config: EngineConfig) -> bool {
+        self.inner.set_config(config)
+    }
+}
+
+/// Record the standard quality metrics of a finished routing: the
+/// `paths_routed` / `vls_used` counters and the `path_length` /
+/// `vl_channels` / `edge_load` histograms. A no-op (not even a table
+/// walk) when the recorder is disabled.
+pub fn record_route_metrics(net: &Network, routes: &Routes, rec: &dyn Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    let num_layers = routes.num_layers() as usize;
+    rec.add(counters::VLS_USED, num_layers as u64);
+    let mut layer_channels = vec![vec![false; net.num_channels()]; num_layers];
+    let mut loads = vec![0u64; net.num_channels()];
+    let mut paths = 0u64;
+    for (src_t, &src) in net.terminals().iter().enumerate() {
+        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let Ok(channels) = routes.path_channels(net, src, dst) else {
+                continue;
+            };
+            paths += 1;
+            rec.observe(hists::PATH_LENGTH, channels.len() as u64);
+            let layer = routes.layer(src_t, dst_t) as usize;
+            for c in &channels {
+                loads[c.idx()] += 1;
+                if layer < num_layers {
+                    layer_channels[layer][c.idx()] = true;
+                }
+            }
+        }
+    }
+    rec.add(counters::PATHS_ROUTED, paths);
+    for used in &layer_channels {
+        let distinct = used.iter().filter(|&&u| u).count() as u64;
+        rec.observe(hists::VL_CHANNELS, distinct);
+    }
+    for &load in &loads {
+        rec.observe(hists::EDGE_LOAD, load);
     }
 }
 

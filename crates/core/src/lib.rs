@@ -38,7 +38,7 @@ pub mod verify;
 pub mod wrapper;
 
 pub use dfsssp::{DfSssp, LayerAssignMode};
-pub use engine::{RouteError, RoutingEngine};
+pub use engine::{record_route_metrics, EngineConfig, Recorded, RouteError, RoutingEngine};
 pub use heuristics::CycleBreakHeuristic;
 pub use quality::{route_quality, RouteQuality};
 pub use sssp::Sssp;

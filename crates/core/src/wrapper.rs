@@ -13,11 +13,14 @@
 //! default engine.
 
 use crate::balance::balance_layers;
-use crate::dfsssp::{assign_layers_offline, assign_layers_online, DfStats, LayerAssignMode};
-use crate::engine::{RouteError, RoutingEngine};
+use crate::dfsssp::{
+    assign_layers_online_recorded, assign_layers_recorded, DfStats, LayerAssignMode,
+};
+use crate::engine::{EngineConfig, RouteError, RoutingEngine};
 use crate::heuristics::CycleBreakHeuristic;
 use crate::paths::PathSet;
 use fabric::{Network, Routes};
+use telemetry::{counters, phases, Recorder, RecorderHandle};
 
 /// A deadlock-freedom wrapper around any routing engine.
 #[derive(Clone, Debug)]
@@ -34,6 +37,9 @@ pub struct DeadlockFree<E> {
     pub balance: bool,
     /// Compact layers after offline assignment (see [`crate::DfSssp`]).
     pub compact: bool,
+    /// Telemetry sink (phases as in [`crate::DfSssp`], plus the inner
+    /// engine's share of the run as `inner_route`).
+    pub recorder: RecorderHandle,
 }
 
 impl<E: RoutingEngine> DeadlockFree<E> {
@@ -46,24 +52,32 @@ impl<E: RoutingEngine> DeadlockFree<E> {
             mode: LayerAssignMode::Offline,
             balance: true,
             compact: true,
+            recorder: telemetry::noop(),
         }
     }
 
     /// Route and return assignment statistics.
     pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
-        let mut routes = self.inner.route(net)?;
-        let ps = PathSet::extract(net, &routes)?;
+        let rec: &dyn Recorder = &*self.recorder;
+        let mut routes = telemetry::timed(rec, phases::INNER_ROUTE, || self.inner.route(net))?;
+        let ps = telemetry::timed(rec, phases::CDG_BUILD, || PathSet::extract(net, &routes))?;
         let (mut path_layer, mut stats) = match self.mode {
             LayerAssignMode::Offline => {
-                assign_layers_offline(&ps, self.heuristic, self.max_layers, self.compact)?
+                assign_layers_recorded(&ps, self.heuristic, self.max_layers, self.compact, rec)?
             }
-            LayerAssignMode::Online => assign_layers_online(&ps, self.max_layers)?,
+            LayerAssignMode::Online => assign_layers_online_recorded(&ps, self.max_layers, rec)?,
         };
-        stats.layers_final = if self.balance {
-            balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
-        } else {
-            stats.layers_used
-        };
+        stats.layers_final = telemetry::timed(rec, phases::BALANCE, || {
+            if self.balance {
+                balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
+            } else {
+                stats.layers_used
+            }
+        });
+        if rec.enabled() {
+            rec.add(counters::CYCLES_BROKEN, stats.cycles_broken as u64);
+            rec.add(counters::PATHS_MOVED, stats.paths_moved as u64);
+        }
         for p in ps.ids() {
             let (s, d) = ps.pair(p);
             routes.set_layer(s as usize, d as usize, path_layer[p as usize]);
@@ -87,12 +101,18 @@ impl<E: RoutingEngine> RoutingEngine for DeadlockFree<E> {
         true
     }
 
-    fn max_layers(&self) -> Option<usize> {
-        Some(self.max_layers)
+    fn config(&self) -> Option<EngineConfig> {
+        Some(EngineConfig {
+            max_layers: self.max_layers,
+            balance: self.balance,
+            recorder: self.recorder.clone(),
+        })
     }
 
-    fn set_max_layers(&mut self, layers: usize) -> bool {
-        self.max_layers = layers;
+    fn set_config(&mut self, config: EngineConfig) -> bool {
+        self.max_layers = config.max_layers;
+        self.balance = config.balance;
+        self.recorder = config.recorder;
         true
     }
 }

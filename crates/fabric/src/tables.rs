@@ -42,7 +42,7 @@ impl std::fmt::Display for RoutesError {
 impl std::error::Error for RoutesError {}
 
 /// Destination-based forwarding tables plus per-path virtual layers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Routes {
     /// `next[node][t]` = channel to take at `node` toward terminal index
     /// `t`, or `u32::MAX` when unset (at the destination itself, or for

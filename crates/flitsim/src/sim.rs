@@ -126,6 +126,33 @@ pub fn simulate(
     simulate_detailed(net, routes, workload, config).0
 }
 
+/// [`simulate`] with telemetry: the run reports as one `flitsim` phase
+/// and bumps the `packets_delivered` / `sim_cycles` counters from the
+/// outcome (deadlocked runs report the packets that escaped before the
+/// wedge). Identical outcome either way — the recorder only observes.
+pub fn simulate_recorded(
+    net: &Network,
+    routes: &Routes,
+    workload: &Workload,
+    config: &SimConfig,
+    rec: &dyn telemetry::Recorder,
+) -> Outcome {
+    let outcome = telemetry::timed(rec, telemetry::phases::FLITSIM, || {
+        simulate(net, routes, workload, config)
+    });
+    if rec.enabled() {
+        let (delivered, cycles) = match &outcome {
+            Outcome::Completed(s) | Outcome::CycleLimit(s) => (s.delivered, s.cycles),
+            Outcome::Deadlock {
+                cycle, delivered, ..
+            } => (*delivered, *cycle),
+        };
+        rec.add(telemetry::counters::PACKETS_DELIVERED, delivered as u64);
+        rec.add(telemetry::counters::SIM_CYCLES, cycles);
+    }
+    outcome
+}
+
 /// [`simulate`] plus per-VL buffer occupancy statistics.
 pub fn simulate_detailed(
     net: &Network,

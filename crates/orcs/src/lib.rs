@@ -23,4 +23,7 @@ pub mod sim;
 pub use metrics::{BandwidthHistogram, Metric};
 pub use patterns::Pattern;
 pub use report::Summary;
-pub use sim::{effective_bisection_bandwidth, flow_bandwidths, EbbOptions};
+pub use sim::{
+    effective_bisection_bandwidth, effective_bisection_bandwidth_recorded, flow_bandwidths,
+    EbbOptions,
+};

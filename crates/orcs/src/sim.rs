@@ -69,16 +69,41 @@ pub fn effective_bisection_bandwidth(
     routes: &Routes,
     opts: &EbbOptions,
 ) -> Result<Summary, RoutesError> {
+    effective_bisection_bandwidth_recorded(net, routes, opts, &telemetry::Noop)
+}
+
+/// [`effective_bisection_bandwidth`] with telemetry: the whole sweep
+/// reports as one `ebb` phase, each pattern bumps `patterns_simulated`,
+/// and per-pattern mean bandwidths land in the `pattern_bw_milli`
+/// histogram (relative bandwidth × 1000, so 1000 = unshared
+/// full speed). Identical results either way — the recorder only
+/// observes.
+pub fn effective_bisection_bandwidth_recorded(
+    net: &Network,
+    routes: &Routes,
+    opts: &EbbOptions,
+    rec: &dyn telemetry::Recorder,
+) -> Result<Summary, RoutesError> {
     let nt = net.num_terminals();
-    let per_pattern: Result<Vec<f64>, RoutesError> = (0..opts.patterns)
-        .into_par_iter()
-        .map(|i| {
-            let pattern = Pattern::random_bisection(nt, opts.seed.wrapping_add(i as u64));
-            let bws = flow_bandwidths(net, routes, &pattern)?;
-            let mean = bws.iter().sum::<f64>() / bws.len().max(1) as f64;
-            Ok(mean * opts.link_bandwidth)
-        })
-        .collect();
+    let per_pattern: Result<Vec<f64>, RoutesError> =
+        telemetry::timed(rec, telemetry::phases::EBB, || {
+            (0..opts.patterns)
+                .into_par_iter()
+                .map(|i| {
+                    let pattern = Pattern::random_bisection(nt, opts.seed.wrapping_add(i as u64));
+                    let bws = flow_bandwidths(net, routes, &pattern)?;
+                    let mean = bws.iter().sum::<f64>() / bws.len().max(1) as f64;
+                    if rec.enabled() {
+                        rec.add(telemetry::counters::PATTERNS_SIMULATED, 1);
+                        rec.observe(
+                            telemetry::hists::PATTERN_BW_MILLI,
+                            (mean * 1000.0).round() as u64,
+                        );
+                    }
+                    Ok(mean * opts.link_bandwidth)
+                })
+                .collect()
+        });
     Ok(Summary::of(&per_pattern?))
 }
 

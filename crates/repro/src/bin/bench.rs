@@ -1,0 +1,85 @@
+//! `bench` — the fixed topology × engine benchmark sweep, written as a
+//! versioned `dfsssp-bench/v1` report (CI's bench-smoke artifact).
+//!
+//! ```text
+//! bench [--quick] [--out BENCH_pr3.json] [--seed 7]
+//! bench --validate BENCH_pr3.json     # parse + schema check only
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_pr3.json".to_string();
+    let mut validate: Option<String> = None;
+    let mut cli = repro::Cli::parse_with(
+        "bench",
+        " [--quick] [--out <file>] [--validate <file>]",
+        |flag, val| match flag {
+            "--quick" => {
+                quick = true;
+                true
+            }
+            "--out" => {
+                out = val();
+                true
+            }
+            "--validate" => {
+                validate = Some(val());
+                true
+            }
+            _ => false,
+        },
+    );
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match repro::bench::BenchReport::from_json(&text) {
+            Ok(report) => {
+                println!(
+                    "{path}: valid {} report, {} cases",
+                    report.schema,
+                    report.cases.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let seed = cli.seed.unwrap_or(7);
+    cli.seed = Some(seed);
+    let report = repro::bench::run(quick, seed);
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let failures: Vec<&repro::bench::BenchCase> = report.cases.iter().filter(|c| !c.ok).collect();
+    println!(
+        "bench: {} cases ({} failed) -> {out}",
+        report.cases.len(),
+        failures.len()
+    );
+    for f in &failures {
+        println!(
+            "  FAIL {} on {}: {}",
+            f.engine,
+            f.topology,
+            f.error.as_deref().unwrap_or("?")
+        );
+    }
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

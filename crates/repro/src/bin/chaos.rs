@@ -7,160 +7,99 @@
 //!       | --gen torus:4x4 | --gen kary:4,2 | --gen ring:5
 //!       [--engine dfsssp] [--events 10] [--seed 7] [--hw-vls 8]
 //!       [--no-flap] [--no-switch-bursts] [--no-heal] [--json]
+//!       [--metrics metrics.json]
 //! ```
 //!
 //! Exit status is non-zero when any intermediate state failed vetting or
 //! terminals were left quarantined at the end of the campaign.
 
-use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
-use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
-use fabric::{format, topo, Network, TopologyStats};
+use dfsssp_core::EngineConfig;
+use fabric::TopologyStats;
 use std::process::ExitCode;
-use subnet::{run_campaign, schedule, CampaignSpec};
+use subnet::{run_campaign_recorded, schedule, CampaignSpec};
 
-struct Args {
-    topo: Option<String>,
-    gen: Option<String>,
-    format: String,
-    engine: String,
-    spec: CampaignSpec,
-    hw_vls: usize,
-    json: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: chaos (--topo <file> [--format text|ibnetdiscover|json] | \
-         --gen torus:<X>x<Y>|kary:<k>,<n>|ring:<N>) \
-         [--engine minhop|updown|dor|lash|fattree|sssp|dfsssp] \
-         [--events N] [--seed S] [--hw-vls N] \
-         [--no-flap] [--no-switch-bursts] [--no-heal] [--json]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        topo: None,
-        gen: None,
-        format: "text".into(),
-        engine: "dfsssp".into(),
-        spec: CampaignSpec::default(),
-        hw_vls: 8,
-        json: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--topo" => args.topo = Some(val()),
-            "--gen" => args.gen = Some(val()),
-            "--format" => args.format = val(),
-            "--engine" => args.engine = val().to_lowercase(),
-            "--events" => args.spec.events = val().parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.spec.seed = val().parse().unwrap_or_else(|_| usage()),
-            "--hw-vls" => args.hw_vls = val().parse().unwrap_or_else(|_| usage()),
-            "--no-flap" => args.spec.flap_burst = false,
-            "--no-switch-bursts" => args.spec.switch_bursts = false,
-            "--no-heal" => args.spec.heal = false,
-            "--json" => args.json = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-    }
-    if args.topo.is_none() == args.gen.is_none() {
-        usage();
-    }
-    args
-}
-
-fn generate(spec: &str) -> Result<Network, String> {
-    let (kind, rest) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("malformed --gen {spec}"))?;
-    match kind {
-        "torus" => {
-            let dims: Result<Vec<u16>, _> = rest.split('x').map(str::parse).collect();
-            let dims = dims.map_err(|_| format!("bad torus extents {rest}"))?;
-            Ok(topo::torus(&dims, 1))
-        }
-        "kary" => {
-            let (k, n) = rest
-                .split_once(',')
-                .ok_or_else(|| format!("bad kary spec {rest}"))?;
-            let k = k.parse().map_err(|_| format!("bad k {k}"))?;
-            let n = n.parse().map_err(|_| format!("bad n {n}"))?;
-            Ok(topo::kary_ntree(k, n))
-        }
-        "ring" => {
-            let n = rest.parse().map_err(|_| format!("bad ring size {rest}"))?;
-            Ok(topo::ring(n, 1))
-        }
-        other => Err(format!("unknown generator {other}")),
-    }
-}
-
-fn load(args: &Args) -> Result<Network, String> {
-    if let Some(g) = &args.gen {
-        return generate(g);
-    }
-    let path = args.topo.as_deref().expect("checked in parse_args");
-    let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let net = match args.format.as_str() {
-        "text" => format::parse_network(&input).map_err(|e| e.to_string())?,
-        "ibnetdiscover" => format::parse_ibnetdiscover(&input).map_err(|e| e.to_string())?,
-        "json" => format::network_from_json(&input)?,
-        other => return Err(format!("unknown format {other}")),
-    };
-    net.validate()?;
-    Ok(net)
-}
-
-fn engine_of(args: &Args) -> Box<dyn RoutingEngine> {
-    match args.engine.as_str() {
-        "minhop" => Box::new(MinHop::new()),
-        "updown" => Box::new(UpDown::new()),
-        "dor" => Box::new(Dor::new()),
-        "lash" => Box::new(Lash {
-            max_layers: args.hw_vls,
-        }),
-        "fattree" => Box::new(FatTree::new()),
-        "sssp" => Box::new(Sssp::new()),
-        "dfsssp" => Box::new(DfSssp {
-            max_layers: args.hw_vls,
-            ..DfSssp::new()
-        }),
-        _ => usage(),
-    }
-}
+const EXTRA_USAGE: &str = " [--events N] [--hw-vls N] \
+    [--no-flap] [--no-switch-bursts] [--no-heal]";
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    let net = match load(&args) {
+    let mut spec = CampaignSpec::default();
+    let mut hw_vls = 8usize;
+    let mut bad = false;
+    let mut cli = repro::Cli::parse_with("chaos", EXTRA_USAGE, |flag, val| match flag {
+        "--events" => {
+            spec.events = val().parse().unwrap_or_else(|_| {
+                bad = true;
+                0
+            });
+            true
+        }
+        "--hw-vls" => {
+            hw_vls = val().parse().unwrap_or_else(|_| {
+                bad = true;
+                0
+            });
+            true
+        }
+        "--no-flap" => {
+            spec.flap_burst = false;
+            true
+        }
+        "--no-switch-bursts" => {
+            spec.switch_bursts = false;
+            true
+        }
+        "--no-heal" => {
+            spec.heal = false;
+            true
+        }
+        _ => false,
+    });
+    if bad {
+        eprintln!("chaos: bad arguments (see --help)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(seed) = cli.seed {
+        spec.seed = seed;
+    } else {
+        cli.seed = Some(spec.seed);
+    }
+
+    let net = match cli.network() {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if !args.json {
+    if !cli.json {
         println!("fabric: {}", TopologyStats::of(&net));
     }
-    let batches = schedule(&net, &args.spec);
-    let engine = engine_of(&args);
-    let report = match run_campaign(engine, &net, &batches, args.spec.seed) {
+    let batches = schedule(&net, &spec);
+    let engine = match cli.engine(EngineConfig::new().max_layers(hw_vls)) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run_campaign_recorded(engine, &net, &batches, spec.seed, cli.recorder()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign aborted: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if args.json {
+    if cli.json {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render_human());
     }
-    if report.ok() {
+    let ok = report.ok();
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

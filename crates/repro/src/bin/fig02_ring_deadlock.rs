@@ -2,11 +2,14 @@
 //! SSSP routing, demonstrated with the buffer-level simulator, and the
 //! same workload completing under DFSSSP.
 
-use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
-use flitsim::{simulate, SimConfig, Workload};
+use dfsssp_core::{DfSssp, EngineConfig, RoutingEngine, Sssp};
+use flitsim::{simulate_recorded, SimConfig, Workload};
 
 fn main() {
+    let mut cli = repro::Cli::parse("fig02_ring_deadlock");
+    let rec = cli.recorder();
     let net = fabric::topo::ring(5, 1);
+    cli.note_topology(&net);
     let workload = Workload::shift(5, 2, 8);
     let config = SimConfig {
         buffer_capacity: 1,
@@ -17,11 +20,11 @@ fn main() {
     println!("buffers: 1 packet per (channel, VL)\n");
     for engine in [
         Box::new(Sssp::new()) as Box<dyn RoutingEngine>,
-        Box::new(DfSssp::new()),
+        Box::new(DfSssp::new().with_config(EngineConfig::new().recorder(rec.clone()))),
     ] {
         let routes = engine.route(&net).expect("ring routes");
         let report = dfsssp_core::verify::deadlock_report(&net, &routes).unwrap();
-        let outcome = simulate(&net, &routes, &workload, &config);
+        let outcome = simulate_recorded(&net, &routes, &workload, &config, &*rec);
         println!(
             "{:<8} layers={} cdg-cyclic={:<5} outcome={:?}",
             engine.name(),
@@ -40,4 +43,5 @@ fn main() {
             println!("         layer {layer} witness cycle: {}", chain.join(" "));
         }
     }
+    cli.finish().expect("write metrics");
 }

@@ -5,12 +5,14 @@
 use fabric::topo::realworld::RealSystem;
 
 fn main() {
+    let cli = repro::Cli::parse("fig04_realworld_ebb");
+    let rec = cli.recorder();
     let scale = repro::scale();
     println!(
         "Figure 4: eBB on real-world reconstructions (scale={scale}, {} patterns)\n",
         repro::patterns()
     );
-    let engines = repro::engines();
+    let engines = cli.engines();
     let mut headers = vec!["system", "endpoints"];
     let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
@@ -19,10 +21,11 @@ fn main() {
         let net = sys.build(scale);
         let mut row = vec![sys.name().to_string(), net.num_terminals().to_string()];
         for engine in &engines {
-            row.push(repro::ebb_cell(engine.as_ref(), &net));
+            row.push(repro::ebb_cell_recorded(engine.as_ref(), &net, &*rec));
         }
         rows.push(row);
         eprintln!("  done: {}", sys.name());
     }
-    repro::print_table(&headers, &rows);
+    cli.table(&headers, &rows);
+    cli.finish().expect("write metrics");
 }

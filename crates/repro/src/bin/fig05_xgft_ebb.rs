@@ -2,16 +2,19 @@
 //! trees, 64..4096 endpoints.
 
 fn main() {
+    let cli = repro::Cli::parse("fig05_xgft_ebb");
     println!(
         "Figure 5: eBB on XGFTs ({} patterns, cap {})\n",
         repro::patterns(),
         repro::max_endpoints()
     );
-    sweep(repro::xgft_series());
+    sweep(&cli, repro::xgft_series());
+    cli.finish().expect("write metrics");
 }
 
-fn sweep(series: Vec<(usize, fabric::Network)>) {
-    let engines = repro::engines();
+fn sweep(cli: &repro::Cli, series: Vec<(usize, fabric::Network)>) {
+    let rec = cli.recorder();
+    let engines = cli.engines();
     let mut headers = vec!["endpoints", "topology"];
     let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
@@ -19,10 +22,10 @@ fn sweep(series: Vec<(usize, fabric::Network)>) {
     for (n, net) in series {
         let mut row = vec![n.to_string(), net.label().to_string()];
         for engine in &engines {
-            row.push(repro::ebb_cell(engine.as_ref(), &net));
+            row.push(repro::ebb_cell_recorded(engine.as_ref(), &net, &*rec));
         }
         rows.push(row);
         eprintln!("  done: {n}");
     }
-    repro::print_table(&headers, &rows);
+    cli.table(&headers, &rows);
 }

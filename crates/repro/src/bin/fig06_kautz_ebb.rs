@@ -1,12 +1,14 @@
 //! Fig 6: effective bisection bandwidth on Kautz networks.
 
 fn main() {
+    let cli = repro::Cli::parse("fig06_kautz_ebb");
+    let rec = cli.recorder();
     println!(
         "Figure 6: eBB on Kautz graphs ({} patterns, cap {})\n",
         repro::patterns(),
         repro::max_endpoints()
     );
-    let engines = repro::engines();
+    let engines = cli.engines();
     let mut headers = vec!["endpoints", "topology"];
     let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
@@ -14,10 +16,11 @@ fn main() {
     for (n, net) in repro::kautz_series() {
         let mut row = vec![n.to_string(), net.label().to_string()];
         for engine in &engines {
-            row.push(repro::ebb_cell(engine.as_ref(), &net));
+            row.push(repro::ebb_cell_recorded(engine.as_ref(), &net, &*rec));
         }
         rows.push(row);
         eprintln!("  done: {n}");
     }
-    repro::print_table(&headers, &rows);
+    cli.table(&headers, &rows);
+    cli.finish().expect("write metrics");
 }

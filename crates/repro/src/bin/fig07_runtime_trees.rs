@@ -3,8 +3,9 @@
 use std::time::Instant;
 
 fn main() {
+    let cli = repro::Cli::parse("fig07_runtime_trees");
     println!("Figure 7: routing runtime on k-ary n-trees (seconds)\n");
-    let engines = repro::engines();
+    let engines = cli.engines();
     let mut headers = vec!["endpoints", "topology"];
     let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
@@ -23,5 +24,6 @@ fn main() {
         rows.push(row);
         eprintln!("  done: {n}");
     }
-    repro::print_table(&headers, &rows);
+    cli.table(&headers, &rows);
+    cli.finish().expect("write metrics");
 }

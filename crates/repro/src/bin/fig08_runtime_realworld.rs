@@ -4,9 +4,10 @@ use fabric::topo::realworld::RealSystem;
 use std::time::Instant;
 
 fn main() {
+    let cli = repro::Cli::parse("fig08_runtime_realworld");
     let scale = repro::scale();
     println!("Figure 8: routing runtime on real systems (seconds, scale={scale})\n");
-    let engines = repro::engines();
+    let engines = cli.engines();
     let mut headers = vec!["system", "endpoints"];
     let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
@@ -26,5 +27,6 @@ fn main() {
         rows.push(row);
         eprintln!("  done: {}", sys.name());
     }
-    repro::print_table(&headers, &rows);
+    cli.table(&headers, &rows);
+    cli.finish().expect("write metrics");
 }

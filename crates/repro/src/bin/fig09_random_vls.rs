@@ -8,6 +8,7 @@ use fabric::topo::{random_topology, RandomTopoSpec};
 use rayon::prelude::*;
 
 fn main() {
+    let cli = repro::Cli::parse("fig09_random_vls");
     let seeds = repro::seeds();
     println!("Figure 9: #virtual layers on random topologies ({seeds} seeds per point)\n");
     let mut rows = Vec::new();
@@ -27,10 +28,13 @@ fn main() {
                     .route_with_stats(&net)
                     .map(|(_, s)| s.layers_used)
                     .unwrap_or(64);
-                let lash = Lash { max_layers: 64 }
-                    .route_with_layers(&net)
-                    .map(|(_, l)| l)
-                    .unwrap_or(64);
+                let lash = Lash {
+                    max_layers: 64,
+                    ..Lash::new()
+                }
+                .route_with_layers(&net)
+                .map(|(_, l)| l)
+                .unwrap_or(64);
                 (df, lash)
             })
             .collect();
@@ -47,5 +51,6 @@ fn main() {
         ]);
         eprintln!("  done: {links} links");
     }
-    repro::print_table(&["links", "DFSSSP min/avg/max", "LASH min/avg/max"], &rows);
+    cli.table(&["links", "DFSSSP min/avg/max", "LASH min/avg/max"], &rows);
+    cli.finish().expect("write metrics");
 }

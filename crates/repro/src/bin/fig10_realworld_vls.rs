@@ -6,6 +6,7 @@ use dfsssp_core::DfSssp;
 use fabric::topo::realworld::RealSystem;
 
 fn main() {
+    let cli = repro::Cli::parse("fig10_realworld_vls");
     let scale = repro::scale();
     println!("Figure 10: #virtual layers on real systems (scale={scale})\n");
     let mut rows = Vec::new();
@@ -21,10 +22,13 @@ fn main() {
             .route_with_stats(&net)
             .map(|(_, s)| s.layers_used.to_string())
             .unwrap_or_else(|e| repro::failure_label(&e));
-        let lash = Lash { max_layers: 64 }
-            .route_with_layers(&net)
-            .map(|(_, l)| l.to_string())
-            .unwrap_or_else(|e| repro::failure_label(&e));
+        let lash = Lash {
+            max_layers: 64,
+            ..Lash::new()
+        }
+        .route_with_layers(&net)
+        .map(|(_, l)| l.to_string())
+        .unwrap_or_else(|e| repro::failure_label(&e));
         rows.push(vec![
             sys.name().to_string(),
             net.num_terminals().to_string(),
@@ -33,5 +37,6 @@ fn main() {
         ]);
         eprintln!("  done: {}", sys.name());
     }
-    repro::print_table(&["system", "endpoints", "DFSSSP VLs", "LASH VLs"], &rows);
+    cli.table(&["system", "endpoints", "DFSSSP VLs", "LASH VLs"], &rows);
+    cli.finish().expect("write metrics");
 }

@@ -7,6 +7,8 @@ use dfsssp_core::{DfSssp, RoutingEngine};
 use fabric::topo::realworld::RealSystem;
 
 fn main() {
+    let mut cli = repro::Cli::parse("fig12_netgauge_deimos");
+    let rec = cli.recorder();
     let scale = repro::scale();
     let partitions = repro::patterns();
     let net = RealSystem::Deimos.build(scale);
@@ -14,10 +16,12 @@ fn main() {
     println!(
         "Figure 12: Netgauge eBB on Deimos (scale={scale}, {nt} endpoints, {partitions} partitions, MiB/s)\n"
     );
+    cli.note_topology(&net);
+    let config = || dfsssp_core::EngineConfig::new().recorder(rec.clone());
     let engines: Vec<Box<dyn RoutingEngine>> = vec![
         Box::new(MinHop::new()),
-        Box::new(Lash::new()),
-        Box::new(DfSssp::new()),
+        Box::new(Lash::new().with_config(config())),
+        Box::new(DfSssp::new().with_config(config())),
     ];
     let routed: Vec<(String, Option<fabric::Routes>)> = engines
         .iter()
@@ -46,5 +50,6 @@ fn main() {
     let mut headers = vec!["cores"];
     let names: Vec<String> = routed.iter().map(|(n, _)| n.clone()).collect();
     headers.extend(names.iter().map(String::as_str));
-    repro::print_table(&headers, &rows);
+    cli.table(&headers, &rows);
+    cli.finish().expect("write metrics");
 }

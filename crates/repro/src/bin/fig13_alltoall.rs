@@ -7,8 +7,10 @@ use dfsssp_core::{DfSssp, RoutingEngine};
 use fabric::topo::realworld::RealSystem;
 
 fn main() {
+    let mut cli = repro::Cli::parse("fig13_alltoall");
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
+    cli.note_topology(&net);
     let cores = 128.min(net.num_terminals());
     println!("Figure 13: all-to-all runtime on Deimos, {cores} cores (milliseconds)\n");
     let minhop = MinHop::new().route(&net).unwrap();
@@ -27,8 +29,9 @@ fn main() {
             format!("{:+.1}%", (a / b - 1.0) * 100.0),
         ]);
     }
-    repro::print_table(
+    cli.table(
         &["floats", "bytes/rank", "MinHop ms", "DFSSSP ms", "speedup"],
         &rows,
     );
+    cli.finish().expect("write metrics");
 }

@@ -7,8 +7,10 @@ use dfsssp_core::{DfSssp, RoutingEngine};
 use fabric::topo::realworld::RealSystem;
 
 fn main() {
+    let mut cli = repro::Cli::parse("fig14_16_nas");
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
+    cli.note_topology(&net);
     let nt = net.num_terminals();
     println!("Figures 14-16: NAS models on Deimos (scale={scale}, Gflop/s total)\n");
     let minhop = MinHop::new().route(&net).unwrap();
@@ -38,10 +40,11 @@ fn main() {
                 format!("{:.0}%", b.comm_fraction * 100.0),
             ]);
         }
-        repro::print_table(
+        cli.table(
             &["cores", "MinHop", "DFSSSP", "improvement", "comm(DFSSSP)"],
             &rows,
         );
         println!();
     }
+    cli.finish().expect("write metrics");
 }

@@ -1,132 +1,89 @@
 //! `route_cli` — an `opensm -R <engine>`-flavored command line: load a
 //! topology file, run a routing engine, verify, report, and optionally
-//! export tables.
+//! export tables and a metrics manifest.
 //!
 //! ```text
 //! route_cli --topo fabric.topo [--format text|ibnetdiscover|json]
 //!           [--engine dfsssp]           minhop|updown|dor|lash|fattree|sssp|dfsssp
 //!           [--max-vls 8] [--heuristic weakest|heaviest|first|random:<seed>]
 //!           [--no-balance] [--no-compact] [--ebb <patterns>]
-//!           [--out-routes routes.json]
+//!           [--out-routes routes.json] [--metrics metrics.json]
 //! ```
 
-use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
 use dfsssp_core::quality::route_quality;
 use dfsssp_core::verify::deadlock_report;
-use dfsssp_core::{CycleBreakHeuristic, DfSssp, RoutingEngine, Sssp};
-use fabric::{format, Network, TopologyStats};
+use dfsssp_core::{CycleBreakHeuristic, DfSssp, EngineConfig};
+use fabric::{format, TopologyStats};
 use std::process::ExitCode;
 
-struct Args {
-    topo: String,
-    format: String,
-    engine: String,
-    max_vls: usize,
-    heuristic: CycleBreakHeuristic,
-    balance: bool,
-    compact: bool,
-    ebb: Option<usize>,
-    quality: bool,
-    out_routes: Option<String>,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: route_cli --topo <file> [--format text|ibnetdiscover|json] \
-         [--engine minhop|updown|dor|lash|fattree|sssp|dfsssp] [--max-vls N] \
-         [--heuristic weakest|heaviest|first|random:<seed>] [--no-balance] \
-         [--no-compact] [--ebb <patterns>] [--quality] [--out-routes <file>]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        topo: String::new(),
-        format: "text".into(),
-        engine: "dfsssp".into(),
-        max_vls: 8,
-        heuristic: CycleBreakHeuristic::WeakestEdge,
-        balance: true,
-        compact: true,
-        ebb: None,
-        quality: false,
-        out_routes: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--topo" => args.topo = val(),
-            "--format" => args.format = val(),
-            "--engine" => args.engine = val().to_lowercase(),
-            "--max-vls" => args.max_vls = val().parse().unwrap_or_else(|_| usage()),
-            "--heuristic" => {
-                let v = val();
-                args.heuristic = match v.as_str() {
-                    "weakest" => CycleBreakHeuristic::WeakestEdge,
-                    "heaviest" => CycleBreakHeuristic::HeaviestEdge,
-                    "first" => CycleBreakHeuristic::FirstEdge,
-                    other => match other.strip_prefix("random:") {
-                        Some(seed) => CycleBreakHeuristic::RandomEdge(
-                            seed.parse().unwrap_or_else(|_| usage()),
-                        ),
-                        None => usage(),
-                    },
-                };
-            }
-            "--no-balance" => args.balance = false,
-            "--no-compact" => args.compact = false,
-            "--ebb" => args.ebb = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--quality" => args.quality = true,
-            "--out-routes" => args.out_routes = Some(val()),
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-    }
-    if args.topo.is_empty() {
-        usage();
-    }
-    args
-}
-
-fn load(args: &Args) -> Result<Network, String> {
-    let input = std::fs::read_to_string(&args.topo)
-        .map_err(|e| format!("cannot read {}: {e}", args.topo))?;
-    let net = match args.format.as_str() {
-        "text" => format::parse_network(&input).map_err(|e| e.to_string())?,
-        "ibnetdiscover" => format::parse_ibnetdiscover(&input).map_err(|e| e.to_string())?,
-        "json" => format::network_from_json(&input)?,
-        other => return Err(format!("unknown format {other}")),
-    };
-    net.validate()?;
-    Ok(net)
-}
-
-fn engine_of(args: &Args) -> Box<dyn RoutingEngine> {
-    match args.engine.as_str() {
-        "minhop" => Box::new(MinHop::new()),
-        "updown" => Box::new(UpDown::new()),
-        "dor" => Box::new(Dor::new()),
-        "lash" => Box::new(Lash {
-            max_layers: args.max_vls,
-        }),
-        "fattree" => Box::new(FatTree::new()),
-        "sssp" => Box::new(Sssp::new()),
-        "dfsssp" => Box::new(DfSssp {
-            heuristic: args.heuristic,
-            max_layers: args.max_vls,
-            balance: args.balance,
-            compact: args.compact,
-            ..DfSssp::new()
-        }),
-        _ => usage(),
-    }
-}
+const EXTRA_USAGE: &str = " [--max-vls N] \
+    [--heuristic weakest|heaviest|first|random:<seed>] [--no-balance] \
+    [--no-compact] [--ebb <patterns>] [--quality] [--out-routes <file>]";
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    let net = match load(&args) {
+    let mut max_vls = 8usize;
+    let mut heuristic = CycleBreakHeuristic::WeakestEdge;
+    let mut balance = true;
+    let mut compact = true;
+    let mut ebb: Option<usize> = None;
+    let mut quality = false;
+    let mut out_routes: Option<String> = None;
+    let mut bad = false;
+    let mut cli = repro::Cli::parse_with("route_cli", EXTRA_USAGE, |flag, val| match flag {
+        "--max-vls" => {
+            max_vls = val().parse().unwrap_or_else(|_| {
+                bad = true;
+                0
+            });
+            true
+        }
+        "--heuristic" => {
+            let v = val();
+            heuristic = match v.as_str() {
+                "weakest" => CycleBreakHeuristic::WeakestEdge,
+                "heaviest" => CycleBreakHeuristic::HeaviestEdge,
+                "first" => CycleBreakHeuristic::FirstEdge,
+                other => match other.strip_prefix("random:").and_then(|s| s.parse().ok()) {
+                    Some(seed) => CycleBreakHeuristic::RandomEdge(seed),
+                    None => {
+                        bad = true;
+                        CycleBreakHeuristic::WeakestEdge
+                    }
+                },
+            };
+            true
+        }
+        "--no-balance" => {
+            balance = false;
+            true
+        }
+        "--no-compact" => {
+            compact = false;
+            true
+        }
+        "--ebb" => {
+            ebb = val().parse().ok().or_else(|| {
+                bad = true;
+                None
+            });
+            true
+        }
+        "--quality" => {
+            quality = true;
+            true
+        }
+        "--out-routes" => {
+            out_routes = Some(val());
+            true
+        }
+        _ => false,
+    });
+    if bad || cli.topo.is_none() {
+        eprintln!("route_cli: bad or missing arguments (see --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let net = match cli.network() {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
@@ -135,7 +92,18 @@ fn main() -> ExitCode {
     };
     println!("fabric: {}", TopologyStats::of(&net));
 
-    let engine = engine_of(&args);
+    let config = EngineConfig::new().max_layers(max_vls).balance(balance);
+    let engine = match cli.engine_with(config, |d| DfSssp {
+        heuristic,
+        compact,
+        ..d
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let t = std::time::Instant::now();
     let routes = match engine.route(&net) {
         Ok(r) => r,
@@ -175,31 +143,37 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.quality {
+    if quality {
         match route_quality(&net, &routes) {
             Ok(q) => println!("quality: {q}"),
             Err(e) => eprintln!("quality report failed: {e}"),
         }
     }
 
-    if let Some(patterns) = args.ebb {
+    if let Some(patterns) = ebb {
         let opts = orcs::EbbOptions {
             patterns,
+            seed: cli.seed.unwrap_or(orcs::EbbOptions::default().seed),
             ..Default::default()
         };
-        match orcs::effective_bisection_bandwidth(&net, &routes, &opts) {
+        let rec = cli.recorder();
+        match orcs::effective_bisection_bandwidth_recorded(&net, &routes, &opts, &*rec) {
             Ok(s) => println!("effective bisection bandwidth: {s}"),
             Err(e) => eprintln!("eBB simulation failed: {e}"),
         }
     }
 
-    if let Some(path) = &args.out_routes {
+    if let Some(path) = &out_routes {
         let json = format::routes_to_json(&routes);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("routes written to {path}");
+    }
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

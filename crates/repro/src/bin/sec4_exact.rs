@@ -10,6 +10,7 @@ use dfsssp_core::paths::PathSet;
 use dfsssp_core::{CycleBreakHeuristic, RoutingEngine, Sssp};
 
 fn main() {
+    let cli = repro::Cli::parse("sec4_exact");
     println!("Sec III/IV: heuristic layers vs exact APP minimum (tiny networks)\n");
     let nets = vec![
         fabric::topo::ring(4, 1),
@@ -43,7 +44,7 @@ fn main() {
         rows.push(row);
         eprintln!("  done: {}", net.label());
     }
-    repro::print_table(
+    cli.table(
         &[
             "network",
             "paths",
@@ -57,4 +58,5 @@ fn main() {
     );
     println!("\nNP-completeness (Theorem 1) is why 'exact' only exists for toys;");
     println!("the lower bound comes from mutually conflicting path cliques.");
+    cli.finish().expect("write metrics");
 }

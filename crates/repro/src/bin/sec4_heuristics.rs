@@ -7,6 +7,7 @@ use fabric::topo::{random_topology, RandomTopoSpec};
 use rayon::prelude::*;
 
 fn main() {
+    let cli = repro::Cli::parse("sec4_heuristics");
     let seeds = repro::seeds();
     println!("Sec IV: heuristic comparison ({seeds} random topologies)\n");
     let spec = RandomTopoSpec::heuristic_study();
@@ -40,5 +41,6 @@ fn main() {
         ]);
         eprintln!("  done: {}", h.name());
     }
-    repro::print_table(&["heuristic", "min VLs", "avg VLs", "max VLs"], &rows);
+    cli.table(&["heuristic", "min VLs", "avg VLs", "max VLs"], &rows);
+    cli.finish().expect("write metrics");
 }

@@ -5,6 +5,8 @@ use dfsssp_core::{DfSssp, LayerAssignMode};
 use std::time::Instant;
 
 fn main() {
+    let cli = repro::Cli::parse("sec4_online_offline");
+    let rec = cli.recorder();
     println!("Sec IV: online vs offline DFSSSP runtime (seconds)\n");
     let cap = repro::max_endpoints();
     let mut rows = Vec::new();
@@ -22,6 +24,7 @@ fn main() {
             let engine = DfSssp {
                 mode,
                 max_layers: 16, // the IB spec limit, so both modes fit
+                recorder: rec.clone(),
                 ..DfSssp::new()
             };
             let t = Instant::now();
@@ -35,5 +38,6 @@ fn main() {
         rows.push(row);
         eprintln!("  done: {n}");
     }
-    repro::print_table(&["endpoints", "topology", "offline", "online"], &rows);
+    cli.table(&["endpoints", "topology", "offline", "online"], &rows);
+    cli.finish().expect("write metrics");
 }

@@ -7,10 +7,12 @@ use appsim::{netgauge_ebb, Allocation};
 use baselines::{Lash, MinHop};
 use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
 use fabric::topo::realworld::RealSystem;
-use flitsim::{simulate, SimConfig, Workload};
-use orcs::{effective_bisection_bandwidth, EbbOptions};
+use flitsim::{simulate_recorded, SimConfig, Workload};
+use orcs::{effective_bisection_bandwidth_recorded, EbbOptions};
 
 fn main() {
+    let cli = repro::Cli::parse("summary");
+    let rec = cli.recorder();
     println!("DFSSSP reproduction summary\n===========================\n");
 
     // 1. Fig 2: the ring deadlock, live.
@@ -25,13 +27,13 @@ fn main() {
     let dfsssp = DfSssp::new().route(&ring).unwrap();
     println!(
         "[Fig 2] 5-ring shift pattern: SSSP {} | DFSSSP ({} VLs) {}",
-        if simulate(&ring, &sssp, &w, &config).deadlocked() {
+        if simulate_recorded(&ring, &sssp, &w, &config, &*rec).deadlocked() {
             "DEADLOCKS"
         } else {
             "survives?!"
         },
         dfsssp.num_layers(),
-        if simulate(&ring, &dfsssp, &w, &config).completed() {
+        if simulate_recorded(&ring, &dfsssp, &w, &config, &*rec).completed() {
             "completes"
         } else {
             "fails?!"
@@ -47,7 +49,11 @@ fn main() {
     let mh = MinHop::new().route(&xgft).unwrap();
     let df = DfSssp::new().route(&xgft).unwrap();
     let lash = Lash::new().route(&xgft).unwrap();
-    let e = |r| effective_bisection_bandwidth(&xgft, r, &opts).unwrap().mean;
+    let e = |r| {
+        effective_bisection_bandwidth_recorded(&xgft, r, &opts, &*rec)
+            .unwrap()
+            .mean
+    };
     println!(
         "[Fig 5] XGFT(2;16,16;8,8) eBB: MinHop {:.3} | LASH {:.3} | DFSSSP {:.3}",
         e(&mh),
@@ -64,7 +70,12 @@ fn main() {
         ..DfSssp::new()
     };
     let (_, stats) = vls.route_with_stats(&deimos).unwrap();
-    let (_, lash_vls) = Lash { max_layers: 64 }.route_with_layers(&deimos).unwrap();
+    let (_, lash_vls) = Lash {
+        max_layers: 64,
+        ..Lash::new()
+    }
+    .route_with_layers(&deimos)
+    .unwrap();
     println!(
         "[Fig 10] Deimos(x0.1) virtual layers: DFSSSP {} | LASH {}",
         stats.layers_used, lash_vls
@@ -84,4 +95,5 @@ fn main() {
     );
 
     println!("\nAll headline mechanisms verified. See DESIGN.md / EXPERIMENTS.md.");
+    cli.finish().expect("write metrics");
 }

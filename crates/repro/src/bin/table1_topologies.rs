@@ -4,6 +4,7 @@
 use fabric::TopologyStats;
 
 fn main() {
+    let cli = repro::Cli::parse("table1_topologies");
     println!(
         "Table I: topology parameters (REPRO_MAX_ENDPOINTS={})\n",
         repro::max_endpoints()
@@ -25,7 +26,7 @@ fn main() {
             st.diameter.map_or("-".into(), |d| d.to_string()),
         ]);
     }
-    repro::print_table(
+    cli.table(
         &[
             "endpoints",
             "topology",
@@ -37,4 +38,5 @@ fn main() {
         ],
         &rows,
     );
+    cli.finish().expect("write metrics");
 }

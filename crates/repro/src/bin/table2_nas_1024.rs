@@ -7,8 +7,10 @@ use dfsssp_core::{DfSssp, RoutingEngine};
 use fabric::topo::realworld::RealSystem;
 
 fn main() {
+    let mut cli = repro::Cli::parse("table2_nas_1024");
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
+    cli.note_topology(&net);
     let cores = 1024.min(net.num_terminals() / 4 * 4);
     println!("Table II: NAS models at {cores} cores on Deimos (scale={scale})\n");
     let minhop = MinHop::new().route(&net).unwrap();
@@ -24,7 +26,7 @@ fn main() {
             format!("{:+.1}%", (b.gflops_total / a.gflops_total - 1.0) * 100.0),
         ]);
     }
-    repro::print_table(
+    cli.table(
         &[
             "benchmark",
             "MinHop Gflop/s",
@@ -33,4 +35,5 @@ fn main() {
         ],
         &rows,
     );
+    cli.finish().expect("write metrics");
 }

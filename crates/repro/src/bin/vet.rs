@@ -8,89 +8,72 @@
 //! ```text
 //! vet --topo fabric.topo [--format text|ibnetdiscover|json]
 //!     --routes routes.json [--hw-vls 8] [--allow-cycles] [--no-minimal]
-//!     [--max-diags N] [--json]
+//!     [--max-diags N] [--json] [--metrics metrics.json]
 //! ```
 
-use fabric::{format, Network, Routes};
+use fabric::format;
 use std::process::ExitCode;
 
-struct Args {
-    topo: String,
-    format: String,
-    routes: String,
-    config: vet::Config,
-    json: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: vet --topo <file> [--format text|ibnetdiscover|json] --routes <routes.json> \
-         [--hw-vls N] [--allow-cycles] [--no-minimal] [--max-diags N] [--json]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        topo: String::new(),
-        format: "text".into(),
-        routes: String::new(),
-        config: vet::Config::default(),
-        json: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--topo" => args.topo = val(),
-            "--format" => args.format = val(),
-            "--routes" => args.routes = val(),
-            "--hw-vls" => {
-                args.config.hw_vls = Some(val().parse().unwrap_or_else(|_| usage()));
-            }
-            "--allow-cycles" => args.config.deadlock_error = false,
-            "--no-minimal" => args.config.check_minimal = false,
-            "--max-diags" => {
-                args.config.max_diagnostics_per_code = val().parse().unwrap_or_else(|_| usage());
-            }
-            "--json" => args.json = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-    }
-    if args.topo.is_empty() || args.routes.is_empty() {
-        usage();
-    }
-    args
-}
-
-fn load(args: &Args) -> Result<(Network, Routes), String> {
-    let input = std::fs::read_to_string(&args.topo)
-        .map_err(|e| format!("cannot read {}: {e}", args.topo))?;
-    let net = match args.format.as_str() {
-        "text" => format::parse_network(&input).map_err(|e| e.to_string())?,
-        "ibnetdiscover" => format::parse_ibnetdiscover(&input).map_err(|e| e.to_string())?,
-        "json" => format::network_from_json(&input)?,
-        other => return Err(format!("unknown format {other}")),
-    };
-    net.validate()?;
-    let routes_json = std::fs::read_to_string(&args.routes)
-        .map_err(|e| format!("cannot read {}: {e}", args.routes))?;
-    let routes = format::routes_from_json(&routes_json)?;
-    Ok((net, routes))
-}
+const EXTRA_USAGE: &str =
+    " --routes <routes.json> [--hw-vls N] [--allow-cycles] [--no-minimal] [--max-diags N]";
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    let (net, routes) = match load(&args) {
-        Ok(pair) => pair,
+    let mut routes_path = String::new();
+    let mut config = vet::Config::default();
+    let mut bad = false;
+    let mut cli = repro::Cli::parse_with("vet", EXTRA_USAGE, |flag, val| match flag {
+        "--routes" => {
+            routes_path = val();
+            true
+        }
+        "--hw-vls" => {
+            config.hw_vls = val().parse().ok().or_else(|| {
+                bad = true;
+                None
+            });
+            true
+        }
+        "--allow-cycles" => {
+            config.deadlock_error = false;
+            true
+        }
+        "--no-minimal" => {
+            config.check_minimal = false;
+            true
+        }
+        "--max-diags" => {
+            config.max_diagnostics_per_code = val().parse().unwrap_or_else(|_| {
+                bad = true;
+                0
+            });
+            true
+        }
+        _ => false,
+    });
+    if bad || cli.topo.is_none() || routes_path.is_empty() {
+        eprintln!("vet: bad or missing arguments (need --topo and --routes; see --help)");
+        return ExitCode::from(2);
+    }
+
+    let net = match cli.network() {
+        Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let report = vet::analyze_with(&net, &routes, &args.config);
-    if args.json {
+    let routes = match std::fs::read_to_string(&routes_path)
+        .map_err(|e| format!("cannot read {routes_path}: {e}"))
+        .and_then(|json| format::routes_from_json(&json))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = vet::analyze_with(&net, &routes, &config);
+    if cli.json {
         match report.to_json() {
             Ok(json) => println!("{json}"),
             Err(e) => {
@@ -101,7 +84,12 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_human());
     }
-    if report.clean() {
+    let clean = report.clean();
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

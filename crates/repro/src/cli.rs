@@ -1,0 +1,305 @@
+//! The shared command-line surface of the reproduction binaries.
+//!
+//! Every binary under `src/bin/` parses the same common flags through
+//! [`Cli::parse`] (or [`Cli::parse_with`] for binary-specific extras),
+//! so `--topo`, `--gen`, `--format`, `--engine`, `--seed`, `--json` and
+//! `--metrics` spell and behave identically everywhere:
+//!
+//! * `--topo <file> [--format text|ibnetdiscover|json]` / `--gen
+//!   torus:<X>x<Y>|kary:<k>,<n>|ring:<N>` — the input fabric, consumed
+//!   by binaries that route one topology ([`Cli::network`]). Binaries
+//!   that sweep their own topology series (the figure repros) accept
+//!   but do not consume these.
+//! * `--engine <name>` — engine selection ([`Cli::engine`] /
+//!   [`Cli::engine_with`]).
+//! * `--seed <N>` — RNG seed; recorded in the manifest.
+//! * `--json` — machine-readable stdout where the binary supports it
+//!   ([`Cli::table`] switches the shared table printer to JSON rows).
+//! * `--metrics <out.json>` — attach an in-memory [`Collector`] to
+//!   everything this CLI constructs and, at [`Cli::finish`], write a
+//!   versioned [`RunManifest`] (`dfsssp-metrics/v1`) including the
+//!   whole-binary `total` phase.
+
+use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
+use dfsssp_core::{DfSssp, EngineConfig, Recorded, RoutingEngine, Sssp};
+use fabric::{format, topo, Network};
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::{Collector, Recorder, RecorderHandle, RunManifest, TopologySummary};
+
+/// Parsed common flags plus the telemetry session of one binary run.
+#[derive(Debug)]
+pub struct Cli {
+    /// `--topo <file>`: topology file to load.
+    pub topo: Option<String>,
+    /// `--gen <spec>`: synthesize a topology instead of loading one.
+    pub gen: Option<String>,
+    /// `--format text|ibnetdiscover|json` for `--topo` (default `text`).
+    pub format: String,
+    /// `--engine <name>`, lower-cased (default `dfsssp`).
+    pub engine: String,
+    /// `--seed <N>`, when given.
+    pub seed: Option<u64>,
+    /// `--json`: machine-readable stdout.
+    pub json: bool,
+    /// `--metrics <out.json>`: manifest destination, when given.
+    pub metrics: Option<String>,
+    binary: &'static str,
+    start: Instant,
+    collector: Option<Arc<Collector>>,
+    topology: Option<TopologySummary>,
+    engine_name: Option<String>,
+}
+
+fn usage(binary: &str, extra: &str) -> ! {
+    eprintln!(
+        "usage: {binary} [--topo <file> [--format text|ibnetdiscover|json] | \
+         --gen torus:<X>x<Y>|kary:<k>,<n>|ring:<N>] \
+         [--engine minhop|updown|dor|lash|fattree|sssp|dfsssp] \
+         [--seed <N>] [--json] [--metrics <out.json>]{extra}"
+    );
+    std::process::exit(2);
+}
+
+impl Cli {
+    /// Parse the common flags only; any other flag is a usage error.
+    pub fn parse(binary: &'static str) -> Cli {
+        Self::parse_with(binary, "", |_, _| false)
+    }
+
+    /// Parse the common flags, deferring unknown flags to `extra`: it
+    /// gets the flag and a value puller, and returns whether it consumed
+    /// the flag (false exits with usage, including `extra_usage`).
+    pub fn parse_with(
+        binary: &'static str,
+        extra_usage: &str,
+        mut extra: impl FnMut(&str, &mut dyn FnMut() -> String) -> bool,
+    ) -> Cli {
+        let mut cli = Cli {
+            topo: None,
+            gen: None,
+            format: "text".into(),
+            engine: "dfsssp".into(),
+            seed: None,
+            json: false,
+            metrics: None,
+            binary,
+            start: Instant::now(),
+            collector: None,
+            topology: None,
+            engine_name: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = || it.next().unwrap_or_else(|| usage(binary, extra_usage));
+            match flag.as_str() {
+                "--topo" => cli.topo = Some(val()),
+                "--gen" => cli.gen = Some(val()),
+                "--format" => cli.format = val(),
+                "--engine" => cli.engine = val().to_lowercase(),
+                "--seed" => {
+                    cli.seed = Some(val().parse().unwrap_or_else(|_| usage(binary, extra_usage)))
+                }
+                "--json" => cli.json = true,
+                "--metrics" => cli.metrics = Some(val()),
+                "--help" | "-h" => usage(binary, extra_usage),
+                other => {
+                    if !extra(other, &mut val) {
+                        usage(binary, extra_usage);
+                    }
+                }
+            }
+        }
+        if cli.metrics.is_some() {
+            cli.collector = Some(Arc::new(Collector::new()));
+        }
+        cli
+    }
+
+    /// The telemetry sink of this run: the `--metrics` collector, or the
+    /// shared no-op when metrics are off.
+    pub fn recorder(&self) -> RecorderHandle {
+        match &self.collector {
+            Some(c) => c.clone(),
+            None => telemetry::noop(),
+        }
+    }
+
+    /// Load (`--topo`) or synthesize (`--gen`) the input fabric,
+    /// validate it, and remember its summary for the manifest.
+    pub fn network(&mut self) -> Result<Network, String> {
+        let net = match (&self.topo, &self.gen) {
+            (Some(_), Some(_)) => return Err("--topo and --gen are mutually exclusive".into()),
+            (None, None) => return Err("need --topo <file> or --gen <spec>".into()),
+            (None, Some(g)) => generate(g)?,
+            (Some(path), None) => {
+                let input = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                match self.format.as_str() {
+                    "text" => format::parse_network(&input).map_err(|e| e.to_string())?,
+                    "ibnetdiscover" => {
+                        format::parse_ibnetdiscover(&input).map_err(|e| e.to_string())?
+                    }
+                    "json" => format::network_from_json(&input)?,
+                    other => return Err(format!("unknown format {other}")),
+                }
+            }
+        };
+        net.validate()?;
+        self.note_topology(&net);
+        Ok(net)
+    }
+
+    /// Remember `net` as the run's topology (for binaries that build
+    /// their fabric without [`Cli::network`]).
+    pub fn note_topology(&mut self, net: &Network) {
+        self.topology = Some(TopologySummary {
+            label: net.label().to_string(),
+            nodes: net.num_nodes(),
+            switches: net.num_switches(),
+            terminals: net.num_terminals(),
+            channels: net.num_channels(),
+        });
+    }
+
+    /// Construct the `--engine` selection with `config` applied (plus
+    /// this run's recorder), wrapped in [`Recorded`] when metrics are
+    /// on so every engine measures `route_total` identically.
+    pub fn engine(&mut self, config: EngineConfig) -> Result<Box<dyn RoutingEngine>, String> {
+        self.engine_with(config, |d| d)
+    }
+
+    /// [`Cli::engine`] with a DFSSSP customizer for knobs outside
+    /// [`EngineConfig`] (cycle-break heuristic, compaction).
+    pub fn engine_with(
+        &mut self,
+        config: EngineConfig,
+        tune_dfsssp: impl FnOnce(DfSssp) -> DfSssp,
+    ) -> Result<Box<dyn RoutingEngine>, String> {
+        let config = config.recorder(self.recorder());
+        let engine: Box<dyn RoutingEngine> = match self.engine.as_str() {
+            "minhop" => Box::new(MinHop::new()),
+            "updown" => Box::new(UpDown::new()),
+            "dor" => Box::new(Dor::new()),
+            "lash" => Box::new(Lash::new().with_config(config)),
+            "fattree" => Box::new(FatTree::new()),
+            "sssp" => Box::new(Sssp::new()),
+            "dfsssp" => Box::new(tune_dfsssp(DfSssp::new()).with_config(config)),
+            other => return Err(format!("unknown engine {other}")),
+        };
+        self.engine_name = Some(engine.name().to_string());
+        Ok(if self.collector.is_some() {
+            Box::new(Recorded::new(engine, self.recorder()))
+        } else {
+            engine
+        })
+    }
+
+    /// The Fig 4/8 engine lineup with this run's recorder attached to
+    /// every configurable engine.
+    pub fn engines(&self) -> Vec<Box<dyn RoutingEngine + Send + Sync>> {
+        let mut lineup = crate::engines();
+        for engine in &mut lineup {
+            if let Some(config) = engine.config() {
+                engine.set_config(config.recorder(self.recorder()));
+            }
+        }
+        lineup
+    }
+
+    /// Print `rows` under `headers`: fixed-width text by default, one
+    /// JSON object per row under `--json`.
+    pub fn table(&self, headers: &[&str], rows: &[Vec<String>]) {
+        if !self.json {
+            crate::print_table(headers, rows);
+            return;
+        }
+        let mut out = String::from("[");
+        for (r, row) in rows.iter().enumerate() {
+            out.push_str(if r == 0 { "\n  {" } else { ",\n  {" });
+            for (i, (header, cell)) in headers.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                telemetry::json::write_str(&mut out, header);
+                out.push_str(": ");
+                telemetry::json::write_str(&mut out, cell);
+            }
+            out.push('}');
+        }
+        out.push_str(if rows.is_empty() { "]" } else { "\n]" });
+        println!("{out}");
+    }
+
+    /// Close the run: record the whole-binary `total` phase and, when
+    /// `--metrics` was given, write the [`RunManifest`].
+    pub fn finish(self) -> Result<(), String> {
+        let Some(path) = &self.metrics else {
+            return Ok(());
+        };
+        let collector = self
+            .collector
+            .as_ref()
+            .expect("collector exists iff metrics");
+        collector.phase(
+            telemetry::phases::TOTAL,
+            self.start.elapsed().as_nanos() as u64,
+        );
+        let mut manifest = RunManifest::new(self.binary).metrics(collector.snapshot());
+        if let Some(t) = self.topology.clone() {
+            manifest = manifest.topology(t);
+        }
+        if let Some(e) = self.engine_name.clone() {
+            manifest = manifest.engine(e);
+        }
+        if let Some(s) = self.seed {
+            manifest = manifest.seed(s);
+        }
+        manifest
+            .write(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+        Ok(())
+    }
+}
+
+/// Synthesize a topology from a `--gen` spec.
+pub fn generate(spec: &str) -> Result<Network, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("malformed --gen {spec}"))?;
+    match kind {
+        "torus" => {
+            let dims: Result<Vec<u16>, _> = rest.split('x').map(str::parse).collect();
+            let dims = dims.map_err(|_| format!("bad torus extents {rest}"))?;
+            Ok(topo::torus(&dims, 1))
+        }
+        "kary" => {
+            let (k, n) = rest
+                .split_once(',')
+                .ok_or_else(|| format!("bad kary spec {rest}"))?;
+            let k = k.parse().map_err(|_| format!("bad k {k}"))?;
+            let n = n.parse().map_err(|_| format!("bad n {n}"))?;
+            Ok(topo::kary_ntree(k, n))
+        }
+        "ring" => {
+            let n = rest.parse().map_err(|_| format!("bad ring size {rest}"))?;
+            Ok(topo::ring(n, 1))
+        }
+        other => Err(format!("unknown generator {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_parses_specs() {
+        assert_eq!(generate("ring:5").unwrap().num_switches(), 5);
+        assert_eq!(generate("torus:2x3").unwrap().num_switches(), 6);
+        assert_eq!(generate("kary:2,2").unwrap().num_terminals(), 4);
+        assert!(generate("blob:7").is_err());
+        assert!(generate("ring").is_err());
+    }
+}

@@ -13,8 +13,14 @@
 //! * `REPRO_SEEDS` — seeds per random-topology point (default 20; the
 //!   paper uses 100).
 
+pub mod bench;
+pub mod cli;
+
+pub use cli::Cli;
+
 use dfsssp_core::{RouteError, RoutingEngine};
 use fabric::Network;
+use telemetry::Recorder;
 
 /// Real-world scale factor (`REPRO_SCALE`, default 0.5).
 pub fn scale() -> f64 {
@@ -111,6 +117,12 @@ pub fn tree_series() -> Vec<(usize, Network)> {
 /// Route `net` with `engine`, returning the eBB mean or a failure label
 /// (the paper's "missing bar").
 pub fn ebb_cell(engine: &dyn RoutingEngine, net: &Network) -> String {
+    ebb_cell_recorded(engine, net, &telemetry::Noop)
+}
+
+/// [`ebb_cell`] with the eBB sweep reporting to `rec` (the engine's own
+/// phases go to whatever recorder the engine carries).
+pub fn ebb_cell_recorded(engine: &dyn RoutingEngine, net: &Network, rec: &dyn Recorder) -> String {
     match engine.route(net) {
         Err(e) => failure_label(&e),
         Ok(routes) => {
@@ -118,7 +130,7 @@ pub fn ebb_cell(engine: &dyn RoutingEngine, net: &Network) -> String {
                 patterns: patterns(),
                 ..Default::default()
             };
-            match orcs::effective_bisection_bandwidth(net, &routes, &opts) {
+            match orcs::effective_bisection_bandwidth_recorded(net, &routes, &opts, rec) {
                 Ok(s) => format!("{:.4}", s.mean),
                 Err(_) => "walk-error".into(),
             }

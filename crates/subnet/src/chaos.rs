@@ -409,6 +409,19 @@ pub fn run_campaign<E: RoutingEngine>(
     batches: &[Batch],
     seed: u64,
 ) -> Result<CampaignReport, SmError> {
+    run_campaign_recorded(engine, net, batches, seed, telemetry::noop())
+}
+
+/// [`run_campaign`] with the subnet-manager loop's telemetry attached:
+/// per-event reroute latency and escalation-rung counters land in
+/// `recorder`.
+pub fn run_campaign_recorded<E: RoutingEngine>(
+    engine: E,
+    net: &Network,
+    batches: &[Batch],
+    seed: u64,
+    recorder: telemetry::RecorderHandle,
+) -> Result<CampaignReport, SmError> {
     let engine_name = engine.name().to_string();
     let sm_node = net
         .terminals()
@@ -419,6 +432,7 @@ pub fn run_campaign<E: RoutingEngine>(
             total: net.num_nodes(),
         })?;
     let mut sm = SmLoop::bring_up(engine, net.clone(), sm_node)?;
+    sm.set_recorder(recorder);
     let mut report = CampaignReport {
         topology: net.label().to_string(),
         engine: engine_name,

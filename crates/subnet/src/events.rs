@@ -40,6 +40,7 @@ use dfsssp_core::{RouteError, RoutingEngine};
 use fabric::{degrade, ChannelId, Network, NodeId};
 use rustc_hash::FxHashSet;
 use std::time::{Duration, Instant};
+use telemetry::{counters, hists, phases, RecorderHandle};
 
 /// A fabric event the SM reacts to. Channel and node ids refer to the
 /// *reference* network the loop was brought up with, not the (renumbered)
@@ -138,6 +139,10 @@ pub struct SmLoop<E> {
     quarantined: Vec<NodeId>,
     /// Outcome of the most recent bring-up or event.
     last: EventOutcome,
+    /// Telemetry sink: reroute latency (`reroute` phase, `reroute_us`
+    /// histogram) and the `reroutes`/`events_coalesced`/`rung_*`
+    /// counters.
+    recorder: RecorderHandle,
 }
 
 impl<E: RoutingEngine> SmLoop<E> {
@@ -172,6 +177,7 @@ impl<E: RoutingEngine> SmLoop<E> {
                 vls: 0,
                 elapsed: Duration::ZERO,
             },
+            recorder: telemetry::noop(),
         };
         let outcome = looped.reroute(0, Some(sm_node))?;
         looped.last = outcome;
@@ -181,6 +187,13 @@ impl<E: RoutingEngine> SmLoop<E> {
     /// Replace the fallback engine (`None` disables the fallback rung).
     pub fn set_fallback(&mut self, fallback: Option<Box<dyn RoutingEngine>>) {
         self.fallback = fallback;
+    }
+
+    /// Attach a telemetry sink. The loop reports per-reroute latency and
+    /// the escalation counters; the engine keeps whatever recorder its
+    /// own config carries (attach there for phase-level detail).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// The current (possibly degraded) serving view of the fabric.
@@ -394,14 +407,12 @@ impl<E: RoutingEngine> SmLoop<E> {
                 Err(SmError::Routing(RouteError::NeedMoreLayers { .. }))
                     if !on_fallback && self.widenable() =>
                 {
-                    let budget = self
-                        .sm
-                        .engine
-                        .max_layers()
-                        .expect("widenable implies a budget")
+                    let config = self.sm.engine.config().expect("widenable implies a config");
+                    let budget = config
+                        .max_layers
                         .saturating_mul(2)
                         .min(self.sm.hardware_vls);
-                    self.sm.engine.set_max_layers(budget);
+                    self.sm.engine.set_config(config.max_layers(budget));
                     rungs.push(Rung::WidenedVls { budget });
                 }
                 Err(e) if !on_fallback && self.fallback.is_some() && engine_failure(&e) => {
@@ -443,14 +454,37 @@ impl<E: RoutingEngine> SmLoop<E> {
         self.net = view;
         self.current = fabric;
         self.quarantined = quarantined;
+        self.record(&outcome);
         Ok(outcome)
+    }
+
+    /// Report one reroute to the attached recorder.
+    fn record(&self, outcome: &EventOutcome) {
+        let rec = &*self.recorder;
+        if !rec.enabled() {
+            return;
+        }
+        let nanos = outcome.elapsed.as_nanos() as u64;
+        rec.phase(phases::REROUTE, nanos);
+        rec.observe(hists::REROUTE_US, nanos / 1_000);
+        rec.add(counters::REROUTES, 1);
+        rec.add(counters::EVENTS_COALESCED, outcome.coalesced as u64);
+        for rung in &outcome.rungs {
+            let counter = match rung {
+                Rung::Baseline => continue,
+                Rung::Quarantine { .. } => counters::RUNG_QUARANTINE,
+                Rung::WidenedVls { .. } => counters::RUNG_WIDENED_VLS,
+                Rung::Fallback { .. } => counters::RUNG_FALLBACK,
+            };
+            rec.add(counter, 1);
+        }
     }
 
     fn widenable(&self) -> bool {
         self.sm
             .engine
-            .max_layers()
-            .is_some_and(|cur| cur < self.sm.hardware_vls)
+            .config()
+            .is_some_and(|c| c.max_layers < self.sm.hardware_vls)
     }
 }
 

@@ -29,7 +29,9 @@ pub mod lid;
 pub mod manager;
 pub mod transition;
 
-pub use chaos::{run_campaign, schedule, Batch, CampaignReport, CampaignSpec, EventRecord};
+pub use chaos::{
+    run_campaign, run_campaign_recorded, schedule, Batch, CampaignReport, CampaignSpec, EventRecord,
+};
 pub use discovery::{discover, DiscoveredFabric};
 pub use events::{EventOutcome, FabricEvent, Rung, SmLoop};
 pub use lft::{FabricTables, LftDiff, PathRecord, WalkError};

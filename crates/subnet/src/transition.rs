@@ -488,7 +488,6 @@ mod tests {
     /// given. Clockwise means following each switch's channel to the
     /// next higher-index switch (wrapping).
     fn clockwise(net: &fabric::Network, dest_layer: &[u8]) -> Routes {
-        let nt = net.num_terminals();
         let sw: Vec<_> = net.switches().to_vec();
         let step: Vec<ChannelId> = (0..sw.len())
             .map(|i| net.channel_between(sw[i], sw[(i + 1) % sw.len()]).unwrap())

@@ -1,0 +1,224 @@
+//! Recorder implementations: the in-memory [`Collector`] and the
+//! streaming [`JsonlSink`].
+
+use crate::hist::Hist;
+use crate::manifest::{PhaseStat, Snapshot};
+use crate::Recorder;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    phases: FxHashMap<&'static str, PhaseStat>,
+    counters: FxHashMap<&'static str, u64>,
+    histograms: FxHashMap<&'static str, Hist>,
+}
+
+/// A thread-safe in-memory aggregator. One mutex guards everything —
+/// hot paths report aggregates (an accumulated phase, a batch counter),
+/// not per-iteration events, so contention is not a concern; the
+/// rayon-parallel simulators report per work item and stay well under
+/// the lock's capacity.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An aggregated, ordered copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            phases: inner
+                .phases
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect::<BTreeMap<_, _>>(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect::<BTreeMap<_, _>>(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    /// Drop everything recorded so far.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner = Inner::default();
+    }
+}
+
+impl Recorder for Collector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn phase(&self, name: &'static str, nanos: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let stat = inner.phases.entry(name).or_default();
+        stat.nanos += nanos;
+        stat.count += 1;
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name).or_default().observe(value);
+    }
+}
+
+/// Streams every event as one JSON object per line — the raw-trace
+/// alternative to aggregation, for piping into external tooling.
+/// Lines look like `{"t":"phase","name":"sssp","nanos":1234}`.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Stream to an arbitrary writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Stream to a file at `path` (truncates).
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    fn emit(&self, kind: &str, name: &str, field: &str, value: u64) {
+        let mut out = self.out.lock().unwrap();
+        // Names are workspace-internal identifiers (no quoting needed).
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"{kind}\",\"name\":\"{name}\",\"{field}\":{value}}}"
+        );
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn phase(&self, name: &'static str, nanos: u64) {
+        self.emit("phase", name, "nanos", nanos);
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        self.emit("count", name, "delta", delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.emit("observe", name, "value", value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn collector_aggregates_phases_counters_hists() {
+        let c = Collector::new();
+        c.phase("sssp", 100);
+        c.phase("sssp", 50);
+        c.phase("balance", 7);
+        c.add("paths_routed", 10);
+        c.add("paths_routed", 5);
+        c.observe("path_length", 3);
+        c.observe("path_length", 4);
+        let snap = c.snapshot();
+        assert_eq!(snap.phases["sssp"].nanos, 150);
+        assert_eq!(snap.phases["sssp"].count, 2);
+        assert_eq!(snap.phases["balance"].count, 1);
+        assert_eq!(snap.counters["paths_routed"], 15);
+        assert_eq!(snap.histograms["path_length"].count, 2);
+        assert_eq!(snap.histograms["path_length"].sum, 7);
+    }
+
+    #[test]
+    fn collector_is_shareable_across_threads() {
+        let c = Arc::new(Collector::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.add("n", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().counters["n"], 4000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = Collector::new();
+        c.add("n", 1);
+        c.reset();
+        assert!(c.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_valid_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        sink.phase("sssp", 42);
+        sink.add("paths_routed", 7);
+        sink.observe("path_length", 3);
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = crate::json::parse(line).unwrap();
+            assert!(v.get("t").is_some() && v.get("name").is_some());
+        }
+        assert_eq!(lines[0], r#"{"t":"phase","name":"sssp","nanos":42}"#);
+    }
+}

@@ -1,0 +1,370 @@
+//! The versioned run manifest: what `--metrics <out.json>` writes.
+//!
+//! Schema stability contract (`dfsssp-metrics/v1`): the top-level keys
+//! `schema`, `binary`, `topology`, `engine`, `seed`, `metrics` and the
+//! shape of `metrics.{phases,counters,histograms}` never change within
+//! a major schema version; *names* inside those maps may come and go as
+//! instrumentation evolves. Consumers must key on names, not positions
+//! (maps serialize ordered — `BTreeMap` — so diffs stay readable).
+//!
+//! Serialization is hand-rolled on [`crate::json`] — the workspace's
+//! serde is a non-functional offline stand-in, so derive would produce
+//! placeholders, not manifests.
+
+use crate::hist::Hist;
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Manifest schema identifier; bump only on breaking shape changes.
+pub const SCHEMA: &str = "dfsssp-metrics/v1";
+
+/// Accumulated wall-clock time of one phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total nanoseconds across all spans.
+    pub nanos: u64,
+    /// Number of spans reported.
+    pub count: u64,
+}
+
+impl PhaseStat {
+    /// Total seconds.
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// Everything a [`crate::Collector`] aggregated, in stable order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Phase timings by name.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Hist>,
+}
+
+/// The topology a run was measured against.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TopologySummary {
+    /// Human-readable topology label (e.g. `torus(4x4)`).
+    pub label: String,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Switch count.
+    pub switches: usize,
+    /// Terminal count.
+    pub terminals: usize,
+    /// Directed channel count.
+    pub channels: usize,
+}
+
+/// A versioned, self-describing record of one measured run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// Always [`SCHEMA`] for manifests this crate writes.
+    pub schema: String,
+    /// The binary or harness that produced the run.
+    pub binary: String,
+    /// Topology routed/simulated, when one was in play.
+    pub topology: Option<TopologySummary>,
+    /// Routing engine name, when one was in play.
+    pub engine: Option<String>,
+    /// RNG seed, when the run was seeded.
+    pub seed: Option<u64>,
+    /// The measured values.
+    pub metrics: Snapshot,
+}
+
+impl RunManifest {
+    /// An empty manifest for `binary` under the current schema.
+    pub fn new(binary: impl Into<String>) -> Self {
+        RunManifest {
+            schema: SCHEMA.to_string(),
+            binary: binary.into(),
+            topology: None,
+            engine: None,
+            seed: None,
+            metrics: Snapshot::default(),
+        }
+    }
+
+    /// Attach a topology summary.
+    pub fn topology(mut self, t: TopologySummary) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Attach the engine name.
+    pub fn engine(mut self, name: impl Into<String>) -> Self {
+        self.engine = Some(name.into());
+        self
+    }
+
+    /// Attach the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attach the measured values.
+    pub fn metrics(mut self, snapshot: Snapshot) -> Self {
+        self.metrics = snapshot;
+        self
+    }
+
+    /// Serialize (pretty, trailing newline — artifact-friendly).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"schema\": ");
+        json::write_str(&mut s, &self.schema);
+        s.push_str(",\n  \"binary\": ");
+        json::write_str(&mut s, &self.binary);
+        s.push_str(",\n  \"topology\": ");
+        match &self.topology {
+            None => s.push_str("null"),
+            Some(t) => {
+                s.push_str("{\n    \"label\": ");
+                json::write_str(&mut s, &t.label);
+                let _ = write!(
+                    s,
+                    ",\n    \"nodes\": {},\n    \"switches\": {},\n    \"terminals\": {},\n    \"channels\": {}\n  }}",
+                    t.nodes, t.switches, t.terminals, t.channels
+                );
+            }
+        }
+        s.push_str(",\n  \"engine\": ");
+        match &self.engine {
+            None => s.push_str("null"),
+            Some(e) => json::write_str(&mut s, e),
+        }
+        s.push_str(",\n  \"seed\": ");
+        match self.seed {
+            None => s.push_str("null"),
+            Some(seed) => {
+                let _ = write!(s, "{seed}");
+            }
+        }
+        s.push_str(",\n  \"metrics\": {\n    \"phases\": {");
+        for (i, (name, p)) in self.metrics.phases.iter().enumerate() {
+            s.push_str(if i == 0 { "\n      " } else { ",\n      " });
+            json::write_str(&mut s, name);
+            let _ = write!(s, ": {{\"nanos\": {}, \"count\": {}}}", p.nanos, p.count);
+        }
+        if !self.metrics.phases.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("},\n    \"counters\": {");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            s.push_str(if i == 0 { "\n      " } else { ",\n      " });
+            json::write_str(&mut s, name);
+            let _ = write!(s, ": {v}");
+        }
+        if !self.metrics.counters.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("},\n    \"histograms\": {");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            s.push_str(if i == 0 { "\n      " } else { ",\n      " });
+            json::write_str(&mut s, name);
+            s.push_str(": ");
+            h.write_json(&mut s);
+        }
+        if !self.metrics.histograms.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("}\n  }\n}\n");
+        s
+    }
+
+    /// Parse a manifest back, verifying the schema version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// [`RunManifest::from_json`] for an already-parsed [`Value`] (e.g.
+    /// a manifest embedded inside a larger document, as the bench report
+    /// does).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("manifest: missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "schema mismatch: file says {schema:?}, this build expects {SCHEMA:?}"
+            ));
+        }
+        let binary = v
+            .get("binary")
+            .and_then(Value::as_str)
+            .ok_or("manifest: missing binary")?
+            .to_string();
+        let topology = match v.get("topology") {
+            None | Some(Value::Null) => None,
+            Some(t) => {
+                let dim = |name: &str| -> Result<usize, String> {
+                    t.get(name)
+                        .and_then(Value::as_u64)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("manifest: bad topology.{name}"))
+                };
+                Some(TopologySummary {
+                    label: t
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .ok_or("manifest: bad topology.label")?
+                        .to_string(),
+                    nodes: dim("nodes")?,
+                    switches: dim("switches")?,
+                    terminals: dim("terminals")?,
+                    channels: dim("channels")?,
+                })
+            }
+        };
+        let engine = match v.get("engine") {
+            None | Some(Value::Null) => None,
+            Some(e) => Some(e.as_str().ok_or("manifest: bad engine")?.to_string()),
+        };
+        let seed = match v.get("seed") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(s.as_u64().ok_or("manifest: bad seed")?),
+        };
+        let metrics = v.get("metrics").ok_or("manifest: missing metrics")?;
+        let mut snap = Snapshot::default();
+        if let Some(phases) = metrics.get("phases").and_then(Value::as_obj) {
+            for (name, p) in phases {
+                let stat = PhaseStat {
+                    nanos: p
+                        .get("nanos")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("manifest: bad phases.{name}.nanos"))?,
+                    count: p
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("manifest: bad phases.{name}.count"))?,
+                };
+                snap.phases.insert(name.clone(), stat);
+            }
+        } else {
+            return Err("manifest: missing metrics.phases".into());
+        }
+        if let Some(counters) = metrics.get("counters").and_then(Value::as_obj) {
+            for (name, c) in counters {
+                let n = c
+                    .as_u64()
+                    .ok_or_else(|| format!("manifest: bad counters.{name}"))?;
+                snap.counters.insert(name.clone(), n);
+            }
+        } else {
+            return Err("manifest: missing metrics.counters".into());
+        }
+        if let Some(hists) = metrics.get("histograms").and_then(Value::as_obj) {
+            for (name, h) in hists {
+                let hist = Hist::from_value(h).map_err(|e| format!("{name}: {e}"))?;
+                snap.histograms.insert(name.clone(), hist);
+            }
+        } else {
+            return Err("manifest: missing metrics.histograms".into());
+        }
+        Ok(RunManifest {
+            schema: schema.to_string(),
+            binary,
+            topology,
+            engine,
+            seed,
+            metrics: snap,
+        })
+    }
+
+    /// Write to `path` as JSON.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, Recorder};
+
+    fn sample() -> RunManifest {
+        let c = Collector::new();
+        c.phase("sssp", 1_000);
+        c.add("paths_routed", 72);
+        c.observe("path_length", 3);
+        RunManifest::new("test")
+            .topology(TopologySummary {
+                label: "torus(4x4)".into(),
+                nodes: 32,
+                switches: 16,
+                terminals: 16,
+                channels: 96,
+            })
+            .engine("DFSSSP")
+            .seed(7)
+            .metrics(c.snapshot())
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let m = sample();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn optional_fields_round_trip_as_null() {
+        let m = RunManifest::new("bare");
+        let text = m.to_json();
+        assert!(text.contains("\"topology\": null"), "{text}");
+        assert!(text.contains("\"seed\": null"), "{text}");
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut m = sample();
+        m.schema = "dfsssp-metrics/v0".into();
+        let err = RunManifest::from_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn schema_shape_is_stable() {
+        // The v1 contract: these exact top-level keys, these exact
+        // metric sub-keys. A failure here means SCHEMA must be bumped.
+        let v = json::parse(&sample().to_json()).unwrap();
+        let obj = v.as_obj().unwrap();
+        for key in ["schema", "binary", "topology", "engine", "seed", "metrics"] {
+            assert!(obj.contains_key(key), "missing top-level key {key}");
+        }
+        assert_eq!(obj.len(), 6, "unexpected extra top-level keys");
+        let metrics = obj["metrics"].as_obj().unwrap();
+        for key in ["phases", "counters", "histograms"] {
+            assert!(metrics.contains_key(key), "missing metrics key {key}");
+        }
+        let phase = metrics["phases"].get("sssp").unwrap().as_obj().unwrap();
+        assert!(phase.contains_key("nanos") && phase.contains_key("count"));
+        let hist = metrics["histograms"]
+            .get("path_length")
+            .unwrap()
+            .as_obj()
+            .unwrap();
+        for key in ["count", "sum", "min", "max", "log2_buckets"] {
+            assert!(hist.contains_key(key), "missing histogram key {key}");
+        }
+    }
+
+    #[test]
+    fn phase_seconds_convert() {
+        let p = PhaseStat {
+            nanos: 2_500_000_000,
+            count: 2,
+        };
+        assert!((p.seconds() - 2.5).abs() < 1e-12);
+    }
+}

@@ -65,6 +65,12 @@ pub fn analyze(net: &Network, routes: &Routes) -> Report {
     analyze_with(net, routes, &Config::default())
 }
 
+/// [`analyze`] under the name the workspace prelude exports (`use
+/// dfsssp::prelude::*; vet::check(&net, &routes)`).
+pub fn check(net: &Network, routes: &Routes) -> Report {
+    analyze(net, routes)
+}
+
 /// Analyze `routes` against `net` with explicit settings.
 pub fn analyze_with(net: &Network, routes: &Routes, cfg: &Config) -> Report {
     let mut em = diag::Emitter::new(cfg.max_diagnostics_per_code);
@@ -233,7 +239,7 @@ fn finish(net: &Network, routes: &Routes, em: diag::Emitter, stats: Stats) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric::{ChannelId, Network, NetworkBuilder, NodeId};
+    use fabric::{ChannelId, Network, NetworkBuilder};
 
     /// t0 - s0 - s1 - t1, plus t2 on s1 (same shape as the fabric tests).
     fn line() -> Network {

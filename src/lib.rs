@@ -40,6 +40,34 @@
 //! | [`subnet`] | OpenSM-like subnet manager (sweep, LIDs, LFTs) |
 //! | [`appsim`] | Netgauge / all-to-all / NAS workload models |
 //! | [`vet`] | static analyzer for routing artifacts (lints V001–V006) |
+//! | [`telemetry`] | phase timers, counters, histograms, run manifests |
+//!
+//! ## Measuring a run
+//!
+//! ```
+//! use dfsssp::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let net = dfsssp::topo::torus(&[4, 4], 1);
+//! let collector = Arc::new(Collector::new());
+//!
+//! // Attach the collector to the engine, wrap it so `route` itself is
+//! // timed, and run.
+//! let config = EngineConfig::new().recorder(collector.clone());
+//! let engine = Recorded::new(DfSssp::new().with_config(config), collector.clone());
+//! let routes = engine.route(&net).unwrap();
+//! assert!(routes.num_layers() >= 2);
+//!
+//! // All five DFSSSP phases plus the whole-route span were measured.
+//! let snapshot = collector.snapshot();
+//! for phase in ["sssp", "cdg_build", "cycle_search", "layer_assign", "balance", "route_total"] {
+//!     assert!(snapshot.phases.contains_key(phase), "missing {phase}");
+//! }
+//!
+//! // Snapshot -> versioned artifact (what `--metrics out.json` writes).
+//! let manifest = RunManifest::new("doc-test").engine("DFSSSP").metrics(snapshot);
+//! assert!(RunManifest::from_json(&manifest.to_json()).is_ok());
+//! ```
 //!
 //! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
 //! for the reproduced tables and figures.
@@ -51,6 +79,7 @@ pub use fabric;
 pub use flitsim;
 pub use orcs;
 pub use subnet;
+pub use telemetry;
 pub use vet;
 
 /// Topology generators, re-exported from [`fabric`].
@@ -65,10 +94,13 @@ pub mod prelude {
     pub use appsim::{alltoall_time, netgauge_ebb, Allocation, NasBenchmark};
     pub use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
     pub use dfsssp_core::{
-        CycleBreakHeuristic, DeadlockFree, DfSssp, LayerAssignMode, RouteError, RoutingEngine, Sssp,
+        CycleBreakHeuristic, DeadlockFree, DfSssp, EngineConfig, LayerAssignMode, Recorded,
+        RouteError, RoutingEngine, Sssp,
     };
     pub use fabric::{Network, NetworkBuilder, Routes};
     pub use flitsim::{simulate, Outcome, SimConfig, Workload};
     pub use orcs::{effective_bisection_bandwidth, EbbOptions, Pattern};
     pub use subnet::{FabricEvent, Rung, SmLoop, SubnetManager};
+    pub use telemetry::{Collector, Recorder, RecorderHandle, RunManifest};
+    pub use vet::check;
 }

@@ -1,0 +1,151 @@
+//! End-to-end checks of the telemetry layer: the zero-cost-when-disabled
+//! property, phase coverage of a recorded DFSSSP run, manifest schema
+//! stability, and the bench report round-trip.
+
+use dfsssp::prelude::*;
+use dfsssp::telemetry::{self, hists, phases};
+use std::sync::Arc;
+
+/// Routing with the no-op recorder and with a collector attached must
+/// produce byte-identical tables: the recorder only observes.
+#[test]
+fn recording_does_not_change_routes() {
+    let net = dfsssp::topo::torus(&[4, 4], 1);
+    let plain = DfSssp::new().route(&net).unwrap();
+    let collector = Arc::new(Collector::new());
+    let config = EngineConfig::new().recorder(collector.clone());
+    let recorded = Recorded::new(DfSssp::new().with_config(config), collector.clone())
+        .route(&net)
+        .unwrap();
+    assert_eq!(plain, recorded);
+    assert!(!collector.snapshot().phases.is_empty());
+}
+
+/// A recorded DFSSSP run reports all five algorithm phases plus the
+/// wrapper's `route_total`, and the standard route-quality histograms.
+#[test]
+fn dfsssp_run_covers_all_phases_and_histograms() {
+    let net = dfsssp::topo::torus(&[4, 4], 1);
+    let collector = Arc::new(Collector::new());
+    let config = EngineConfig::new().recorder(collector.clone());
+    let engine = Recorded::new(DfSssp::new().with_config(config), collector.clone());
+    engine.route(&net).unwrap();
+    let snap = collector.snapshot();
+    for phase in [
+        phases::SSSP,
+        phases::CDG_BUILD,
+        phases::CYCLE_SEARCH,
+        phases::LAYER_ASSIGN,
+        phases::BALANCE,
+        phases::ROUTE_TOTAL,
+    ] {
+        assert!(snap.phases.contains_key(phase), "missing phase {phase}");
+    }
+    for hist in [hists::PATH_LENGTH, hists::VL_CHANNELS, hists::EDGE_LOAD] {
+        assert!(snap.histograms.contains_key(hist), "missing hist {hist}");
+    }
+    let nt = net.num_terminals() as u64;
+    assert_eq!(snap.counters["paths_routed"], nt * (nt - 1));
+    assert!(snap.counters["vls_used"] >= 2, "torus needs >= 2 VLs");
+    // Every ordered pair contributed one path-length observation.
+    assert_eq!(snap.histograms[hists::PATH_LENGTH].count, nt * (nt - 1));
+}
+
+/// The collector aggregates across engines: routing twice doubles the
+/// pair counters.
+#[test]
+fn collector_aggregates_across_runs() {
+    let net = dfsssp::topo::kary_ntree(2, 2);
+    let collector = Arc::new(Collector::new());
+    let engine = Recorded::new(Sssp::new(), collector.clone());
+    engine.route(&net).unwrap();
+    let once = collector.snapshot().counters["paths_routed"];
+    engine.route(&net).unwrap();
+    assert_eq!(collector.snapshot().counters["paths_routed"], 2 * once);
+    assert_eq!(collector.snapshot().phases[phases::ROUTE_TOTAL].count, 2);
+}
+
+/// A manifest built from a real run survives the JSON round trip and
+/// keeps its v1 shape.
+#[test]
+fn manifest_round_trips_from_a_real_run() {
+    let net = dfsssp::topo::ring(6, 1);
+    let collector = Arc::new(Collector::new());
+    let config = EngineConfig::new().recorder(collector.clone());
+    Recorded::new(DfSssp::new().with_config(config), collector.clone())
+        .route(&net)
+        .unwrap();
+    let manifest = RunManifest::new("telemetry_e2e")
+        .engine("DFSSSP")
+        .seed(42)
+        .metrics(collector.snapshot());
+    let text = manifest.to_json();
+    let back = RunManifest::from_json(&text).unwrap();
+    assert_eq!(manifest, back);
+    assert_eq!(back.schema, telemetry::SCHEMA);
+    assert_eq!(back.seed, Some(42));
+}
+
+/// The recorded eBB sweep reports the same summary as the plain one and
+/// fills the pattern histogram.
+#[test]
+fn recorded_ebb_matches_plain_ebb() {
+    let net = dfsssp::topo::kary_ntree(4, 2);
+    let routes = DfSssp::new().route(&net).unwrap();
+    let opts = EbbOptions {
+        patterns: 50,
+        ..Default::default()
+    };
+    let plain = effective_bisection_bandwidth(&net, &routes, &opts).unwrap();
+    let collector = Arc::new(Collector::new());
+    let recorded = dfsssp::orcs::effective_bisection_bandwidth_recorded(
+        &net,
+        &routes,
+        &opts,
+        collector.as_ref(),
+    )
+    .unwrap();
+    assert_eq!(plain.mean, recorded.mean);
+    let snap = collector.snapshot();
+    assert_eq!(snap.counters["patterns_simulated"], 50);
+    assert_eq!(snap.histograms["pattern_bw_milli"].count, 50);
+    assert_eq!(snap.phases[phases::EBB].count, 1);
+}
+
+/// The bench sweep's report round-trips and its DFSSSP cells embed full
+/// per-phase manifests.
+#[test]
+fn bench_quick_report_round_trips() {
+    let report = repro::bench::run(true, 3);
+    assert_eq!(report.schema, repro::bench::SCHEMA);
+    let back = repro::bench::BenchReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(report, back);
+    let df = back
+        .cases
+        .iter()
+        .find(|c| c.engine == "DFSSSP" && c.ok)
+        .expect("a successful DFSSSP cell");
+    assert!(df.manifest.metrics.phases.contains_key(phases::SSSP));
+}
+
+/// The subnet-manager loop reports reroute latency and rung counters.
+#[test]
+fn sm_loop_reroutes_report_telemetry() {
+    let net = dfsssp::topo::kary_ntree(2, 2);
+    let mut sm = SmLoop::bring_up(DfSssp::new(), net.clone(), net.terminals()[0]).unwrap();
+    let collector = Arc::new(Collector::new());
+    sm.set_recorder(collector.clone());
+    // Killing a leaf switch strands its terminals: the quarantine rung
+    // fires and the reroute is measured.
+    let leaf = *net
+        .switches()
+        .iter()
+        .find(|&&s| net.node(s).level == Some(0))
+        .unwrap();
+    sm.handle(FabricEvent::SwitchDown(leaf)).unwrap();
+    let snap = collector.snapshot();
+    assert_eq!(snap.counters["reroutes"], 1);
+    assert_eq!(snap.counters["rung_quarantine"], 1);
+    assert_eq!(snap.phases[phases::REROUTE].count, 1);
+    assert_eq!(snap.histograms["reroute_us"].count, 1);
+}
