@@ -12,9 +12,10 @@
 //! SSSP-based routing on fat trees (Fig 5) while matching it on Kautz
 //! graphs (Fig 6).
 
-use dfsssp_core::dfsssp::assign_layers_online_recorded;
+use dfsssp_core::budget::record_trip;
+use dfsssp_core::dfsssp::assign_layers_online_budgeted;
 use dfsssp_core::paths::PathSet;
-use dfsssp_core::{EngineConfig, RouteError, RoutingEngine};
+use dfsssp_core::{Budget, EngineConfig, RouteError, RoutingEngine};
 use fabric::{ChannelId, Network, NodeId, Routes};
 use rustc_hash::FxHashMap;
 use telemetry::{phases, Recorder, RecorderHandle};
@@ -27,6 +28,8 @@ pub struct Lash {
     /// Telemetry sink (`cycle_search`/`layer_assign` phases of the
     /// online assignment; `cdg_build` covers tree + path extraction).
     pub recorder: RecorderHandle,
+    /// Resource bounds for each run (see [`Budget`]).
+    pub budget: Budget,
 }
 
 impl Default for Lash {
@@ -34,6 +37,7 @@ impl Default for Lash {
         Lash {
             max_layers: 8,
             recorder: telemetry::noop(),
+            budget: Budget::default(),
         }
     }
 }
@@ -96,6 +100,13 @@ impl Lash {
 
     /// Route and also return the number of layers used (Fig 9/10 data).
     pub fn route_with_layers(&self, net: &Network) -> Result<(Routes, usize), RouteError> {
+        record_trip(&*self.recorder, self.route_with_layers_inner(net))
+    }
+
+    fn route_with_layers_inner(&self, net: &Network) -> Result<(Routes, usize), RouteError> {
+        let guard = self.budget.start();
+        guard.admit(net)?;
+        let max_layers = guard.clamp_layers(self.max_layers);
         if !net.is_strongly_connected() {
             return Err(RouteError::Disconnected);
         }
@@ -107,6 +118,7 @@ impl Lash {
                 let mut trees: Vec<Tree> = Vec::new();
                 let mut terminal_tree: Vec<u32> = Vec::with_capacity(net.num_terminals());
                 for &t in net.terminals() {
+                    guard.check_deadline()?;
                     let key = Self::attachments(net, t);
                     let id = *tree_of_key.entry(key.clone()).or_insert_with(|| {
                         trees.push(Self::build_tree(net, &key));
@@ -143,11 +155,12 @@ impl Lash {
                 let ps = PathSet::from_parts(channels, offsets, pairs);
                 Ok((trees, terminal_tree, index_of, ps))
             })?;
-        let (path_layer, stats) = assign_layers_online_recorded(&ps, self.max_layers, rec)?;
+        let (path_layer, stats) = assign_layers_online_budgeted(&ps, max_layers, rec, &guard)?;
 
         // Compile destination-based tables.
         let mut routes = Routes::new(net, self.name());
         for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            guard.check_deadline()?;
             let tree = &trees[terminal_tree[dst_t] as usize];
             for &s in net.switches() {
                 match tree.parent[s.idx()] {
@@ -213,12 +226,14 @@ impl RoutingEngine for Lash {
             // LASH has no balancing step; report the config default.
             balance: true,
             recorder: self.recorder.clone(),
+            budget: self.budget.clone(),
         })
     }
 
     fn set_config(&mut self, config: EngineConfig) -> bool {
         self.max_layers = config.max_layers;
         self.recorder = config.recorder;
+        self.budget = config.budget;
         true
     }
 }

@@ -1,0 +1,248 @@
+//! Routing budgets: deadlines and size caps for the serving path.
+//!
+//! A subnet manager reroutes *inline* with fabric recovery — a routing
+//! run that walks a hostile or degenerate topology for minutes is as bad
+//! as one that panics. [`Budget`] bounds a single `route()` call along
+//! four axes (wall-clock deadline, admitted network size, CDG edge
+//! count, virtual layers) and is threaded through
+//! [`crate::EngineConfig`] so the escalation ladder, CLIs and benches
+//! all configure it the same way.
+//!
+//! Engines call [`Budget::start`] once per run and then hit the
+//! resulting [`BudgetGuard`]'s checkpoints from their hot loops (per
+//! SSSP destination, per cycle broken, per online path placement).
+//! An exhausted budget surfaces as [`RouteError::BudgetExceeded`] —
+//! promptly, instead of hanging — and is counted on the engine's
+//! recorder under `budget_trips`.
+//!
+//! The `max_layers` axis works by clamping, not by aborting: the
+//! engine's configured layer budget is reduced to the cap, so a binding
+//! clamp surfaces as the familiar [`RouteError::NeedMoreLayers`].
+
+use crate::engine::RouteError;
+use fabric::Network;
+use std::time::{Duration, Instant};
+use telemetry::{counters, Recorder};
+
+/// Resource bounds for one routing run. `None` means unlimited; the
+/// default budget is fully unlimited, so existing callers see no change
+/// unless they opt in.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole run.
+    pub deadline: Option<Duration>,
+    /// Maximum network size (nodes) admitted at all.
+    pub max_nodes: Option<usize>,
+    /// Maximum live edges across the layers' channel dependency graphs.
+    pub max_cdg_edges: Option<usize>,
+    /// Cap on the virtual-layer budget (clamps the engine's
+    /// `max_layers`; a binding clamp surfaces as `NeedMoreLayers`).
+    pub max_layers: Option<usize>,
+}
+
+impl Budget {
+    /// The unlimited budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the admitted network size (nodes).
+    pub fn max_nodes(mut self, n: usize) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Set the CDG edge cap.
+    pub fn max_cdg_edges(mut self, n: usize) -> Self {
+        self.max_cdg_edges = Some(n);
+        self
+    }
+
+    /// Set the virtual-layer cap.
+    pub fn max_layers(mut self, n: usize) -> Self {
+        self.max_layers = Some(n);
+        self
+    }
+
+    /// Whether every axis is unlimited (checkpoints are free to skip).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_nodes.is_none()
+            && self.max_cdg_edges.is_none()
+            && self.max_layers.is_none()
+    }
+
+    /// Arm the budget for one run (the deadline clock starts now).
+    pub fn start(&self) -> BudgetGuard {
+        BudgetGuard {
+            deadline: self.deadline.map(|d| (Instant::now() + d, d)),
+            max_nodes: self.max_nodes,
+            max_cdg_edges: self.max_cdg_edges,
+            max_layers: self.max_layers,
+        }
+    }
+}
+
+/// An armed [`Budget`]: the checkpoint object engines thread through
+/// their hot loops.
+#[derive(Clone, Debug)]
+pub struct BudgetGuard {
+    deadline: Option<(Instant, Duration)>,
+    max_nodes: Option<usize>,
+    max_cdg_edges: Option<usize>,
+    max_layers: Option<usize>,
+}
+
+impl BudgetGuard {
+    /// A guard that never trips (for the non-budgeted entry points).
+    pub fn unlimited() -> Self {
+        BudgetGuard {
+            deadline: None,
+            max_nodes: None,
+            max_cdg_edges: None,
+            max_layers: None,
+        }
+    }
+
+    /// Admission check, called once per run before any work: reject
+    /// networks larger than the budget admits.
+    pub fn admit(&self, net: &Network) -> Result<(), RouteError> {
+        if let Some(max) = self.max_nodes {
+            if net.num_nodes() > max {
+                return Err(RouteError::BudgetExceeded {
+                    resource: "nodes",
+                    limit: max as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deadline checkpoint; engines call this from every hot loop
+    /// (per destination, per cycle, per placement).
+    #[inline]
+    pub fn check_deadline(&self) -> Result<(), RouteError> {
+        if let Some((at, total)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(RouteError::BudgetExceeded {
+                    resource: "deadline_ms",
+                    limit: total.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// CDG size checkpoint: `edges` is the current live edge count
+    /// across layers.
+    #[inline]
+    pub fn check_cdg_edges(&self, edges: usize) -> Result<(), RouteError> {
+        if let Some(max) = self.max_cdg_edges {
+            if edges > max {
+                return Err(RouteError::BudgetExceeded {
+                    resource: "cdg_edges",
+                    limit: max as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`BudgetGuard::check_cdg_edges`] with a lazily computed count, so
+    /// hot loops pay nothing for the tally when the axis is unlimited.
+    #[inline]
+    pub fn check_cdg_edges_lazy(&self, edges: impl FnOnce() -> usize) -> Result<(), RouteError> {
+        if self.max_cdg_edges.is_some() {
+            self.check_cdg_edges(edges())?;
+        }
+        Ok(())
+    }
+
+    /// Clamp a configured virtual-layer budget to this budget's cap
+    /// (never below 1, so the assignment asserts stay satisfied).
+    pub fn clamp_layers(&self, configured: usize) -> usize {
+        match self.max_layers {
+            Some(cap) => configured.min(cap).max(1),
+            None => configured,
+        }
+    }
+}
+
+/// Count budget trips on the engine's recorder: passes `res` through,
+/// bumping the `budget_trips` counter when it is a
+/// [`RouteError::BudgetExceeded`].
+pub fn record_trip<T>(rec: &dyn Recorder, res: Result<T, RouteError>) -> Result<T, RouteError> {
+    if let Err(RouteError::BudgetExceeded { .. }) = &res {
+        if rec.enabled() {
+            rec.add(counters::BUDGET_TRIPS, 1);
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::topo;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = BudgetGuard::unlimited();
+        let net = topo::ring(4, 1);
+        g.admit(&net).unwrap();
+        g.check_deadline().unwrap();
+        g.check_cdg_edges(usize::MAX).unwrap();
+        assert_eq!(g.clamp_layers(8), 8);
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn node_admission_is_enforced() {
+        let net = topo::ring(4, 1);
+        let g = Budget::new().max_nodes(3).start();
+        let err = g.admit(&net).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::BudgetExceeded {
+                resource: "nodes",
+                limit: 3
+            }
+        );
+        Budget::new().max_nodes(64).start().admit(&net).unwrap();
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let g = Budget::new().deadline(Duration::ZERO).start();
+        let err = g.check_deadline().unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::BudgetExceeded {
+                resource: "deadline_ms",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cdg_edge_cap_trips() {
+        let g = Budget::new().max_cdg_edges(10).start();
+        g.check_cdg_edges(10).unwrap();
+        assert!(g.check_cdg_edges(11).is_err());
+    }
+
+    #[test]
+    fn layer_cap_clamps_instead_of_failing() {
+        let g = Budget::new().max_layers(2).start();
+        assert_eq!(g.clamp_layers(8), 2);
+        assert_eq!(g.clamp_layers(1), 1);
+        let g = Budget::new().max_layers(0).start();
+        assert_eq!(g.clamp_layers(8), 1, "cap never drops below 1");
+    }
+}

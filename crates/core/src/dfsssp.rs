@@ -23,6 +23,7 @@
 //! cycle search because every subset of an acyclic layer is acyclic.
 
 use crate::balance::balance_layers;
+use crate::budget::{record_trip, Budget, BudgetGuard};
 use crate::cdg::{Cdg, CycleSearch};
 use crate::engine::{EngineConfig, RouteError, RoutingEngine};
 use crate::heuristics::CycleBreakHeuristic;
@@ -75,6 +76,9 @@ pub struct DfSssp {
     /// Telemetry sink for phase timings and counters. Default: the
     /// shared no-op (no measurement overhead).
     pub recorder: RecorderHandle,
+    /// Resource bounds for each run (deadline, admitted size, CDG
+    /// edges, layer cap). Default: unlimited.
+    pub budget: Budget,
 }
 
 impl Default for DfSssp {
@@ -86,6 +90,7 @@ impl Default for DfSssp {
             balance: true,
             compact: true,
             recorder: telemetry::noop(),
+            budget: Budget::default(),
         }
     }
 }
@@ -112,29 +117,34 @@ impl DfSssp {
     /// `paths_moved` counters; with the no-op recorder not even the
     /// clock is read.
     pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
+        record_trip(&*self.recorder, self.route_with_stats_inner(net))
+    }
+
+    fn route_with_stats_inner(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
         let rec: &dyn Recorder = &*self.recorder;
+        let guard = self.budget.start();
+        guard.admit(net)?;
+        let max_layers = guard.clamp_layers(self.max_layers);
         let sssp = Sssp::new();
         let mut routes = telemetry::timed(rec, phases::SSSP, || {
+            let (routes, weights) = sssp.route_with_weights_budgeted(net, &guard)?;
             if rec.enabled() {
-                let (routes, weights) = sssp.route_with_weights(net)?;
                 let w0 = sssp.base_weight(net);
                 let grown = weights.iter().filter(|&&w| w > w0).count() as u64;
                 rec.add(counters::EDGES_WEIGHTED, grown);
-                Ok(routes)
-            } else {
-                sssp.route(net)
             }
+            Ok(routes)
         })?;
         let ps = telemetry::timed(rec, phases::CDG_BUILD, || PathSet::extract(net, &routes))?;
         let (mut path_layer, mut stats) = match self.mode {
             LayerAssignMode::Offline => {
-                assign_layers_recorded(&ps, self.heuristic, self.max_layers, self.compact, rec)?
+                assign_layers_budgeted(&ps, self.heuristic, max_layers, self.compact, rec, &guard)?
             }
-            LayerAssignMode::Online => assign_layers_online_recorded(&ps, self.max_layers, rec)?,
+            LayerAssignMode::Online => assign_layers_online_budgeted(&ps, max_layers, rec, &guard)?,
         };
         stats.layers_final = telemetry::timed(rec, phases::BALANCE, || {
             if self.balance {
-                balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
+                balance_layers(&mut path_layer, stats.layers_used, max_layers)
             } else {
                 stats.layers_used
             }
@@ -171,6 +181,7 @@ impl RoutingEngine for DfSssp {
             max_layers: self.max_layers,
             balance: self.balance,
             recorder: self.recorder.clone(),
+            budget: self.budget.clone(),
         })
     }
 
@@ -178,6 +189,7 @@ impl RoutingEngine for DfSssp {
         self.max_layers = config.max_layers;
         self.balance = config.balance;
         self.recorder = config.recorder;
+        self.budget = config.budget;
         true
     }
 }
@@ -211,6 +223,29 @@ pub fn assign_layers_recorded(
     compact: bool,
     rec: &dyn Recorder,
 ) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assign_layers_budgeted(
+        ps,
+        heuristic,
+        max_layers,
+        compact,
+        rec,
+        &BudgetGuard::unlimited(),
+    )
+}
+
+/// [`assign_layers_recorded`] under a [`BudgetGuard`]: the initial CDG
+/// population is held against the edge cap, and the deadline is checked
+/// before every cycle break, so degenerate instances (adversarially
+/// dense dependency graphs) abort promptly with
+/// [`RouteError::BudgetExceeded`] instead of grinding.
+pub fn assign_layers_budgeted(
+    ps: &PathSet,
+    heuristic: CycleBreakHeuristic,
+    max_layers: usize,
+    compact: bool,
+    rec: &dyn Recorder,
+    guard: &BudgetGuard,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
     assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
     let work_budget = if compact {
         (max_layers * 4).clamp(max_layers, u8::MAX as usize + 1)
@@ -226,6 +261,7 @@ pub fn assign_layers_recorded(
         }
         layers
     });
+    guard.check_cdg_edges(layers[0].num_edges())?;
     let mut stats = DfStats::default();
     let mut search_acc = Acc::new(rec, phases::CYCLE_SEARCH);
     let mut assign_acc = Acc::new(rec, phases::LAYER_ASSIGN);
@@ -233,6 +269,8 @@ pub fn assign_layers_recorded(
     while i < layers.len() {
         let mut search = CycleSearch::new(num_channels);
         while let Some(cycle) = search_acc.measure(|| search.next_cycle(&layers[i])) {
+            guard.check_deadline()?;
+            guard.check_cdg_edges_lazy(|| layers.iter().map(|l| l.num_edges()).sum())?;
             stats.cycles_broken += 1;
             let edge = heuristic.pick_counted(&layers[i], &cycle, stats.cycles_broken as u64);
             let victims = layers[i].live_paths_of(edge, &path_layer, i as u8);
@@ -407,6 +445,19 @@ pub fn assign_layers_online_recorded(
     max_layers: usize,
     rec: &dyn Recorder,
 ) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assign_layers_online_budgeted(ps, max_layers, rec, &BudgetGuard::unlimited())
+}
+
+/// [`assign_layers_online_recorded`] under a [`BudgetGuard`]: the
+/// deadline is checked before each path placement (the unit of work
+/// whose count makes the online mode quadratic), and the growing CDGs
+/// are held against the edge cap.
+pub fn assign_layers_online_budgeted(
+    ps: &PathSet,
+    max_layers: usize,
+    rec: &dyn Recorder,
+    guard: &BudgetGuard,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
     assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
     let num_channels = num_channels_of(ps);
     let mut path_layer = vec![0u8; ps.len()];
@@ -417,6 +468,8 @@ pub fn assign_layers_online_recorded(
     let mut search_acc = Acc::new(rec, phases::CYCLE_SEARCH);
     let mut assign_acc = Acc::new(rec, phases::LAYER_ASSIGN);
     for p in ps.ids() {
+        guard.check_deadline()?;
+        guard.check_cdg_edges_lazy(|| layers.iter().map(|l| l.num_edges()).sum())?;
         let mut placed = false;
         for l in 0..max_layers {
             if l >= layers.len() {

@@ -22,6 +22,15 @@ pub enum RouteError {
     /// levels). Mirrors OpenSM engines falling back / failing — the
     /// "missing bars" of the paper's Fig 4.
     UnsupportedTopology(String),
+    /// A [`crate::Budget`] axis ran out mid-run (`resource` is the axis:
+    /// `deadline_ms`, `nodes` or `cdg_edges`; `limit` the configured
+    /// bound). The run stopped promptly instead of hanging.
+    BudgetExceeded {
+        /// Which budget axis tripped.
+        resource: &'static str,
+        /// The configured bound on that axis.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for RouteError {
@@ -33,6 +42,9 @@ impl std::fmt::Display for RouteError {
                 "deadlock-free assignment needs >= {required} virtual layers, only {allowed} allowed"
             ),
             RouteError::UnsupportedTopology(why) => write!(f, "unsupported topology: {why}"),
+            RouteError::BudgetExceeded { resource, limit } => {
+                write!(f, "routing budget exceeded: {resource} limit {limit}")
+            }
         }
     }
 }
@@ -56,6 +68,8 @@ pub struct EngineConfig {
     pub balance: bool,
     /// Telemetry sink; defaults to the shared no-op.
     pub recorder: RecorderHandle,
+    /// Resource bounds for each `route()` call; unlimited by default.
+    pub budget: crate::Budget,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +78,7 @@ impl Default for EngineConfig {
             max_layers: 8,
             balance: true,
             recorder: telemetry::noop(),
+            budget: crate::Budget::default(),
         }
     }
 }
@@ -89,6 +104,12 @@ impl EngineConfig {
     /// Attach a telemetry sink.
     pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Bound each `route()` call by `budget`.
+    pub fn budget(mut self, budget: crate::Budget) -> Self {
+        self.budget = budget;
         self
     }
 }

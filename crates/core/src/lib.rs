@@ -26,6 +26,7 @@
 
 pub mod app;
 pub mod balance;
+pub mod budget;
 pub mod cdg;
 pub mod dfsssp;
 pub mod dijkstra;
@@ -37,6 +38,7 @@ pub mod sssp;
 pub mod verify;
 pub mod wrapper;
 
+pub use budget::{Budget, BudgetGuard};
 pub use dfsssp::{DfSssp, LayerAssignMode};
 pub use engine::{record_route_metrics, EngineConfig, Recorded, RouteError, RoutingEngine};
 pub use heuristics::CycleBreakHeuristic;

@@ -18,6 +18,7 @@
 //! terminals in index order, and weight updates count terminal-to-terminal
 //! paths (switch-sourced traffic does not exist in operation).
 
+use crate::budget::BudgetGuard;
 use crate::dijkstra::spt_to;
 use crate::engine::{RouteError, RoutingEngine};
 use fabric::{Network, Routes};
@@ -55,6 +56,19 @@ impl Sssp {
     /// Run Algorithm 1, returning the tables and the final channel
     /// weights (the weights are exposed for tests and diagnostics).
     pub fn route_with_weights(&self, net: &Network) -> Result<(Routes, Vec<u64>), RouteError> {
+        self.route_with_weights_budgeted(net, &BudgetGuard::unlimited())
+    }
+
+    /// [`Sssp::route_with_weights`] under a [`BudgetGuard`]: the
+    /// deadline is checked before each destination's shortest-path tree
+    /// (the expensive unit of Algorithm 1), so a run over a hostile or
+    /// oversized network stops within one tree of its deadline.
+    pub fn route_with_weights_budgeted(
+        &self,
+        net: &Network,
+        guard: &BudgetGuard,
+    ) -> Result<(Routes, Vec<u64>), RouteError> {
+        guard.admit(net)?;
         if !net.is_strongly_connected() {
             return Err(RouteError::Disconnected);
         }
@@ -63,6 +77,7 @@ impl Sssp {
         let mut routes = Routes::new(net, self.name());
         let mut subtree = vec![0u64; net.num_nodes()];
         for (dst_t, &dst) in net.terminals().iter().enumerate() {
+            guard.check_deadline()?;
             let spt = spt_to(net, dst, &weights);
             // Program tables along the tree.
             for (id, _) in net.nodes() {

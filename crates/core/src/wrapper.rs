@@ -13,8 +13,9 @@
 //! default engine.
 
 use crate::balance::balance_layers;
+use crate::budget::{record_trip, Budget};
 use crate::dfsssp::{
-    assign_layers_online_recorded, assign_layers_recorded, DfStats, LayerAssignMode,
+    assign_layers_budgeted, assign_layers_online_budgeted, DfStats, LayerAssignMode,
 };
 use crate::engine::{EngineConfig, RouteError, RoutingEngine};
 use crate::heuristics::CycleBreakHeuristic;
@@ -40,6 +41,10 @@ pub struct DeadlockFree<E> {
     /// Telemetry sink (phases as in [`crate::DfSssp`], plus the inner
     /// engine's share of the run as `inner_route`).
     pub recorder: RecorderHandle,
+    /// Resource bounds for each run (see [`crate::Budget`]). The inner
+    /// engine is not interrupted mid-call, but the deadline is checked
+    /// when it returns and throughout the layer assignment.
+    pub budget: Budget,
 }
 
 impl<E: RoutingEngine> DeadlockFree<E> {
@@ -53,23 +58,32 @@ impl<E: RoutingEngine> DeadlockFree<E> {
             balance: true,
             compact: true,
             recorder: telemetry::noop(),
+            budget: Budget::default(),
         }
     }
 
     /// Route and return assignment statistics.
     pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
+        record_trip(&*self.recorder, self.route_with_stats_inner(net))
+    }
+
+    fn route_with_stats_inner(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
         let rec: &dyn Recorder = &*self.recorder;
+        let guard = self.budget.start();
+        guard.admit(net)?;
+        let max_layers = guard.clamp_layers(self.max_layers);
         let mut routes = telemetry::timed(rec, phases::INNER_ROUTE, || self.inner.route(net))?;
+        guard.check_deadline()?;
         let ps = telemetry::timed(rec, phases::CDG_BUILD, || PathSet::extract(net, &routes))?;
         let (mut path_layer, mut stats) = match self.mode {
             LayerAssignMode::Offline => {
-                assign_layers_recorded(&ps, self.heuristic, self.max_layers, self.compact, rec)?
+                assign_layers_budgeted(&ps, self.heuristic, max_layers, self.compact, rec, &guard)?
             }
-            LayerAssignMode::Online => assign_layers_online_recorded(&ps, self.max_layers, rec)?,
+            LayerAssignMode::Online => assign_layers_online_budgeted(&ps, max_layers, rec, &guard)?,
         };
         stats.layers_final = telemetry::timed(rec, phases::BALANCE, || {
             if self.balance {
-                balance_layers(&mut path_layer, stats.layers_used, self.max_layers)
+                balance_layers(&mut path_layer, stats.layers_used, max_layers)
             } else {
                 stats.layers_used
             }
@@ -106,6 +120,7 @@ impl<E: RoutingEngine> RoutingEngine for DeadlockFree<E> {
             max_layers: self.max_layers,
             balance: self.balance,
             recorder: self.recorder.clone(),
+            budget: self.budget.clone(),
         })
     }
 
@@ -113,6 +128,7 @@ impl<E: RoutingEngine> RoutingEngine for DeadlockFree<E> {
         self.max_layers = config.max_layers;
         self.balance = config.balance;
         self.recorder = config.recorder;
+        self.budget = config.budget;
         true
     }
 }

@@ -13,6 +13,9 @@ pub enum BuildError {
     /// An explicitly requested port is already cabled or out of range:
     /// `(node name, port)`.
     PortTaken(String, u16),
+    /// A cable endpoint referenced a node id this builder never created
+    /// (a dangling endpoint).
+    NoSuchNode(u32),
 }
 
 impl std::fmt::Display for BuildError {
@@ -25,6 +28,7 @@ impl std::fmt::Display for BuildError {
             BuildError::PortTaken(name, port) => {
                 write!(f, "port {port} of {name} is taken or out of range")
             }
+            BuildError::NoSuchNode(id) => write!(f, "node id {id} does not exist"),
         }
     }
 }
@@ -114,6 +118,15 @@ impl NetworkBuilder {
             .saturating_sub(sequential + explicit)
     }
 
+    /// Reject node ids this builder never handed out, so cable calls
+    /// return a typed error instead of panicking on a dangling endpoint.
+    fn check_node(&self, node: NodeId) -> Result<(), BuildError> {
+        if node.idx() >= self.nodes.len() {
+            return Err(BuildError::NoSuchNode(node.0));
+        }
+        Ok(())
+    }
+
     fn take_port(&mut self, node: NodeId) -> Result<u16, BuildError> {
         let n = &self.nodes[node.idx()];
         let mut p = self.next_port[node.idx()];
@@ -143,6 +156,8 @@ impl NetworkBuilder {
     /// Connect `a` and `b` with a bidirectional cable. Returns the two
     /// channel ids `(a→b, b→a)`.
     pub fn link(&mut self, a: NodeId, b: NodeId) -> Result<(ChannelId, ChannelId), BuildError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
         if a == b {
             return Err(BuildError::SelfLoop(self.nodes[a.idx()].name.clone()));
         }
@@ -177,6 +192,8 @@ impl NetworkBuilder {
         b: NodeId,
         pb: u16,
     ) -> Result<(ChannelId, ChannelId), BuildError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
         if a == b {
             return Err(BuildError::SelfLoop(self.nodes[a.idx()].name.clone()));
         }
@@ -217,6 +234,8 @@ impl NetworkBuilder {
         b: NodeId,
         pb: u16,
     ) -> Result<ChannelId, BuildError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
         if a == b {
             return Err(BuildError::SelfLoop(self.nodes[a.idx()].name.clone()));
         }
@@ -241,6 +260,8 @@ impl NetworkBuilder {
 
     /// Add a single unidirectional channel `a→b` (directed topologies).
     pub fn add_channel(&mut self, a: NodeId, b: NodeId) -> Result<ChannelId, BuildError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
         if a == b {
             return Err(BuildError::SelfLoop(self.nodes[a.idx()].name.clone()));
         }
@@ -330,6 +351,21 @@ mod tests {
         b.link(s, t0).unwrap();
         let err = b.link(s, t1).unwrap_err();
         assert_eq!(err, BuildError::OutOfPorts("s".into(), 1));
+    }
+
+    #[test]
+    fn dangling_endpoints_rejected() {
+        let mut b = NetworkBuilder::new();
+        let s = b.add_switch("s", 4);
+        let ghost = NodeId(99);
+        assert_eq!(b.link(s, ghost), Err(BuildError::NoSuchNode(99)));
+        assert_eq!(b.link(ghost, s), Err(BuildError::NoSuchNode(99)));
+        assert_eq!(b.add_channel(s, ghost), Err(BuildError::NoSuchNode(99)));
+        assert_eq!(b.link_at(s, 1, ghost, 1), Err(BuildError::NoSuchNode(99)));
+        assert_eq!(
+            b.add_channel_at(ghost, 1, s, 1),
+            Err(BuildError::NoSuchNode(99))
+        );
     }
 
     #[test]

@@ -18,27 +18,34 @@
 //! GUID; each following `[port] "peer"[peerport]` line is one cable end.
 //! Cables appear twice (once per side) and are deduplicated; port numbers
 //! are preserved exactly (they are facts from the fabric, not choices).
+//!
+//! Dumps come from discovery sweeps of real hardware and are treated as
+//! untrusted: rejections are typed [`ParseError`]s and
+//! [`parse_ibnetdiscover_with`] enforces [`FormatLimits`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use super::error::{clip, FormatLimits, ParseError, ParseErrorKind};
 use crate::builder::NetworkBuilder;
 use crate::graph::{Network, NodeId, NodeKind};
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashMap;
 
-use super::text::ParseError;
-
-fn err(line: usize, msg: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        msg: msg.into(),
-    }
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError::new(line, kind)
 }
 
-/// Parse an `ibnetdiscover` dump into a [`Network`].
+/// Parse an `ibnetdiscover` dump with default [`FormatLimits`].
+pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
+    parse_ibnetdiscover_with(input, &FormatLimits::default())
+}
+
+/// Parse an `ibnetdiscover` dump into a [`Network`], enforcing `limits`.
 ///
 /// Switch GUIDs become switch names, CA GUIDs terminal names. Both
 /// sides of every cable must agree (same ports on both records);
 /// one-sided records are an error, mirroring `ibnetdiscover`'s own
 /// consistency guarantees.
-pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
+pub fn parse_ibnetdiscover_with(input: &str, limits: &FormatLimits) -> Result<Network, ParseError> {
     struct PendingLink {
         line: usize,
         from: NodeId,
@@ -47,14 +54,20 @@ pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
         to_port: u16,
     }
 
+    limits.check_input(input.len())?;
     let mut b = NetworkBuilder::new();
     b.label("ibnetdiscover");
     let mut nodes: FxHashMap<String, NodeId> = FxHashMap::default();
     let mut pending: Vec<PendingLink> = Vec::new();
+    // (node id, port) -> index into `pending`, for O(1) mirror lookup.
+    let mut by_end: FxHashMap<(u32, u16), usize> = FxHashMap::default();
     let mut current: Option<NodeId> = None;
+    let mut num_switches = 0usize;
+    let mut num_terminals = 0usize;
 
     for (i, raw) in input.lines().enumerate() {
         let ln = i + 1;
+        limits.check_line(ln, raw.len())?;
         // Strip comments; the '#' inside quoted strings does not occur in
         // the fields we parse (GUIDs are hex).
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -80,64 +93,118 @@ pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
             let nports: u16 = parts
                 .next()
                 .and_then(|p| p.parse().ok())
-                .ok_or_else(|| err(ln, "missing port count"))?;
-            let guid = parse_quoted(parts.next().unwrap_or(""))
-                .ok_or_else(|| err(ln, "missing quoted GUID"))?;
-            if nodes.contains_key(&guid) {
-                return Err(err(ln, format!("duplicate node {guid}")));
+                .ok_or_else(|| err(ln, ParseErrorKind::Missing { what: "port count" }))?;
+            limits.check_ports(ln, nports)?;
+            let (guid, _) = parse_quoted(parts.next().unwrap_or("")).ok_or_else(|| {
+                err(
+                    ln,
+                    ParseErrorKind::Missing {
+                        what: "quoted GUID",
+                    },
+                )
+            })?;
+            if nodes.contains_key(guid) {
+                return Err(err(ln, ParseErrorKind::DuplicateNode { name: clip(guid) }));
             }
-            let id = b.add_node(kind, guid.clone(), nports);
-            nodes.insert(guid, id);
+            match kind {
+                NodeKind::Switch => num_switches += 1,
+                NodeKind::Terminal => num_terminals += 1,
+            }
+            limits.check_nodes(ln, num_switches, num_terminals)?;
+            let id = b.add_node(kind, guid.to_string(), nports);
+            nodes.insert(guid.to_string(), id);
             current = Some(id);
         } else if line.starts_with('[') {
-            let node = current.ok_or_else(|| err(ln, "port line before any node"))?;
-            let (port, rest) =
-                parse_bracketed(line).ok_or_else(|| err(ln, "malformed port specifier"))?;
-            let rest = rest.trim_start();
-            let peer = parse_quoted(rest).ok_or_else(|| err(ln, "missing peer GUID"))?;
-            let after_quote = &rest[peer.len() + 2..];
+            let node = current.ok_or_else(|| {
+                err(
+                    ln,
+                    ParseErrorKind::Structure {
+                        detail: "port line before any node".into(),
+                    },
+                )
+            })?;
+            let (port, rest) = parse_bracketed(line).ok_or_else(|| {
+                err(
+                    ln,
+                    ParseErrorKind::BadToken {
+                        what: "port specifier",
+                        token: clip(line),
+                    },
+                )
+            })?;
+            let (peer, after_quote) = parse_quoted(rest)
+                .ok_or_else(|| err(ln, ParseErrorKind::Missing { what: "peer GUID" }))?;
             let (peer_port, _) = parse_bracketed(after_quote.trim_start())
-                .ok_or_else(|| err(ln, "missing peer port"))?;
+                .ok_or_else(|| err(ln, ParseErrorKind::Missing { what: "peer port" }))?;
+            if by_end.contains_key(&(node.0, port)) {
+                return Err(err(
+                    ln,
+                    ParseErrorKind::Structure {
+                        detail: format!("port [{port}] listed twice for the same node"),
+                    },
+                ));
+            }
+            by_end.insert((node.0, port), pending.len());
             pending.push(PendingLink {
                 line: ln,
                 from: node,
                 from_port: port,
-                to_guid: peer,
+                to_guid: peer.to_string(),
                 to_port: peer_port,
             });
         } else {
-            return Err(err(ln, format!("unrecognized line: {line}")));
+            let token = line.split_whitespace().next().unwrap_or(line);
+            return Err(err(
+                ln,
+                ParseErrorKind::UnknownKeyword { token: clip(token) },
+            ));
         }
     }
 
-    // Pair up the two sides of each cable.
-    let mut done: FxHashSet<(u32, u16)> = FxHashSet::default();
+    // Pair up the two sides of each cable. Each side looks up its mirror
+    // through the (node, port) index — O(1) per cable end.
+    let mut done: rustc_hash::FxHashSet<(u32, u16)> = rustc_hash::FxHashSet::default();
     for link in &pending {
         if done.contains(&(link.from.0, link.from_port)) {
             continue;
         }
-        let to = *nodes
-            .get(&link.to_guid)
-            .ok_or_else(|| err(link.line, format!("unknown peer {}", link.to_guid)))?;
+        let to = *nodes.get(&link.to_guid).ok_or_else(|| {
+            err(
+                link.line,
+                ParseErrorKind::Structure {
+                    detail: format!("unknown peer {}", clip(&link.to_guid)),
+                },
+            )
+        })?;
         // The mirror record must exist and agree.
-        let mirror = pending
-            .iter()
-            .find(|m| m.from == to && m.from_port == link.to_port);
+        let mirror = by_end.get(&(to.0, link.to_port)).map(|&i| &pending[i]);
         match mirror {
             Some(m) if nodes.get(&m.to_guid) == Some(&link.from) && m.to_port == link.from_port => {
             }
             _ => {
                 return Err(err(
                     link.line,
-                    format!(
-                        "one-sided cable: {}[{}] -> {}[{}]",
-                        link.from.0, link.from_port, link.to_guid, link.to_port
-                    ),
+                    ParseErrorKind::Structure {
+                        detail: format!(
+                            "one-sided cable: {}[{}] -> {}[{}]",
+                            link.from.0,
+                            link.from_port,
+                            clip(&link.to_guid),
+                            link.to_port
+                        ),
+                    },
                 ))
             }
         }
         b.link_at(link.from, link.from_port, to, link.to_port)
-            .map_err(|e| err(link.line, e.to_string()))?;
+            .map_err(|e| {
+                err(
+                    link.line,
+                    ParseErrorKind::Structure {
+                        detail: e.to_string(),
+                    },
+                )
+            })?;
         done.insert((link.from.0, link.from_port));
         done.insert((to.0, link.to_port));
     }
@@ -148,13 +215,14 @@ pub fn parse_ibnetdiscover(input: &str) -> Result<Network, ParseError> {
 /// [`parse_ibnetdiscover`] up to comments).
 pub fn write_ibnetdiscover(net: &Network) -> String {
     use std::fmt::Write as _;
+    // Writes into a String cannot fail; results discarded explicitly.
     let mut out = String::new();
     for (id, node) in net.nodes() {
         let kw = match node.kind {
             NodeKind::Switch => "Switch",
             NodeKind::Terminal => "Ca",
         };
-        writeln!(out, "{kw} {} \"{}\"", node.max_ports, node.name).unwrap();
+        let _ = writeln!(out, "{kw} {} \"{}\"", node.max_ports, node.name);
         let mut ports: Vec<_> = net
             .out_channels(id)
             .iter()
@@ -162,26 +230,25 @@ pub fn write_ibnetdiscover(net: &Network) -> String {
             .collect();
         ports.sort_by_key(|ch| ch.src_port);
         for ch in ports {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "[{}] \"{}\"[{}]",
                 ch.src_port,
                 net.node(ch.dst).name,
                 ch.dst_port
-            )
-            .unwrap();
+            );
         }
         out.push('\n');
     }
     out
 }
 
-/// `"S-0008f1..."` → the unquoted content.
-fn parse_quoted(s: &str) -> Option<String> {
+/// `"S-0008f1..." trailing` → `(unquoted content, trailing)`.
+fn parse_quoted(s: &str) -> Option<(&str, &str)> {
     let s = s.trim_start();
     let rest = s.strip_prefix('"')?;
     let end = rest.find('"')?;
-    Some(rest[..end].to_string())
+    Some((&rest[..end], &rest[end + 1..]))
 }
 
 /// `[7] trailing` → `(7, " trailing")`.
@@ -242,7 +309,8 @@ Switch 4 "S-0001"
 Ca 1 "H-0001"
 "#;
         let e = parse_ibnetdiscover(bad).unwrap_err();
-        assert!(e.msg.contains("one-sided"), "{e}");
+        assert!(e.to_string().contains("one-sided"), "{e}");
+        assert!(matches!(e.kind, ParseErrorKind::Structure { .. }));
     }
 
     #[test]
@@ -263,7 +331,46 @@ Switch 4 "S-0001"
 [1] "H-0404"[1]
 "#;
         let e = parse_ibnetdiscover(bad).unwrap_err();
-        assert!(e.msg.contains("unknown peer"), "{e}");
+        assert!(e.to_string().contains("unknown peer"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_port_line_rejected() {
+        let bad = r#"
+Switch 4 "S-0001"
+[1] "H-0001"[1]
+[1] "H-0001"[1]
+Ca 1 "H-0001"
+[1] "S-0001"[1]
+"#;
+        let e = parse_ibnetdiscover(bad).unwrap_err();
+        assert!(e.to_string().contains("listed twice"), "{e}");
+    }
+
+    #[test]
+    fn limits_bound_the_dump() {
+        let limits = FormatLimits {
+            max_ports: 3,
+            ..FormatLimits::default()
+        };
+        let e = parse_ibnetdiscover_with(SAMPLE, &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded { what: "ports", .. }
+        ));
+
+        let limits = FormatLimits {
+            max_terminals: 2,
+            ..FormatLimits::default()
+        };
+        let e = parse_ibnetdiscover_with(SAMPLE, &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "terminals",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,27 +1,651 @@
 //! JSON round-tripping for [`Network`] and [`Routes`].
+//!
+//! The workspace's serde/serde_json are offline stand-ins (see DESIGN.md
+//! §4), so this module carries its own strict JSON reader/writer. That
+//! turns out to be the right shape for hardening anyway: a JSON artifact
+//! is untrusted input, and instead of deserializing the graph's internal
+//! arrays verbatim (index maps, adjacency lists, reverse-channel ids — a
+//! hostile document can make all of them lie), the reader re-derives the
+//! network through [`crate::NetworkBuilder`], so every invariant is
+//! re-established or the document is rejected with a typed
+//! [`ParseError`].
+//!
+//! Schema (`network_to_json`):
+//!
+//! ```json
+//! {"label": "ring",
+//!  "nodes": [{"kind": "switch", "name": "s0", "ports": 36,
+//!             "coord": [0, 1], "level": 2}],
+//!  "cables": [{"src": 0, "src_port": 1, "dst": 1, "dst_port": 1,
+//!              "bidi": true}]}
+//! ```
+//!
+//! Cable endpoints are indices into `nodes`; `bidi: true` is a paired
+//! cable (two channels), `false` a single directed channel. Routes
+//! (`routes_to_json`) serialize as next-hop channel ids (`null` = unset)
+//! plus the per-pair virtual-layer table:
+//!
+//! ```json
+//! {"engine": "dfsssp", "num_terminals": 2, "num_layers": 1,
+//!  "next": [[null, 0], [1, null]], "vl": [0, 0, 0, 0]}
+//! ```
 
-use crate::{Network, Routes};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-/// Serialize a network to a JSON string.
-pub fn network_to_json(net: &Network) -> String {
-    serde_json::to_string(net).expect("network serialization cannot fail")
+use super::error::{FormatLimits, ParseError, ParseErrorKind};
+use crate::{Network, NetworkBuilder, NodeId, NodeKind, Routes};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth accepted by the reader. The schema needs 3;
+/// anything deeper is a hostile `[[[[…` stack-overflow attempt.
+const MAX_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
-/// Parse a network from JSON and validate its internal consistency.
-pub fn network_from_json(s: &str) -> Result<Network, String> {
-    let net: Network = serde_json::from_str(s).map_err(|e| e.to_string())?;
-    net.validate()?;
+/// Serialize a network to a JSON string (inverse of
+/// [`network_from_json`]).
+pub fn network_to_json(net: &Network) -> String {
+    let mut out = String::from("{\"label\":");
+    write_str(&mut out, net.label());
+    out.push_str(",\"nodes\":[");
+    for (i, (_, node)) in net.nodes().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match node.kind {
+            NodeKind::Switch => "switch",
+            NodeKind::Terminal => "terminal",
+        };
+        let _ = write!(out, "{{\"kind\":\"{kind}\",\"name\":");
+        write_str(&mut out, &node.name);
+        let _ = write!(out, ",\"ports\":{}", node.max_ports);
+        if let Some(c) = &node.coord {
+            out.push_str(",\"coord\":[");
+            for (j, x) in c.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{x}");
+            }
+            out.push(']');
+        }
+        if let Some(l) = node.level {
+            let _ = write!(out, ",\"level\":{l}");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"cables\":[");
+    let mut written = vec![false; net.num_channels()];
+    let mut first = true;
+    for (id, ch) in net.channels() {
+        if written[id.idx()] {
+            continue;
+        }
+        written[id.idx()] = true;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let bidi = match ch.rev {
+            Some(r) => {
+                written[r.idx()] = true;
+                true
+            }
+            None => false,
+        };
+        let _ = write!(
+            out,
+            "{{\"src\":{},\"src_port\":{},\"dst\":{},\"dst_port\":{},\"bidi\":{bidi}}}",
+            ch.src.0, ch.src_port, ch.dst.0, ch.dst_port
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialize routes to a JSON string (inverse of [`routes_from_json`]).
+pub fn routes_to_json(routes: &Routes) -> String {
+    let nt = routes.num_terminals();
+    let mut out = String::from("{\"engine\":");
+    write_str(&mut out, routes.engine());
+    let _ = write!(
+        out,
+        ",\"num_terminals\":{nt},\"num_layers\":{},\"next\":[",
+        routes.num_layers()
+    );
+    for node in 0..routes.num_nodes() {
+        if node > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for t in 0..nt {
+            if t > 0 {
+                out.push(',');
+            }
+            match routes.next_hop(NodeId(node as u32), t) {
+                Some(c) => {
+                    let _ = write!(out, "{}", c.0);
+                }
+                None => out.push_str("null"),
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("],\"vl\":[");
+    for src_t in 0..nt {
+        for dst_t in 0..nt {
+            if src_t + dst_t > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", routes.layer(src_t, dst_t));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Readers
+// ---------------------------------------------------------------------
+
+/// Parse a network from JSON with default [`FormatLimits`].
+pub fn network_from_json(s: &str) -> Result<Network, ParseError> {
+    network_from_json_with(s, &FormatLimits::default())
+}
+
+/// Parse a network from JSON, enforcing `limits`. The graph is rebuilt
+/// through [`NetworkBuilder`], so port collisions, dangling endpoints and
+/// self-loops in the document surface as typed structural errors.
+pub fn network_from_json_with(s: &str, limits: &FormatLimits) -> Result<Network, ParseError> {
+    limits.check_input(s.len())?;
+    let doc = parse_value(s)?;
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| s_err("top-level value is not an object"))?;
+
+    let label = match obj.get("label") {
+        None => "",
+        Some(v) => v.as_str().ok_or_else(|| s_err("`label` is not a string"))?,
+    };
+    let nodes = want_arr(obj, "nodes")?;
+    let cables = want_arr(obj, "cables")?;
+
+    let mut b = NetworkBuilder::new();
+    b.label(label);
+    let (mut num_switches, mut num_terminals) = (0usize, 0usize);
+    for (i, node) in nodes.iter().enumerate() {
+        let node = node
+            .as_obj()
+            .ok_or_else(|| s_err(format!("node {i} is not an object")))?;
+        let kind = match want_str(node, "kind", i)? {
+            "switch" => NodeKind::Switch,
+            "terminal" => NodeKind::Terminal,
+            other => return Err(s_err(format!("node {i}: unknown kind `{other}`"))),
+        };
+        match kind {
+            NodeKind::Switch => num_switches += 1,
+            NodeKind::Terminal => num_terminals += 1,
+        }
+        limits.check_nodes(0, num_switches, num_terminals)?;
+        let name = want_str(node, "name", i)?;
+        let ports = want_u64(node, "ports", i, u16::MAX as u64)? as u16;
+        limits.check_ports(0, ports)?;
+        let id = b.add_node(kind, name.to_string(), ports);
+        if let Some(v) = node.get("coord") {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| s_err(format!("node {i}: `coord` is not an array")))?;
+            limits.check_coord(0, arr.len())?;
+            let coord = arr
+                .iter()
+                .map(|x| x.as_u64().filter(|&x| x <= u16::MAX as u64))
+                .collect::<Option<Vec<u64>>>()
+                .ok_or_else(|| s_err(format!("node {i}: bad coord component")))?;
+            b.set_coord(id, coord.into_iter().map(|x| x as u16).collect());
+        }
+        if let Some(v) = node.get("level") {
+            let level = v
+                .as_u64()
+                .filter(|&l| l <= u8::MAX as u64)
+                .ok_or_else(|| s_err(format!("node {i}: bad level")))?;
+            b.set_level(id, level as u8);
+        }
+    }
+    for (i, cable) in cables.iter().enumerate() {
+        let cable = cable
+            .as_obj()
+            .ok_or_else(|| s_err(format!("cable {i} is not an object")))?;
+        let src = want_u64(cable, "src", i, u32::MAX as u64 - 1)? as u32;
+        let dst = want_u64(cable, "dst", i, u32::MAX as u64 - 1)? as u32;
+        let sp = want_u64(cable, "src_port", i, u16::MAX as u64)? as u16;
+        let dp = want_u64(cable, "dst_port", i, u16::MAX as u64)? as u16;
+        let bidi = match cable.get("bidi") {
+            None => true,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| s_err(format!("cable {i}: `bidi` is not a bool")))?,
+        };
+        let res = if bidi {
+            b.link_at(NodeId(src), sp, NodeId(dst), dp).map(|_| ())
+        } else {
+            b.add_channel_at(NodeId(src), sp, NodeId(dst), dp)
+                .map(|_| ())
+        };
+        res.map_err(|e| s_err(format!("cable {i}: {e}")))?;
+    }
+    let net = b.build();
+    // Builder output is consistent by construction; keep the check as a
+    // backstop so a builder regression cannot ship a bad artifact.
+    net.validate().map_err(s_err)?;
     Ok(net)
 }
 
-/// Serialize routes to a JSON string.
-pub fn routes_to_json(routes: &Routes) -> String {
-    serde_json::to_string(routes).expect("routes serialization cannot fail")
+/// Parse routes from JSON with default [`FormatLimits`].
+pub fn routes_from_json(s: &str) -> Result<Routes, ParseError> {
+    routes_from_json_with(s, &FormatLimits::default())
 }
 
-/// Parse routes from JSON.
-pub fn routes_from_json(s: &str) -> Result<Routes, String> {
-    serde_json::from_str(s).map_err(|e| e.to_string())
+/// Parse routes from JSON, enforcing `limits`. Table shapes (row widths,
+/// the `vl` matrix size, layer range) are validated before construction,
+/// so a corrupt artifact is rejected instead of panicking downstream.
+pub fn routes_from_json_with(s: &str, limits: &FormatLimits) -> Result<Routes, ParseError> {
+    limits.check_input(s.len())?;
+    let doc = parse_value(s)?;
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| s_err("top-level value is not an object"))?;
+    let engine = match obj.get("engine") {
+        None => "unknown",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| s_err("`engine` is not a string"))?,
+    };
+    let nt = obj
+        .get("num_terminals")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| s_err("missing or bad `num_terminals`"))? as usize;
+    let next_rows = want_arr(obj, "next")?;
+    limits.check_nodes(0, next_rows.len().saturating_sub(nt), nt)?;
+    let mut next = Vec::with_capacity(next_rows.len());
+    for (i, row) in next_rows.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or_else(|| s_err(format!("next[{i}] is not an array")))?;
+        let mut out = Vec::with_capacity(row.len());
+        for v in row {
+            out.push(match v {
+                Value::Null => crate::graph::NONE_U32,
+                v => v
+                    .as_u64()
+                    .filter(|&c| c < crate::graph::NONE_U32 as u64)
+                    .ok_or_else(|| s_err(format!("next[{i}]: bad channel id")))?
+                    as u32,
+            });
+        }
+        next.push(out);
+    }
+    let vl_vals = want_arr(obj, "vl")?;
+    let mut vl = Vec::with_capacity(vl_vals.len());
+    for v in vl_vals {
+        vl.push(
+            v.as_u64()
+                .filter(|&l| l <= 254)
+                .ok_or_else(|| s_err("vl: virtual layer out of range (0..=254)"))?
+                as u8,
+        );
+    }
+    let routes = Routes::from_raw(next, vl, nt, engine.to_string()).map_err(s_err)?;
+    if let Some(v) = obj.get("num_layers") {
+        let claimed = v
+            .as_u64()
+            .ok_or_else(|| s_err("`num_layers` is not a number"))?;
+        if claimed != routes.num_layers() as u64 {
+            return Err(s_err(format!(
+                "`num_layers` is {claimed} but the vl table implies {}",
+                routes.num_layers()
+            )));
+        }
+    }
+    Ok(routes)
+}
+
+/// A structural (schema-level) rejection; positions are lost once the
+/// document is a value tree, so these anchor to the whole input.
+fn s_err(detail: impl Into<String>) -> ParseError {
+    ParseError::whole_input(ParseErrorKind::Structure {
+        detail: detail.into(),
+    })
+}
+
+fn want_arr<'v>(
+    obj: &'v BTreeMap<String, Value>,
+    key: &'static str,
+) -> Result<&'v [Value], ParseError> {
+    obj.get(key)
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| s_err(format!("missing or non-array `{key}`")))
+}
+
+fn want_str<'v>(
+    obj: &'v BTreeMap<String, Value>,
+    key: &str,
+    i: usize,
+) -> Result<&'v str, ParseError> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| s_err(format!("entry {i}: missing or non-string `{key}`")))
+}
+
+fn want_u64(
+    obj: &BTreeMap<String, Value>,
+    key: &str,
+    i: usize,
+    max: u64,
+) -> Result<u64, ParseError> {
+    obj.get(key)
+        .and_then(|v| v.as_u64())
+        .filter(|&v| v <= max)
+        .ok_or_else(|| s_err(format!("entry {i}: missing or out-of-range `{key}`")))
+}
+
+// ---------------------------------------------------------------------
+// The JSON value parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep the last value for duplicate keys.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error. Syntax
+/// errors carry the 1-based line/column of the offending byte.
+fn parse_value(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    /// A positioned syntax error at the current byte.
+    fn err(&self, detail: impl Into<String>) -> ParseError {
+        let upto = &self.input[..self.pos.min(self.input.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto
+            .rsplit('\n')
+            .next()
+            .map_or(1, |tail| tail.chars().count() + 1);
+        ParseError::new(
+            line,
+            ParseErrorKind::Json {
+                detail: detail.into(),
+            },
+        )
+        .at_column(col)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Lone surrogates map to U+FFFD; our writer
+                            // never produces surrogate pairs.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(self.err(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar; `input` is a &str, so the
+                    // current position sits on a boundary whenever we get
+                    // here (escapes and quotes are single bytes).
+                    let Some(c) = self.input.get(self.pos..).and_then(|s| s.chars().next()) else {
+                        return Err(self.err("malformed UTF-8 sequence"));
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = self.input.get(start..self.pos).unwrap_or_default();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
 }
 
 #[cfg(test)]
@@ -34,19 +658,108 @@ mod tests {
         let net = topo::ring(5, 2);
         let json = network_to_json(&net);
         let back = network_from_json(&json).unwrap();
+        back.validate().unwrap();
         assert_eq!(back.num_nodes(), net.num_nodes());
         assert_eq!(back.num_channels(), net.num_channels());
         assert_eq!(back.label(), net.label());
+        for ((_, a), (_, b)) in net.nodes().zip(back.nodes()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.max_ports, b.max_ports);
+            assert_eq!(a.coord, b.coord);
+            assert_eq!(a.level, b.level);
+        }
         for ((_, a), (_, b)) in net.channels().zip(back.channels()) {
             assert_eq!(a.src, b.src);
             assert_eq!(a.dst, b.dst);
+            assert_eq!(a.src_port, b.src_port);
+            assert_eq!(a.dst_port, b.dst_port);
             assert_eq!(a.rev, b.rev);
         }
     }
 
     #[test]
-    fn corrupt_json_is_rejected() {
-        assert!(network_from_json("{not json").is_err());
+    fn tree_with_coords_round_trips() {
+        let net = topo::kary_ntree(2, 3);
+        let back = network_from_json(&network_to_json(&net)).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.num_channels(), net.num_channels());
+        for ((_, a), (_, b)) in net.nodes().zip(back.nodes()) {
+            assert_eq!(a.coord, b.coord);
+            assert_eq!(a.level, b.level);
+        }
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected_with_position() {
+        let e = network_from_json("{not json").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Json { .. }));
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, Some(2));
+
+        let e = network_from_json("{\"label\": \"x\",\n  ?}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, Some(3));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowing() {
+        let hostile = "[".repeat(100_000);
+        let e = network_from_json(&hostile).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Json { .. }));
+        assert!(e.to_string().contains("nesting"));
+    }
+
+    #[test]
+    fn inconsistent_network_is_rejected_not_panicking() {
+        // Structurally valid JSON whose contents no builder would
+        // produce: a cable to a node that does not exist, a port
+        // collision, and a self-loop.
+        let nodes = r#""nodes":[{"kind":"switch","name":"s0","ports":4},
+                                 {"kind":"switch","name":"s1","ports":4}]"#;
+        for cables in [
+            r#"[{"src":0,"src_port":1,"dst":99,"dst_port":1,"bidi":true}]"#,
+            r#"[{"src":0,"src_port":1,"dst":1,"dst_port":1,"bidi":true},
+                {"src":0,"src_port":1,"dst":1,"dst_port":2,"bidi":true}]"#,
+            r#"[{"src":0,"src_port":1,"dst":0,"dst_port":2,"bidi":true}]"#,
+        ] {
+            let doc = format!("{{{nodes},\"cables\":{cables}}}");
+            let e = network_from_json(&doc).unwrap_err();
+            assert!(
+                matches!(e.kind, ParseErrorKind::Structure { .. }),
+                "{doc} -> {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn limits_apply_to_json_networks() {
+        let net = topo::ring(5, 1);
+        let json = network_to_json(&net);
+        let limits = FormatLimits {
+            max_switches: 2,
+            ..FormatLimits::default()
+        };
+        let e = network_from_json_with(&json, &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "switches",
+                ..
+            }
+        ));
+        let limits = FormatLimits {
+            max_input_len: 8,
+            ..FormatLimits::default()
+        };
+        let e = network_from_json_with(&json, &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "input length",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -54,13 +767,36 @@ mod tests {
         let net = topo::ring(4, 1);
         let mut r = Routes::new(&net, "test");
         let t0 = net.terminals()[0];
-        let s0 = net.channel(net.out_channels(t0)[0]).dst;
         r.set_next(t0, 1, net.out_channels(t0)[0]);
         r.set_layer(0, 1, 2);
         let back = routes_from_json(&routes_to_json(&r)).unwrap();
+        assert_eq!(back.engine(), "test");
         assert_eq!(back.num_layers(), 3);
         assert_eq!(back.layer(0, 1), 2);
         assert_eq!(back.next_hop(t0, 1), r.next_hop(t0, 1));
-        let _ = s0;
+        assert_eq!(back.num_terminals(), r.num_terminals());
+        assert_eq!(back.num_nodes(), r.num_nodes());
+    }
+
+    #[test]
+    fn corrupt_routes_are_rejected_not_panicking() {
+        for doc in [
+            // vl matrix too short for num_terminals.
+            r#"{"num_terminals":2,"next":[[null,null],[null,null]],"vl":[0]}"#,
+            // Ragged next rows.
+            r#"{"num_terminals":2,"next":[[null],[null,null]],"vl":[0,0,0,0]}"#,
+            // Layer out of the representable range.
+            r#"{"num_terminals":1,"next":[[null]],"vl":[255]}"#,
+            // num_layers contradicts the vl table.
+            r#"{"num_terminals":1,"num_layers":7,"next":[[null]],"vl":[0]}"#,
+            // Channel id colliding with the NONE sentinel.
+            r#"{"num_terminals":1,"next":[[4294967295]],"vl":[0]}"#,
+        ] {
+            let e = routes_from_json(doc).unwrap_err();
+            assert!(
+                matches!(e.kind, ParseErrorKind::Structure { .. }),
+                "{doc} -> {e}"
+            );
+        }
     }
 }

@@ -8,93 +8,150 @@
 //! link s0 t0          # bidirectional cable, ports auto-assigned
 //! channel s0 s1       # unidirectional channel
 //! ```
+//!
+//! The parser treats its input as untrusted: every rejection is a typed
+//! [`ParseError`] with line (and, where known, column) information, and
+//! [`parse_network_with`] enforces [`FormatLimits`] so a hostile stream
+//! cannot panic or OOM the loader.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use super::error::{clip, column_of, FormatLimits, ParseError, ParseErrorKind};
 use crate::{Network, NetworkBuilder, NodeId};
 use rustc_hash::FxHashMap;
 use std::fmt::Write as _;
 
-/// Error raised while parsing the text format.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// Problem description.
-    pub msg: String,
+fn err(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError::new(line, kind)
 }
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-fn err(line: usize, msg: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        msg: msg.into(),
-    }
-}
-
-/// Parse a network from the text format.
+/// Parse a network from the text format with default [`FormatLimits`].
 pub fn parse_network(input: &str) -> Result<Network, ParseError> {
+    parse_network_with(input, &FormatLimits::default())
+}
+
+/// Parse a network from the text format, enforcing `limits`.
+pub fn parse_network_with(input: &str, limits: &FormatLimits) -> Result<Network, ParseError> {
+    limits.check_input(input.len())?;
     let mut b = NetworkBuilder::new();
     let mut names: FxHashMap<String, NodeId> = FxHashMap::default();
-    let lookup = |names: &FxHashMap<String, NodeId>, name: &str, ln: usize| {
-        names
-            .get(name)
-            .copied()
-            .ok_or_else(|| err(ln, format!("unknown node {name}")))
+    let mut num_switches = 0usize;
+    let mut num_terminals = 0usize;
+    let lookup = |names: &FxHashMap<String, NodeId>, name: &str, ln: usize, raw: &str| {
+        names.get(name).copied().ok_or_else(|| {
+            let mut e = err(ln, ParseErrorKind::UnknownNode { name: clip(name) });
+            if let Some(c) = column_of(raw, name) {
+                e = e.at_column(c);
+            }
+            e
+        })
     };
     for (i, raw) in input.lines().enumerate() {
         let ln = i + 1;
+        limits.check_line(ln, raw.len())?;
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let kw = parts.next().unwrap();
+        let Some(kw) = parts.next() else { continue };
         match kw {
             "label" => {
                 let rest = line["label".len()..].trim();
                 b.label(rest);
             }
             "switch" | "terminal" => {
-                let name = parts
+                let name_tok = parts
                     .next()
-                    .ok_or_else(|| err(ln, "missing node name"))?
-                    .to_string();
-                if names.contains_key(&name) {
-                    return Err(err(ln, format!("duplicate node {name}")));
+                    .ok_or_else(|| err(ln, ParseErrorKind::Missing { what: "node name" }))?;
+                if names.contains_key(name_tok) {
+                    let mut e = err(
+                        ln,
+                        ParseErrorKind::DuplicateNode {
+                            name: clip(name_tok),
+                        },
+                    );
+                    if let Some(c) = column_of(raw, name_tok) {
+                        e = e.at_column(c);
+                    }
+                    return Err(e);
                 }
+                let name = name_tok.to_string();
                 let mut ports: u16 = if kw == "switch" { 36 } else { 2 };
                 let mut coord = None;
                 let mut level = None;
                 for opt in parts {
-                    let (key, val) = opt
-                        .split_once('=')
-                        .ok_or_else(|| err(ln, format!("bad option {opt}")))?;
+                    let col = column_of(raw, opt);
+                    let at = |mut e: ParseError| {
+                        if let Some(c) = col {
+                            e = e.at_column(c);
+                        }
+                        e
+                    };
+                    let (key, val) = opt.split_once('=').ok_or_else(|| {
+                        at(err(
+                            ln,
+                            ParseErrorKind::BadToken {
+                                what: "option",
+                                token: clip(opt),
+                            },
+                        ))
+                    })?;
                     match key {
                         "ports" => {
-                            ports = val
-                                .parse()
-                                .map_err(|_| err(ln, format!("bad port count {val}")))?;
+                            ports = val.parse().map_err(|_| {
+                                at(err(
+                                    ln,
+                                    ParseErrorKind::BadToken {
+                                        what: "port count",
+                                        token: clip(val),
+                                    },
+                                ))
+                            })?;
+                            limits.check_ports(ln, ports)?;
                         }
                         "coord" => {
+                            limits.check_coord(ln, val.split(',').count())?;
                             let c: Result<Vec<u16>, _> =
                                 val.split(',').map(|x| x.parse()).collect();
-                            coord = Some(c.map_err(|_| err(ln, format!("bad coord {val}")))?);
+                            coord = Some(c.map_err(|_| {
+                                at(err(
+                                    ln,
+                                    ParseErrorKind::BadToken {
+                                        what: "coord",
+                                        token: clip(val),
+                                    },
+                                ))
+                            })?);
                         }
                         "level" => {
-                            level = Some(
-                                val.parse()
-                                    .map_err(|_| err(ln, format!("bad level {val}")))?,
-                            );
+                            level = Some(val.parse().map_err(|_| {
+                                at(err(
+                                    ln,
+                                    ParseErrorKind::BadToken {
+                                        what: "level",
+                                        token: clip(val),
+                                    },
+                                ))
+                            })?);
                         }
-                        _ => return Err(err(ln, format!("unknown option {key}"))),
+                        _ => {
+                            return Err(at(err(
+                                ln,
+                                ParseErrorKind::BadToken {
+                                    what: "option key",
+                                    token: clip(key),
+                                },
+                            )))
+                        }
                     }
                 }
+                if kw == "switch" {
+                    num_switches += 1;
+                } else {
+                    num_terminals += 1;
+                }
+                limits.check_nodes(ln, num_switches, num_terminals)?;
                 let id = if kw == "switch" {
                     b.add_switch(name.clone(), ports)
                 } else {
@@ -109,18 +166,35 @@ pub fn parse_network(input: &str) -> Result<Network, ParseError> {
                 names.insert(name, id);
             }
             "link" | "channel" => {
-                let a = parts.next().ok_or_else(|| err(ln, "missing endpoint"))?;
-                let c = parts.next().ok_or_else(|| err(ln, "missing endpoint"))?;
-                let a = lookup(&names, a, ln)?;
-                let c = lookup(&names, c, ln)?;
+                let a = parts
+                    .next()
+                    .ok_or_else(|| err(ln, ParseErrorKind::Missing { what: "endpoint" }))?;
+                let c = parts
+                    .next()
+                    .ok_or_else(|| err(ln, ParseErrorKind::Missing { what: "endpoint" }))?;
+                let a = lookup(&names, a, ln, raw)?;
+                let c = lookup(&names, c, ln, raw)?;
                 let res = if kw == "link" {
                     b.link(a, c).map(|_| ())
                 } else {
                     b.add_channel(a, c).map(|_| ())
                 };
-                res.map_err(|e| err(ln, e.to_string()))?;
+                res.map_err(|e| {
+                    err(
+                        ln,
+                        ParseErrorKind::Structure {
+                            detail: e.to_string(),
+                        },
+                    )
+                })?;
             }
-            _ => return Err(err(ln, format!("unknown keyword {kw}"))),
+            _ => {
+                let mut e = err(ln, ParseErrorKind::UnknownKeyword { token: clip(kw) });
+                if let Some(c) = column_of(raw, kw) {
+                    e = e.at_column(c);
+                }
+                return Err(e);
+            }
         }
     }
     Ok(b.build())
@@ -129,29 +203,30 @@ pub fn parse_network(input: &str) -> Result<Network, ParseError> {
 /// Write a network in the text format (inverse of [`parse_network`] up to
 /// port renumbering).
 pub fn write_network(net: &Network) -> String {
+    // Writes into a String cannot fail; the results are discarded
+    // explicitly so this path stays free of unwrap.
     let mut out = String::new();
     if !net.label().is_empty() {
-        writeln!(out, "label {}", net.label()).unwrap();
+        let _ = writeln!(out, "label {}", net.label());
     }
     for (_, node) in net.nodes() {
         let kw = match node.kind {
             crate::NodeKind::Switch => "switch",
             crate::NodeKind::Terminal => "terminal",
         };
-        write!(out, "{kw} {} ports={}", node.name, node.max_ports).unwrap();
+        let _ = write!(out, "{kw} {} ports={}", node.name, node.max_ports);
         if let Some(c) = &node.coord {
-            write!(
+            let _ = write!(
                 out,
                 " coord={}",
                 c.iter()
                     .map(|x| x.to_string())
                     .collect::<Vec<_>>()
                     .join(",")
-            )
-            .unwrap();
+            );
         }
         if let Some(l) = node.level {
-            write!(out, " level={l}").unwrap();
+            let _ = write!(out, " level={l}");
         }
         out.push('\n');
     }
@@ -166,9 +241,11 @@ pub fn write_network(net: &Network) -> String {
         match ch.rev {
             Some(r) => {
                 written[r.idx()] = true;
-                writeln!(out, "link {a} {c}").unwrap();
+                let _ = writeln!(out, "link {a} {c}");
             }
-            None => writeln!(out, "channel {a} {c}").unwrap(),
+            None => {
+                let _ = writeln!(out, "channel {a} {c}");
+            }
         }
     }
     out
@@ -211,14 +288,27 @@ mod tests {
     fn errors_carry_line_numbers() {
         let e = parse_network("switch s0\nlink s0 nope\n").unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(e.msg.contains("unknown node"));
+        assert!(matches!(e.kind, ParseErrorKind::UnknownNode { .. }));
+        assert!(e.to_string().contains("unknown node"));
 
         let e = parse_network("frobnicate x\n").unwrap_err();
         assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, ParseErrorKind::UnknownKeyword { .. }));
 
         let e = parse_network("switch s0\nswitch s0\n").unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(e.msg.contains("duplicate"));
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        let e = parse_network("switch s0 ports=zap\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, Some(11), "column of the offending option");
+        assert!(e.to_string().contains("bad port count `zap`"));
+
+        let e = parse_network("switch s0\nlink s0 nope\n").unwrap_err();
+        assert_eq!(e.column, Some(9), "column of the dangling name");
     }
 
     #[test]
@@ -226,12 +316,74 @@ mod tests {
         let e = parse_network("switch s0 ports=1\nterminal a\nterminal b\nlink a s0\nlink b s0\n")
             .unwrap_err();
         assert_eq!(e.line, 5);
-        assert!(e.msg.contains("no free port"));
+        assert!(matches!(e.kind, ParseErrorKind::Structure { .. }));
+        assert!(e.to_string().contains("no free port"));
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
         let net = parse_network("\n# a comment\nswitch s0   # trailing\n\n").unwrap();
         assert_eq!(net.num_switches(), 1);
+    }
+
+    #[test]
+    fn limits_bound_nodes_ports_and_lines() {
+        let limits = FormatLimits {
+            max_switches: 2,
+            ..FormatLimits::default()
+        };
+        let input = "switch a\nswitch b\nswitch c\n";
+        let e = parse_network_with(input, &limits).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "switches",
+                ..
+            }
+        ));
+
+        let limits = FormatLimits {
+            max_ports: 8,
+            ..FormatLimits::default()
+        };
+        let e = parse_network_with("switch s ports=9\n", &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded { what: "ports", .. }
+        ));
+
+        let limits = FormatLimits {
+            max_line_len: 16,
+            ..FormatLimits::default()
+        };
+        let e = parse_network_with("switch very_long_switch_name\n", &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "line length",
+                ..
+            }
+        ));
+
+        let limits = FormatLimits {
+            max_coord_dims: 2,
+            ..FormatLimits::default()
+        };
+        let e = parse_network_with("switch s coord=1,2,3\n", &limits).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::LimitExceeded {
+                what: "coord dimensions",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn huge_tokens_are_clipped_in_messages() {
+        let input = format!("switch s ports={}\n", "9".repeat(10_000));
+        let e = parse_network(&input).unwrap_err();
+        assert!(e.to_string().len() < 120, "error stays one short line");
     }
 }

@@ -375,8 +375,28 @@ impl Network {
 
     /// Internal consistency check: adjacency lists, index maps and port
     /// assignments all agree. Used by tests and after file parsing.
+    ///
+    /// This must never panic, whatever the contents: a `Network`
+    /// deserialized from untrusted JSON can be arbitrarily inconsistent
+    /// (short index maps, dangling channel ids, foreign adjacency), so
+    /// every array length is checked before any indexed access.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.nodes.len();
+        let nc = self.channels.len();
+        if self.out_adj.len() != n || self.in_adj.len() != n {
+            return Err(format!(
+                "adjacency arrays cover {}/{} nodes, expected {n}",
+                self.out_adj.len(),
+                self.in_adj.len()
+            ));
+        }
+        if self.terminal_index.len() != n || self.switch_index.len() != n {
+            return Err(format!(
+                "index maps cover {}/{} nodes, expected {n}",
+                self.terminal_index.len(),
+                self.switch_index.len()
+            ));
+        }
         for (i, ch) in self.channels.iter().enumerate() {
             if ch.src.idx() >= n || ch.dst.idx() >= n {
                 return Err(format!("channel c{i} references missing node"));
@@ -385,25 +405,49 @@ impl Network {
                 return Err(format!("channel c{i} is a self-loop"));
             }
             if let Some(r) = ch.rev {
-                let rc = &self.channels[r.idx()];
+                let Some(rc) = self.channels.get(r.idx()) else {
+                    return Err(format!("channel c{i} has a dangling reverse c{}", r.0));
+                };
                 if rc.src != ch.dst || rc.dst != ch.src || rc.rev != Some(ChannelId(i as u32)) {
                     return Err(format!("channel c{i} has inconsistent reverse"));
                 }
             }
         }
+        // Every channel must appear exactly once in out_adj (at its src)
+        // and once in in_adj (at its dst).
+        let mut out_seen = vec![false; nc];
         for (u, outs) in self.out_adj.iter().enumerate() {
             for &c in outs {
-                if self.channels[c.idx()].src.idx() != u {
+                let Some(ch) = self.channels.get(c.idx()) else {
+                    return Err(format!("out_adj of n{u} lists missing channel c{}", c.0));
+                };
+                if ch.src.idx() != u {
                     return Err(format!("out_adj of n{u} lists foreign channel"));
+                }
+                if std::mem::replace(&mut out_seen[c.idx()], true) {
+                    return Err(format!("channel c{} listed twice in out_adj", c.0));
                 }
             }
         }
+        let mut in_seen = vec![false; nc];
         for (u, ins) in self.in_adj.iter().enumerate() {
             for &c in ins {
-                if self.channels[c.idx()].dst.idx() != u {
+                let Some(ch) = self.channels.get(c.idx()) else {
+                    return Err(format!("in_adj of n{u} lists missing channel c{}", c.0));
+                };
+                if ch.dst.idx() != u {
                     return Err(format!("in_adj of n{u} lists foreign channel"));
                 }
+                if std::mem::replace(&mut in_seen[c.idx()], true) {
+                    return Err(format!("channel c{} listed twice in in_adj", c.0));
+                }
             }
+        }
+        if let Some(c) = out_seen.iter().position(|&s| !s) {
+            return Err(format!("channel c{c} missing from out_adj"));
+        }
+        if let Some(c) = in_seen.iter().position(|&s| !s) {
+            return Err(format!("channel c{c} missing from in_adj"));
         }
         // Port usage per node must be within max_ports and unique per
         // direction pair (a bidirectional cable uses the same port number
@@ -427,18 +471,38 @@ impl Network {
                 }
             }
         }
+        let mut want_switches = 0usize;
+        let mut want_terminals = 0usize;
         for (i, node) in self.nodes.iter().enumerate() {
             let ti = self.terminal_index[i];
             let si = self.switch_index[i];
             match node.kind {
-                NodeKind::Terminal if ti == NONE_U32 || si != NONE_U32 => {
-                    return Err(format!("terminal n{i} has bad index maps"));
+                NodeKind::Terminal => {
+                    if ti == NONE_U32 || si != NONE_U32 {
+                        return Err(format!("terminal n{i} has bad index maps"));
+                    }
+                    if self.terminals.get(ti as usize) != Some(&NodeId(i as u32)) {
+                        return Err(format!("terminal n{i} not at terminals[{ti}]"));
+                    }
+                    want_terminals += 1;
                 }
-                NodeKind::Switch if si == NONE_U32 || ti != NONE_U32 => {
-                    return Err(format!("switch n{i} has bad index maps"));
+                NodeKind::Switch => {
+                    if si == NONE_U32 || ti != NONE_U32 {
+                        return Err(format!("switch n{i} has bad index maps"));
+                    }
+                    if self.switches.get(si as usize) != Some(&NodeId(i as u32)) {
+                        return Err(format!("switch n{i} not at switches[{si}]"));
+                    }
+                    want_switches += 1;
                 }
-                _ => {}
             }
+        }
+        if self.switches.len() != want_switches || self.terminals.len() != want_terminals {
+            return Err(format!(
+                "switch/terminal lists hold {}/{} entries, expected {want_switches}/{want_terminals}",
+                self.switches.len(),
+                self.terminals.len()
+            ));
         }
         Ok(())
     }

@@ -20,6 +20,11 @@ pub enum RoutesError {
     NotATerminal(NodeId),
     /// Virtual layer out of range for the configured layer count.
     BadLayer { layer: u8, num_layers: u8 },
+    /// Tables were built for a different network (node or terminal
+    /// counts disagree), e.g. a stale or corrupt artifact.
+    NetworkMismatch { nodes: usize, net_nodes: usize },
+    /// A table entry names a channel the network does not have.
+    BadChannel { node: NodeId, channel: u32 },
 }
 
 impl std::fmt::Display for RoutesError {
@@ -34,6 +39,15 @@ impl std::fmt::Display for RoutesError {
             RoutesError::NotATerminal(n) => write!(f, "{n:?} is not a terminal"),
             RoutesError::BadLayer { layer, num_layers } => {
                 write!(f, "virtual layer {layer} >= layer count {num_layers}")
+            }
+            RoutesError::NetworkMismatch { nodes, net_nodes } => {
+                write!(
+                    f,
+                    "tables sized for {nodes} nodes but the network has {net_nodes}"
+                )
+            }
+            RoutesError::BadChannel { node, channel } => {
+                write!(f, "table entry at {node:?} names missing channel {channel}")
             }
         }
     }
@@ -68,6 +82,43 @@ impl Routes {
             num_terminals: nt,
             engine: engine.into(),
         }
+    }
+
+    /// Rebuild tables from their raw parts (the JSON reader). Shapes are
+    /// validated — uniform `next` rows, a square `vl` matrix, layers in
+    /// the representable range — and `num_layers` is recomputed, so no
+    /// corrupt artifact can construct tables that panic later.
+    pub(crate) fn from_raw(
+        next: Vec<Vec<u32>>,
+        vl: Vec<u8>,
+        num_terminals: usize,
+        engine: String,
+    ) -> Result<Self, String> {
+        for (i, row) in next.iter().enumerate() {
+            if row.len() != num_terminals {
+                return Err(format!(
+                    "next[{i}] has {} entries, expected {num_terminals}",
+                    row.len()
+                ));
+            }
+        }
+        let want = num_terminals
+            .checked_mul(num_terminals)
+            .ok_or("num_terminals overflows the vl matrix")?;
+        if vl.len() != want {
+            return Err(format!("vl has {} entries, expected {want}", vl.len()));
+        }
+        if vl.contains(&u8::MAX) {
+            return Err(format!("virtual layer {} is not representable", u8::MAX));
+        }
+        let num_layers = vl.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Routes {
+            next,
+            vl,
+            num_layers,
+            num_terminals,
+            engine,
+        })
     }
 
     /// Name of the engine that produced these tables.
@@ -125,9 +176,7 @@ impl Routes {
     #[inline]
     pub fn set_layer(&mut self, src_t: usize, dst_t: usize, layer: u8) {
         self.vl[src_t * self.num_terminals + dst_t] = layer;
-        if layer + 1 > self.num_layers {
-            self.num_layers = layer + 1;
-        }
+        self.num_layers = self.num_layers.max(layer.saturating_add(1));
     }
 
     /// Virtual layer of the path `src_t → dst_t` (terminal indices).
@@ -151,6 +200,12 @@ impl Routes {
         src: NodeId,
         dst: NodeId,
     ) -> Result<PathIter<'a>, RoutesError> {
+        if self.num_nodes() != net.num_nodes() || self.num_terminals != net.num_terminals() {
+            return Err(RoutesError::NetworkMismatch {
+                nodes: self.num_nodes(),
+                net_nodes: net.num_nodes(),
+            });
+        }
         let dst_t = net
             .terminal_index(dst)
             .ok_or(RoutesError::NotATerminal(dst))?;
@@ -271,6 +326,12 @@ impl<'a> Iterator for PathIter<'a> {
             None => Some(Err(RoutesError::MissingEntry {
                 node: self.at,
                 dst: self.dst,
+            })),
+            // Loaded artifacts can name channels this network does not
+            // have; report instead of indexing out of bounds.
+            Some(c) if c.idx() >= self.net.num_channels() => Some(Err(RoutesError::BadChannel {
+                node: self.at,
+                channel: c.0,
             })),
             Some(c) => {
                 self.at = self.net.channel(c).dst;
@@ -397,6 +458,39 @@ mod tests {
         let s1 = net.node_by_name("s1").unwrap();
         let c = net.channel_between(s0, s1).unwrap();
         assert_eq!(loads[c.idx()], 2); // t0->t1 and t0->t2
+    }
+
+    #[test]
+    fn stale_tables_are_reported_not_panicking() {
+        let net = line();
+        // Tables sized for a different network.
+        let mut b = NetworkBuilder::new();
+        let s = b.add_switch("s0", 4);
+        let t = b.add_terminal("t0");
+        b.link(s, t).unwrap();
+        let other = b.build();
+        let r = bfs_routes(&net);
+        let t0 = other.node_by_name("t0").unwrap();
+        let err = r.path(&other, t0, t0).err().unwrap();
+        assert!(matches!(err, RoutesError::NetworkMismatch { .. }));
+
+        // Tables naming a channel the network does not have.
+        let nt = net.num_terminals();
+        let next = vec![vec![999u32; nt]; net.num_nodes()];
+        let r = Routes::from_raw(next, vec![0; nt * nt], nt, "corrupt".into()).unwrap();
+        let t0 = net.node_by_name("t0").unwrap();
+        let t1 = net.node_by_name("t1").unwrap();
+        let err = r.path_channels(&net, t0, t1).unwrap_err();
+        assert!(matches!(err, RoutesError::BadChannel { .. }));
+    }
+
+    #[test]
+    fn from_raw_rejects_corrupt_shapes() {
+        assert!(Routes::from_raw(vec![vec![0; 2]], vec![0; 3], 2, "x".into()).is_err());
+        assert!(Routes::from_raw(vec![vec![0; 1]], vec![0; 4], 2, "x".into()).is_err());
+        assert!(Routes::from_raw(vec![vec![0; 1]], vec![255], 1, "x".into()).is_err());
+        let r = Routes::from_raw(vec![vec![0; 1]], vec![3], 1, "x".into()).unwrap();
+        assert_eq!(r.num_layers(), 4);
     }
 
     #[test]

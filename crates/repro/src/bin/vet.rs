@@ -64,7 +64,7 @@ fn main() -> ExitCode {
     };
     let routes = match std::fs::read_to_string(&routes_path)
         .map_err(|e| format!("cannot read {routes_path}: {e}"))
-        .and_then(|json| format::routes_from_json(&json))
+        .and_then(|json| format::routes_from_json(&json).map_err(|e| e.to_string()))
     {
         Ok(r) => r,
         Err(e) => {

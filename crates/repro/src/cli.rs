@@ -140,7 +140,7 @@ impl Cli {
                     "ibnetdiscover" => {
                         format::parse_ibnetdiscover(&input).map_err(|e| e.to_string())?
                     }
-                    "json" => format::network_from_json(&input)?,
+                    "json" => format::network_from_json(&input).map_err(|e| e.to_string())?,
                     other => return Err(format!("unknown format {other}")),
                 }
             }

@@ -15,6 +15,7 @@
 
 pub mod bench;
 pub mod cli;
+pub mod fuzz;
 
 pub use cli::Cli;
 
@@ -144,6 +145,7 @@ pub fn failure_label(e: &RouteError) -> String {
         RouteError::Disconnected => "disconnected".into(),
         RouteError::NeedMoreLayers { .. } => "needs>8VL".into(),
         RouteError::UnsupportedTopology(_) => "n/a".into(),
+        RouteError::BudgetExceeded { .. } => "budget".into(),
     }
 }
 

@@ -1,0 +1,303 @@
+//! Panic containment for the serving path.
+//!
+//! A routing engine is third-party code from the subnet manager's point
+//! of view (OpenSM loads them as plugins): a bug in one must not take
+//! the SM — and with it the whole fabric — down. This module supplies
+//! the two armor pieces [`crate::SmLoop`] wraps around every engine
+//! call:
+//!
+//! * [`contain`] — runs the call under `catch_unwind` and converts a
+//!   panic into the typed [`SmError::EnginePanicked`], so the
+//!   escalation ladder can treat "the engine crashed" exactly like "the
+//!   engine returned an error".
+//! * [`CircuitBreaker`] — the classic closed → open → half-open state
+//!   machine over *consecutive* failures. While open, the loop skips
+//!   the primary engine entirely and serves from the fallback; after a
+//!   cooldown (counted in reroute attempts, not wall time — the loop
+//!   only runs when events arrive) a single probe is let through.
+//! * [`RetryPolicy`] — bounded retries with deterministic, seeded,
+//!   jittered exponential backoff. Determinism matters here: a chaos
+//!   campaign replayed with the same seed must observe the same backoff
+//!   sequence.
+
+use crate::manager::SmError;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Run `f` with panics contained: a panic becomes
+/// [`SmError::EnginePanicked`] carrying the panic message.
+pub fn contain<T>(f: impl FnOnce() -> Result<T, SmError>) -> Result<T, SmError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(SmError::EnginePanicked(panic_message(payload))),
+    }
+}
+
+/// Best-effort extraction of the panic message.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow to the primary engine.
+    Closed,
+    /// Tripped: the primary engine is skipped until the cooldown runs out.
+    Open,
+    /// Cooldown expired: exactly one probe call is allowed through.
+    HalfOpen,
+}
+
+/// A circuit breaker over consecutive primary-engine failures.
+///
+/// `threshold` consecutive failures trip it open; while open,
+/// [`CircuitBreaker::allow`] refuses `cooldown` calls, then moves to
+/// half-open and admits one probe. A successful probe closes the
+/// breaker; a failed one re-opens it for a full cooldown.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    threshold: usize,
+    cooldown: usize,
+    state: BreakerState,
+    consecutive: usize,
+    remaining: usize,
+}
+
+impl Default for CircuitBreaker {
+    /// Three consecutive failures open the breaker for two reroutes.
+    fn default() -> Self {
+        CircuitBreaker::new(3, 2)
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// and cooling down for `cooldown` refused calls. Both are clamped
+    /// to at least 1.
+    pub fn new(threshold: usize, cooldown: usize) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+            state: BreakerState::Closed,
+            consecutive: 0,
+            remaining: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> usize {
+        self.consecutive
+    }
+
+    /// May the next call go to the primary engine? Ticks the cooldown
+    /// while open; the call that exhausts it is admitted as the
+    /// half-open probe.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.remaining = self.remaining.saturating_sub(1);
+                if self.remaining == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful primary call: closes the breaker.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+    }
+
+    /// Record a failed primary call. Returns `true` when this failure
+    /// tripped the breaker open (from closed or from a failed probe).
+    pub fn record_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                self.trip();
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive += 1;
+                if self.consecutive >= self.threshold {
+                    self.trip();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.remaining = self.cooldown;
+        self.consecutive = 0;
+    }
+}
+
+/// Bounded retries with deterministic jittered exponential backoff.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 disables retrying).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter seed: the same seed yields the same backoff sequence.
+    pub seed: u64,
+    /// Actually sleep the backoff. Off by default: simulations and
+    /// tests want the *sequence*, not the wall-clock wait.
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            seed: 0,
+            sleep: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based): exponential with full
+    /// determinism, jittered into `[exp/2, exp]` so simultaneous
+    /// breakers do not thunder in lockstep.
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20) as u32)
+            .min(self.max_backoff);
+        let half = exp / 2;
+        // Jitter fraction in [0, 1) from a splitmix64 step.
+        let frac = (splitmix64(self.seed ^ attempt as u64) >> 11) as f64 / (1u64 << 53) as f64;
+        half + Duration::from_nanos((half.as_nanos() as f64 * frac) as u64)
+    }
+
+    /// Wait out the backoff for retry `attempt` and return it.
+    pub fn pause(&self, attempt: usize) -> Duration {
+        let d = self.backoff(attempt);
+        if self.sleep {
+            std::thread::sleep(d);
+        }
+        d
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contain_passes_results_through() {
+        assert!(contain(|| Ok::<_, SmError>(7)).is_ok());
+        let err = contain(|| -> Result<(), SmError> { Err(SmError::InvalidEvent("x".into())) })
+            .unwrap_err();
+        assert!(matches!(err, SmError::InvalidEvent(_)));
+    }
+
+    #[test]
+    fn contain_converts_panics() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = contain(|| -> Result<(), SmError> { panic!("engine bug {}", 42) }).unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            SmError::EnginePanicked(msg) => assert_eq!(msg, "engine bug 42"),
+            other => panic!("expected EnginePanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut b = CircuitBreaker::new(2, 2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "second failure trips the threshold");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: first call refused, second admitted as the probe.
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(1, 1);
+        assert!(b.record_failure());
+        assert!(b.allow(), "cooldown of 1: next call is the probe");
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 1);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        assert!(!b.record_failure(), "streak restarted");
+        assert_eq!(b.consecutive_failures(), 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let p = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let a: Vec<Duration> = (1..=4).map(|i| p.backoff(i)).collect();
+        let b: Vec<Duration> = (1..=4).map(|i| p.backoff(i)).collect();
+        assert_eq!(a, b, "same seed, same sequence");
+        for (i, d) in a.iter().enumerate() {
+            let exp = p
+                .base_backoff
+                .saturating_mul(1 << i as u32)
+                .min(p.max_backoff);
+            assert!(*d >= exp / 2 && *d <= exp, "attempt {}: {d:?}", i + 1);
+        }
+        let other = RetryPolicy {
+            seed: 8,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(a, (1..=4).map(|i| other.backoff(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backoff_caps_at_the_ceiling() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff(60) <= p.max_backoff);
+    }
+}

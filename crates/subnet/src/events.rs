@@ -28,10 +28,18 @@
 //!    the cycle with a configured deadlock-free fallback (Up*/Down* by
 //!    default).
 //!
+//! The primary engine additionally runs inside the [`crate::armor`]
+//! containment: a panicking engine is caught ([`SmError::EnginePanicked`])
+//! and retried a bounded number of times with deterministic jittered
+//! backoff before the fallback rung fires, and a [`CircuitBreaker`]
+//! skips a repeatedly crashing primary entirely until a cooldown probe
+//! succeeds. The loop itself never unwinds.
+//!
 //! Every successful reroute also emits a [`UpdatePlan`] describing how
 //! to push the new tables without a deadlock-capable update window (see
 //! [`crate::transition`]).
 
+use crate::armor::{contain, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::lft::LftDiff;
 use crate::manager::{ProgrammedFabric, SmError, SubnetManager};
 use crate::transition::{self, UpdatePlan};
@@ -107,6 +115,8 @@ pub struct EventOutcome {
     /// Whether a reroute actually ran (false: the batch was a no-op,
     /// e.g. a flap that ended where it started).
     pub rerouted: bool,
+    /// Primary-engine retries spent on this event (panic containment).
+    pub retries: usize,
     /// Virtual layers of the serving routing after the event.
     pub vls: usize,
     /// Wall-clock reroute time.
@@ -139,6 +149,10 @@ pub struct SmLoop<E> {
     quarantined: Vec<NodeId>,
     /// Outcome of the most recent bring-up or event.
     last: EventOutcome,
+    /// Panic breaker over the primary engine.
+    breaker: CircuitBreaker,
+    /// Retry policy for contained primary-engine panics.
+    retry: RetryPolicy,
     /// Telemetry sink: reroute latency (`reroute` phase, `reroute_us`
     /// histogram) and the `reroutes`/`events_coalesced`/`rung_*`
     /// counters.
@@ -174,9 +188,12 @@ impl<E: RoutingEngine> SmLoop<E> {
                 quarantined: Vec::new(),
                 coalesced: 0,
                 rerouted: false,
+                retries: 0,
                 vls: 0,
                 elapsed: Duration::ZERO,
             },
+            breaker: CircuitBreaker::default(),
+            retry: RetryPolicy::default(),
             recorder: telemetry::noop(),
         };
         let outcome = looped.reroute(0, Some(sm_node))?;
@@ -187,6 +204,26 @@ impl<E: RoutingEngine> SmLoop<E> {
     /// Replace the fallback engine (`None` disables the fallback rung).
     pub fn set_fallback(&mut self, fallback: Option<Box<dyn RoutingEngine>>) {
         self.fallback = fallback;
+    }
+
+    /// Replace the panic circuit breaker (state resets with it).
+    pub fn set_breaker(&mut self, breaker: CircuitBreaker) {
+        self.breaker = breaker;
+    }
+
+    /// The panic circuit breaker guarding the primary engine.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Replace the retry policy for contained engine panics.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The retry policy for contained engine panics.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Attach a telemetry sink. The loop reports per-reroute latency and
@@ -277,6 +314,7 @@ impl<E: RoutingEngine> SmLoop<E> {
                 quarantined: self.quarantined.clone(),
                 coalesced: events.len(),
                 rerouted: false,
+                retries: 0,
                 vls: self.current.routes.num_layers() as usize,
                 elapsed: Duration::ZERO,
             };
@@ -393,17 +431,57 @@ impl<E: RoutingEngine> SmLoop<E> {
                 total: view.num_nodes(),
             })?;
 
-        // Rungs 2 and 3: widen the VL budget, then fall back.
+        // Rungs 2 and 3: widen the VL budget, then fall back. The
+        // primary engine runs contained (panics become typed errors,
+        // retried with bounded backoff) and behind the circuit breaker:
+        // while it is open, the loop serves straight from the fallback.
         let mut on_fallback = false;
+        let mut retries = 0usize;
+        let rec = self.recorder.clone();
+        if self.fallback.is_some() {
+            let was_open = self.breaker.state() == BreakerState::Open;
+            if !self.breaker.allow() {
+                on_fallback = true;
+                rungs.push(Rung::Fallback {
+                    engine: self.fallback.as_deref().unwrap().name().to_string(),
+                });
+            } else if was_open {
+                // The cooldown just expired: this attempt is the probe.
+                rec.add(counters::BREAKER_PROBES, 1);
+            }
+        }
         let fabric = loop {
             let result = if on_fallback {
                 let fb = self.fallback.as_deref().expect("fallback engaged");
-                self.sm.run_with(fb, &view, sm_node)
+                contain(|| self.sm.run_with(fb, &view, sm_node))
             } else {
-                self.sm.run(&view, sm_node)
+                contain(|| self.sm.run(&view, sm_node))
             };
             match result {
-                Ok(f) => break f,
+                Ok(f) => {
+                    if !on_fallback {
+                        self.breaker.record_success();
+                    }
+                    break f;
+                }
+                Err(SmError::EnginePanicked(msg)) if !on_fallback => {
+                    rec.add(counters::ENGINE_PANICS, 1);
+                    if self.breaker.record_failure() {
+                        rec.add(counters::BREAKER_OPENS, 1);
+                    }
+                    if retries < self.retry.max_retries {
+                        retries += 1;
+                        rec.add(counters::ENGINE_RETRIES, 1);
+                        self.retry.pause(retries);
+                    } else if self.fallback.is_some() {
+                        on_fallback = true;
+                        rungs.push(Rung::Fallback {
+                            engine: self.fallback.as_deref().unwrap().name().to_string(),
+                        });
+                    } else {
+                        return Err(SmError::EnginePanicked(msg));
+                    }
+                }
                 Err(SmError::Routing(RouteError::NeedMoreLayers { .. }))
                     if !on_fallback && self.widenable() =>
                 {
@@ -448,6 +526,7 @@ impl<E: RoutingEngine> SmLoop<E> {
             quarantined: quarantined.clone(),
             coalesced,
             rerouted: true,
+            retries,
             vls: fabric.routes.num_layers() as usize,
             elapsed: start.elapsed(),
         };
@@ -489,12 +568,15 @@ impl<E: RoutingEngine> SmLoop<E> {
 }
 
 /// Errors the fallback engine can plausibly fix: the engine could not
-/// produce a deployable routing. Sweep and walk failures are fabric
-/// problems no engine swap will cure.
+/// produce a deployable routing (or crashed trying). Sweep and walk
+/// failures are fabric problems no engine swap will cure.
 fn engine_failure(e: &SmError) -> bool {
     matches!(
         e,
-        SmError::Routing(_) | SmError::CyclicLayers(_) | SmError::TooManyVls { .. }
+        SmError::Routing(_)
+            | SmError::CyclicLayers(_)
+            | SmError::TooManyVls { .. }
+            | SmError::EnginePanicked(_)
     )
 }
 

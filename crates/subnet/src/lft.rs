@@ -6,6 +6,10 @@
 //! and switches map SL→VL identically (the paper's DFSSSP deployment
 //! programs exactly this). Walking the programmed tables port-by-port is
 //! the authoritative connectivity check.
+//!
+//! Everything here is reachable from parsed (possibly hostile) input,
+//! so the non-test code must stay free of `unwrap`/`expect`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::lid::{Lid, LidMap};
 use fabric::{ChannelId, Network, NodeId, Routes};
@@ -84,7 +88,13 @@ impl FabricTables {
             for (dst_t, &dst) in net.terminals().iter().enumerate() {
                 if let Some(c) = routes.next_hop(s, dst_t) {
                     let port = net.channel(c).src_port;
-                    debug_assert!(port <= u8::MAX as u16, "port fits u8 on real switches");
+                    if port > u8::MAX as u16 {
+                        // No real switch has >255 ports; a hostile input
+                        // might. Leave the slot empty (0) rather than
+                        // truncate — the validation walk reports it as a
+                        // typed NoEntry instead of silently misrouting.
+                        continue;
+                    }
                     lfts[si][lids.lid(dst).0 as usize] = port as u8;
                 }
             }
@@ -105,23 +115,30 @@ impl FabricTables {
         }
     }
 
-    /// The SM's answer to a path query from `src_t` to `dst_t`.
+    /// The SM's answer to a path query from `src_t` to `dst_t`, or
+    /// `None` when either terminal index is outside the programmed
+    /// fabric (a stale query against rebuilt tables).
     pub fn path_record(
         &self,
         lids: &LidMap,
         net: &Network,
         src_t: usize,
         dst_t: usize,
-    ) -> PathRecord {
-        PathRecord {
-            dlid: lids.lid(net.terminals()[dst_t]),
-            sl: self.sl[src_t * self.num_terminals + dst_t],
-        }
+    ) -> Option<PathRecord> {
+        let dst = net.terminals().get(dst_t)?;
+        let sl = self
+            .sl
+            .get(src_t.checked_mul(self.num_terminals)? + dst_t)?;
+        Some(PathRecord {
+            dlid: lids.lid(*dst),
+            sl: *sl,
+        })
     }
 
-    /// The VL a packet with service level `sl` travels on at `switch`.
-    pub fn vl_of(&self, switch_index: usize, sl: u8) -> u8 {
-        self.sl2vl[switch_index][sl as usize]
+    /// The VL a packet with service level `sl` travels on at `switch`,
+    /// or `None` when the switch or SL is outside the programmed tables.
+    pub fn vl_of(&self, switch_index: usize, sl: u8) -> Option<u8> {
+        self.sl2vl.get(switch_index)?.get(sl as usize).copied()
     }
 
     /// Number of VLs the programmed fabric requires.
@@ -186,7 +203,14 @@ impl FabricTables {
             budget -= 1;
             let c = match net.switch_index(at) {
                 Some(si) => {
-                    let port = self.lfts[si][dlid.0 as usize];
+                    // `.get` twice: tables programmed for a different
+                    // fabric (stale walk) must report, not panic.
+                    let port = self
+                        .lfts
+                        .get(si)
+                        .and_then(|lft| lft.get(dlid.0 as usize))
+                        .copied()
+                        .unwrap_or(0);
                     if port == 0 {
                         return Err(WalkError::NoEntry { switch: at, dlid });
                     }
@@ -268,7 +292,7 @@ mod tests {
                 if s == d {
                     continue;
                 }
-                let pr = tables.path_record(&lids, &net, s, d);
+                let pr = tables.path_record(&lids, &net, s, d).unwrap();
                 assert_eq!(pr.sl, routes.layer(s, d));
                 assert_eq!(pr.dlid, lids.lid(net.terminals()[d]));
                 seen_nonzero |= pr.sl != 0;
@@ -283,8 +307,32 @@ mod tests {
         let (routes, _, tables) = programmed(&net);
         assert_eq!(tables.num_vls(), routes.num_layers() as usize);
         for sl in 0..routes.num_layers() {
-            assert_eq!(tables.vl_of(0, sl), sl);
+            assert_eq!(tables.vl_of(0, sl), Some(sl));
         }
+        assert_eq!(tables.vl_of(99, 0), None);
+        assert_eq!(tables.vl_of(0, 255), None);
+    }
+
+    #[test]
+    fn stale_queries_report_instead_of_panicking() {
+        let net = topo::ring(5, 1);
+        let (_, lids, tables) = programmed(&net);
+        // Terminal indices beyond the programmed fabric.
+        assert!(tables.path_record(&lids, &net, 0, 99).is_none());
+        assert!(tables.path_record(&lids, &net, 99, 0).is_none());
+        // Tables programmed for a smaller fabric walked against a bigger
+        // one: switch index 4 has no LFT row, which must surface as a
+        // typed walk error, not an index panic.
+        let (_, _, small_tables) = programmed(&topo::ring(3, 1));
+        let big = topo::ring(5, 1);
+        let big_lids = LidMap::assign(&big);
+        let src = big.terminals()[4];
+        let dst = big_lids.lid(big.terminals()[0]);
+        let err = small_tables.walk(&big, &big_lids, src, dst).unwrap_err();
+        assert!(matches!(
+            err,
+            WalkError::NoEntry { .. } | WalkError::BadLid(_)
+        ));
     }
 
     #[test]

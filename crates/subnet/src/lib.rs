@@ -20,7 +20,11 @@
 //!   and destination-batched drain-and-swap plans for hazardous windows.
 //! * [`chaos`] — a failure-campaign harness: seeded schedules of faults
 //!   and recoveries with per-event repair-cost accounting.
+//! * [`armor`] — panic containment for the serving path: `catch_unwind`
+//!   around every engine call, a circuit breaker over a crashing
+//!   primary, and deterministic bounded retry backoff.
 
+pub mod armor;
 pub mod chaos;
 pub mod discovery;
 pub mod events;
@@ -29,6 +33,7 @@ pub mod lid;
 pub mod manager;
 pub mod transition;
 
+pub use armor::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use chaos::{
     run_campaign, run_campaign_recorded, schedule, Batch, CampaignReport, CampaignSpec, EventRecord,
 };

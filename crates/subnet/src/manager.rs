@@ -34,6 +34,10 @@ pub enum SmError {
     /// A fabric event referenced hardware the reference network does not
     /// have (or the wrong kind of node).
     InvalidEvent(String),
+    /// The routing engine panicked; the payload message is attached.
+    /// Produced by [`crate::armor::contain`] — the panic never crosses
+    /// the serving loop.
+    EnginePanicked(String),
 }
 
 impl std::fmt::Display for SmError {
@@ -50,6 +54,7 @@ impl std::fmt::Display for SmError {
             } => write!(f, "routing needs {required} VLs, hardware has {available}"),
             SmError::CyclicLayers(ls) => write!(f, "cyclic dependency layers: {ls:?}"),
             SmError::InvalidEvent(why) => write!(f, "invalid fabric event: {why}"),
+            SmError::EnginePanicked(msg) => write!(f, "routing engine panicked: {msg}"),
         }
     }
 }

@@ -94,6 +94,16 @@ pub mod counters {
     pub const PACKETS_DELIVERED: &str = "packets_delivered";
     /// Cycles simulated (flit simulator).
     pub const SIM_CYCLES: &str = "sim_cycles";
+    /// Routing runs aborted because a budget axis ran out.
+    pub const BUDGET_TRIPS: &str = "budget_trips";
+    /// Engine panics caught and contained by the subnet manager.
+    pub const ENGINE_PANICS: &str = "engine_panics";
+    /// Circuit-breaker transitions to the open state.
+    pub const BREAKER_OPENS: &str = "breaker_opens";
+    /// Half-open probe calls let through an open breaker.
+    pub const BREAKER_PROBES: &str = "breaker_probes";
+    /// Bounded retries of a panicking primary engine.
+    pub const ENGINE_RETRIES: &str = "engine_retries";
 }
 
 /// Well-known histogram names.

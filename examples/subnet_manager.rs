@@ -47,7 +47,10 @@ fn main() {
     // Ask the SM for a path record, like an MPI library would at
     // connection setup.
     let (src_t, dst_t) = (0, net.num_terminals() - 1);
-    let pr = fabric.tables.path_record(&fabric.lids, &net, src_t, dst_t);
+    let pr = fabric
+        .tables
+        .path_record(&fabric.lids, &net, src_t, dst_t)
+        .expect("terminals are in the programmed fabric");
     println!(
         "path record {src_t} -> {dst_t}: dlid {}, service level {}",
         pr.dlid.0, pr.sl

@@ -94,7 +94,7 @@ pub mod prelude {
     pub use appsim::{alltoall_time, netgauge_ebb, Allocation, NasBenchmark};
     pub use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
     pub use dfsssp_core::{
-        CycleBreakHeuristic, DeadlockFree, DfSssp, EngineConfig, LayerAssignMode, Recorded,
+        Budget, CycleBreakHeuristic, DeadlockFree, DfSssp, EngineConfig, LayerAssignMode, Recorded,
         RouteError, RoutingEngine, Sssp,
     };
     pub use fabric::{Network, NetworkBuilder, Routes};
