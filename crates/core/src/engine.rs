@@ -148,22 +148,6 @@ pub trait RoutingEngine {
         self.set_config(config);
         self
     }
-
-    /// Current virtual-layer budget, when the engine has one.
-    #[deprecated(note = "use `config()` and read `max_layers` from it")]
-    fn max_layers(&self) -> Option<usize> {
-        self.config().map(|c| c.max_layers)
-    }
-
-    /// Adjust the virtual-layer budget. Returns `false` when the engine
-    /// has no such knob.
-    #[deprecated(note = "use `set_config()` / `with_config()`")]
-    fn set_max_layers(&mut self, layers: usize) -> bool {
-        match self.config() {
-            Some(config) => self.set_config(config.max_layers(layers)),
-            None => false,
-        }
-    }
 }
 
 /// Boxed engines route too, so runtime-selected engines (CLI flags,
@@ -285,6 +269,20 @@ pub fn record_route_metrics(net: &Network, routes: &Routes, rec: &dyn Recorder) 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn configs_cross_thread_boundaries() {
+        // The route server hands engine configs (and the recorders
+        // inside them) to background writer threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineConfig>();
+        assert_send_sync::<RouteError>();
+        let config = EngineConfig::new().max_layers(4);
+        let moved = std::thread::spawn(move || config.max_layers)
+            .join()
+            .unwrap();
+        assert_eq!(moved, 4);
+    }
 
     #[test]
     fn errors_format_usefully() {

@@ -106,12 +106,19 @@ fn measure(net: &Network, seed: u64) -> Vec<BenchCase> {
 }
 
 /// Run the sweep: every engine in the lineup against every topology
-/// (three small fabrics under `quick`, six otherwise).
+/// (three small fabrics under `quick`, six otherwise). Topologies are
+/// measured on worker threads — each cell has its own collector, and
+/// [`serve::pool::scoped_map`] preserves sweep order, so the report is
+/// identical to the sequential one modulo the timings it measures.
 pub fn run(quick: bool, seed: u64) -> BenchReport {
-    let mut cases = Vec::new();
-    for net in topologies(quick, seed) {
-        cases.extend(measure(&net, seed));
-    }
+    let cases = serve::pool::scoped_map(
+        topologies(quick, seed),
+        serve::pool::default_workers(),
+        |net| measure(&net, seed),
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     BenchReport {
         schema: SCHEMA.to_string(),
         quick,

@@ -1,0 +1,108 @@
+//! `serve_bench` — the route-serving benchmark: closed-loop query
+//! throughput scaling over client threads, latency percentiles, and a
+//! chaos phase publishing epochs under reader load, written as a
+//! versioned `dfsssp-serve-bench/v1` report (CI's serve-smoke artifact).
+//!
+//! ```text
+//! serve_bench --topo examples/grown-cluster.topo [--quick] \
+//!             [--threads 8] [--out BENCH_pr5.json] [--seed 7]
+//! serve_bench --validate BENCH_pr5.json    # parse + schema check only
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_pr5.json".to_string();
+    let mut threads = 8usize;
+    let mut validate: Option<String> = None;
+    let mut cli = repro::Cli::parse_with(
+        "serve_bench",
+        " [--quick] [--threads <N>] [--out <file>] [--validate <file>]",
+        |flag, val| match flag {
+            "--quick" => {
+                quick = true;
+                true
+            }
+            "--threads" => {
+                threads = val().parse().unwrap_or(8).clamp(1, 64);
+                true
+            }
+            "--out" => {
+                out = val();
+                true
+            }
+            "--validate" => {
+                validate = Some(val());
+                true
+            }
+            _ => false,
+        },
+    );
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match repro::serve_bench::ServeBenchReport::from_json(&text) {
+            Ok(report) => {
+                println!(
+                    "{path}: valid {} report, {} points, {} chaos epochs, {} failed queries",
+                    report.schema,
+                    report.points.len(),
+                    report.chaos.epochs,
+                    report.chaos.failed,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let net = match cli.network() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = cli.seed.unwrap_or(7);
+    cli.seed = Some(seed);
+    let report = repro::serve_bench::run(&net, quick, seed, threads);
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for p in &report.points {
+        println!(
+            "serve_bench: {:>2} thread(s)  {:>9} qps  p50 {:>5} us  p99 {:>5} us",
+            p.threads, p.qps, p.p50_us, p.p99_us
+        );
+    }
+    println!(
+        "serve_bench: scaling {:.2}x on {} core(s), chaos {} epochs / {} queries / {} failed \
+         (max swap pause {} us) -> {out}",
+        report.scaling_milli as f64 / 1_000.0,
+        report.cores,
+        report.chaos.epochs,
+        report.chaos.queries,
+        report.chaos.failed,
+        report.chaos.max_swap_pause_us,
+    );
+    if report.chaos.failed > 0 {
+        eprintln!("serve_bench: FAILED queries under chaos");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! Concurrent route serving: versioned snapshots, a batched query
+//! engine, and the subnet-manager serving loop.
+//!
+//! Routing a fabric (the paper's subject) is the slow, occasional side
+//! of the system; *answering* "how do I get from A to B right now" is
+//! the fast, constant one. This crate is the fast side, built so the
+//! two never get in each other's way:
+//!
+//! * [`Swap`] — a lock-free publish/read cell. Readers clone the
+//!   current `Arc` in a handful of atomics; writers briefly wait for
+//!   stragglers, readers never wait for writers.
+//! * [`Snapshot`] / [`SnapshotStore`] — epoch-versioned, immutable
+//!   bundles of (network view, routes, VL assignment, vet report)
+//!   behind the swap. The store's invariant is the crate's reason to
+//!   exist: **a snapshot becomes visible only after `vet::check`
+//!   passes**, so a bad reroute can never reach a reader — the
+//!   last-good epoch keeps serving through engine failures, contained
+//!   panics and rejected artifacts alike.
+//! * [`QueryEngine`] — a sharded thread pool answering
+//!   [`PathQuery`] → [`PathAnswer`] with per-batch snapshot reads
+//!   (every answer internally consistent by construction), coalescing
+//!   of duplicate in-flight queries, and admission control reusing
+//!   [`dfsssp_core::Budget`] per [`QueryClass`].
+//! * [`RouteServer`] — the writer loop: fabric events run through
+//!   [`subnet::SmLoop`]'s escalation ladder under panic containment,
+//!   and each successful reroute is offered to the store's vet gate.
+//! * [`pool`] — the `std`-only plumbing ([`pool::ShardedQueue`],
+//!   [`pool::scoped_map`]) other crates reuse for data-parallel sweeps.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod query;
+pub mod server;
+pub mod snapshot;
+pub mod swap;
+
+pub use query::{
+    Admission, PathAnswer, PathQuery, QueryClass, QueryEngine, QueryOpts, ServeError, Ticket,
+};
+pub use server::{RouteServer, ServedOutcome, ServerError};
+pub use snapshot::{PublishError, Snapshot, SnapshotStore};
+pub use swap::Swap;

@@ -1,0 +1,194 @@
+//! Worker-pool plumbing: sharded blocking queues and a scoped parallel
+//! map, both `std::thread`-only.
+//!
+//! The query engine builds its shard workers on [`ShardedQueue`]; batch
+//! jobs that just want data parallelism (the bench sweeps) use
+//! [`scoped_map`]. Pool sizes default to
+//! [`std::thread::available_parallelism`] via [`default_workers`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+struct Shard<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// A set of independent FIFO queues with blocking consumers — the
+/// spine of the query engine's thread pool. Producers pick a shard
+/// (usually by key hash, so related work lands together); each worker
+/// drains one shard, pulling *batches* so a burst of items costs one
+/// wakeup, not one per item.
+pub struct ShardedQueue<T> {
+    shards: Vec<Shard<T>>,
+    closed: Mutex<bool>,
+}
+
+impl<T> ShardedQueue<T> {
+    /// `shards` independent queues (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            closed: Mutex::new(false),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueue `item` on `shard` (mod the shard count). Returns the
+    /// item back when the queue is closed.
+    pub fn push(&self, shard: usize, item: T) -> Result<(), T> {
+        if *self.closed.lock().unwrap() {
+            return Err(item);
+        }
+        let s = &self.shards[shard % self.shards.len()];
+        s.queue.lock().unwrap().push_back(item);
+        s.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until `shard` has work (or the queue closes), then move up
+    /// to `max` items into `out`. Returns `false` when the queue is
+    /// closed *and* drained — the worker's signal to exit.
+    pub fn pop_batch(&self, shard: usize, max: usize, out: &mut Vec<T>) -> bool {
+        let s = &self.shards[shard % self.shards.len()];
+        let mut q = s.queue.lock().unwrap();
+        loop {
+            if !q.is_empty() {
+                let n = q.len().min(max.max(1));
+                out.extend(q.drain(..n));
+                return true;
+            }
+            if *self.closed.lock().unwrap() {
+                return false;
+            }
+            q = s.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Close the queue: producers start failing, consumers drain what
+    /// is left and then see `false`.
+    pub fn close(&self) {
+        *self.closed.lock().unwrap() = true;
+        for s in &self.shards {
+            s.ready.notify_all();
+        }
+    }
+}
+
+/// Map `f` over `items` on `workers` threads, preserving order.
+///
+/// Threads claim items through a shared cursor, so an expensive item
+/// does not stall the rest of the sweep behind it. The output is
+/// position-for-position with the input — callers' reports stay
+/// byte-identical to the sequential sweep (modulo whatever timing the
+/// items themselves measure).
+pub fn scoped_map<I, O>(items: Vec<I>, workers: usize, f: impl Fn(I) -> O + Sync) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("claimed once");
+                *out[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn push_pop_batch_roundtrip() {
+        let q = ShardedQueue::new(2);
+        for i in 0..10 {
+            q.push(i % 2, i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(0, 64, &mut out));
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        out.clear();
+        assert!(q.pop_batch(1, 2, &mut out));
+        assert_eq!(out, vec![1, 3], "batch cap respected");
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = ShardedQueue::new(1);
+        q.push(0, 7).unwrap();
+        q.close();
+        assert!(q.push(0, 8).is_err());
+        let mut out = Vec::new();
+        assert!(q.pop_batch(0, 64, &mut out));
+        assert_eq!(out, vec![7]);
+        out.clear();
+        assert!(!q.pop_batch(0, 64, &mut out));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(ShardedQueue::<u32>::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            q2.pop_batch(0, 8, &mut out)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(!h.join().unwrap());
+    }
+
+    #[test]
+    fn scoped_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = scoped_map(items, 4, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate worker counts still work.
+        assert_eq!(scoped_map(vec![1, 2, 3], 0, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(scoped_map(Vec::<u8>::new(), 8, |x| x), Vec::<u8>::new());
+    }
+}

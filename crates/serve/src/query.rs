@@ -1,0 +1,683 @@
+//! The batched path-query engine.
+//!
+//! [`QueryEngine`] answers [`PathQuery`]s from the store's current
+//! [`Snapshot`] on a pool of shard workers (`std::thread`, sized from
+//! [`crate::pool::default_workers`]). Three serving techniques carry
+//! the load:
+//!
+//! * **Sharding** — a query is routed to a shard by `(src, dst)` hash;
+//!   each worker owns one shard's queue, so unrelated queries never
+//!   contend on a lock.
+//! * **Batching** — a worker drains its queue in batches and answers
+//!   the whole batch from *one* snapshot read. Under load the queue is
+//!   never empty, so per-query wakeup cost amortizes away — this is
+//!   where closed-loop throughput scaling comes from.
+//! * **Coalescing** — duplicate in-flight queries (same `(src, dst)`)
+//!   share one [`AnswerCell`]: the worker computes once and fulfills
+//!   once (a single `notify_all`), so a thundering herd asking for one
+//!   hot pair costs one table walk and one wakeup, not N of each.
+//!
+//! Every answer is computed from a single `Arc<Snapshot>`, so its hops,
+//! VL and epoch are internally consistent by construction — an epoch
+//! swap mid-batch changes *future* batches, never a computed answer.
+//!
+//! Admission control reuses [`dfsssp_core::Budget`] per [`QueryClass`]:
+//! the `max_nodes` axis refuses queries against views larger than the
+//! class admits, the `deadline` axis expires queries whose tickets are
+//! redeemed too late, and a per-shard in-flight cap sheds load before
+//! queues grow unboundedly.
+
+use crate::pool;
+use crate::snapshot::{Snapshot, SnapshotStore};
+use dfsssp_core::{Budget, BudgetGuard, RouteError};
+use fabric::{ChannelId, NodeId};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use telemetry::{counters, hists, phases, RecorderHandle};
+
+/// One path question: how do I get from `src` to `dst`? Ids are
+/// *reference* node ids (the stable physical identity fabric events
+/// use), valid across degraded epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PathQuery {
+    /// Source terminal (reference id).
+    pub src: NodeId,
+    /// Destination terminal (reference id).
+    pub dst: NodeId,
+    /// Admission class.
+    pub class: QueryClass,
+}
+
+impl PathQuery {
+    /// An [`QueryClass::Interactive`] query.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        PathQuery {
+            src,
+            dst,
+            class: QueryClass::Interactive,
+        }
+    }
+}
+
+/// Which admission budget a query runs under.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Latency-sensitive traffic (the default).
+    #[default]
+    Interactive,
+    /// Bulk / best-effort traffic (sweeps, prefetchers).
+    Bulk,
+}
+
+/// The answer: the channel hops of the path, the virtual layer the
+/// path rides, and the epoch that produced both — always the *same*
+/// epoch for all three fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathAnswer {
+    /// Channels crossed, in order, in the answering epoch's view.
+    pub hops: Vec<ChannelId>,
+    /// Virtual layer of the path.
+    pub vl: u8,
+    /// Epoch the answer was computed from.
+    pub epoch: u64,
+}
+
+/// Why a query was not answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The terminal is quarantined (or gone) in the serving epoch.
+    Quarantined(NodeId),
+    /// The query is malformed (`src == dst`, a non-terminal id, …).
+    BadQuery(String),
+    /// The tables could not produce a path (should not happen for
+    /// vet-clean epochs; surfaced instead of panicking).
+    Unroutable(String),
+    /// The query's class budget refused it (`max_nodes` admission or
+    /// an expired `deadline`).
+    Budget(RouteError),
+    /// Too many queries in flight on this shard.
+    Overloaded {
+        /// Queries in flight on the shard.
+        inflight: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Quarantined(n) => write!(f, "terminal {} is quarantined", n.0),
+            ServeError::BadQuery(why) => write!(f, "bad query: {why}"),
+            ServeError::Unroutable(why) => write!(f, "unroutable: {why}"),
+            ServeError::Budget(e) => write!(f, "admission refused: {e}"),
+            ServeError::Overloaded { inflight, limit } => {
+                write!(f, "overloaded: {inflight} in flight, limit {limit}")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl Snapshot {
+    /// Answer one `(src, dst)` reference pair from this epoch. All
+    /// fields of the answer come from `self` — internal consistency is
+    /// by construction.
+    pub fn answer(&self, src: NodeId, dst: NodeId) -> Result<PathAnswer, ServeError> {
+        if src == dst {
+            return Err(ServeError::BadQuery("src == dst".into()));
+        }
+        let s = self.resolve(src).ok_or(ServeError::Quarantined(src))?;
+        let d = self.resolve(dst).ok_or(ServeError::Quarantined(dst))?;
+        let hops = self
+            .routes
+            .path_channels(&self.net, s, d)
+            .map_err(|e| ServeError::Unroutable(e.to_string()))?;
+        let (st, dt) = match (self.net.terminal_index(s), self.net.terminal_index(d)) {
+            (Some(st), Some(dt)) => (st, dt),
+            _ => return Err(ServeError::BadQuery("not a terminal".into())),
+        };
+        Ok(PathAnswer {
+            hops,
+            vl: self.routes.layer(st, dt),
+            epoch: self.epoch,
+        })
+    }
+}
+
+/// Per-class admission budgets plus the load-shedding cap.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    /// Budget for [`QueryClass::Interactive`] queries.
+    pub interactive: Budget,
+    /// Budget for [`QueryClass::Bulk`] queries.
+    pub bulk: Budget,
+    /// Maximum distinct queries in flight per shard before new ones are
+    /// refused with [`ServeError::Overloaded`].
+    pub max_inflight: usize,
+}
+
+impl Default for Admission {
+    fn default() -> Self {
+        Admission {
+            interactive: Budget::default(),
+            bulk: Budget::default(),
+            max_inflight: 4096,
+        }
+    }
+}
+
+impl Admission {
+    fn budget(&self, class: QueryClass) -> &Budget {
+        match class {
+            QueryClass::Interactive => &self.interactive,
+            QueryClass::Bulk => &self.bulk,
+        }
+    }
+}
+
+/// Engine tunables.
+#[derive(Clone, Debug)]
+pub struct QueryOpts {
+    /// Worker threads / shards (0 = [`pool::default_workers`]).
+    pub workers: usize,
+    /// Maximum queries a worker drains per batch.
+    pub batch: usize,
+    /// Admission control.
+    pub admission: Admission,
+    /// Telemetry sink.
+    pub recorder: RecorderHandle,
+}
+
+impl Default for QueryOpts {
+    fn default() -> Self {
+        QueryOpts {
+            workers: 0,
+            batch: 64,
+            admission: Admission::default(),
+            recorder: telemetry::noop(),
+        }
+    }
+}
+
+type Key = (u32, u32);
+
+#[derive(Default)]
+struct AnswerState {
+    answer: Option<Result<PathAnswer, ServeError>>,
+    /// Waiters currently parked on `ready`; lets `fulfill` skip the
+    /// wake syscall when every ticket-holder is still running.
+    sleepers: usize,
+}
+
+/// A one-shot answer slot shared by *all* waiters coalesced onto one
+/// in-flight `(src, dst)` key. The worker fulfills it exactly once.
+struct AnswerCell {
+    state: Mutex<AnswerState>,
+    ready: Condvar,
+    /// Tickets attached to this cell. Attach happens under the shard
+    /// lock; the worker reads the final count after unlinking the cell
+    /// from the pending map (under the same lock), so no attach races
+    /// the read.
+    waiters: AtomicUsize,
+}
+
+impl AnswerCell {
+    fn new() -> Arc<Self> {
+        Arc::new(AnswerCell {
+            state: Mutex::new(AnswerState::default()),
+            ready: Condvar::new(),
+            waiters: AtomicUsize::new(1),
+        })
+    }
+
+    fn fulfill(&self, answer: Result<PathAnswer, ServeError>) {
+        let mut st = self.state.lock().unwrap();
+        if st.answer.is_none() {
+            st.answer = Some(answer);
+            if st.sleepers > 0 {
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) -> Result<PathAnswer, ServeError> {
+        let mut st = self.state.lock().unwrap();
+        while st.answer.is_none() {
+            st.sleepers += 1;
+            st = self.ready.wait(st).unwrap();
+            st.sleepers -= 1;
+        }
+        st.answer.clone().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// A submitted query's handle; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    cell: Arc<AnswerCell>,
+    guard: BudgetGuard,
+}
+
+impl Ticket {
+    /// Block until the answer is in. A ticket redeemed after its class
+    /// deadline gets the budget trip, not stale data.
+    pub fn wait(self) -> Result<PathAnswer, ServeError> {
+        let answer = self.cell.wait();
+        if let Err(e) = self.guard.check_deadline() {
+            return Err(ServeError::Budget(e));
+        }
+        answer
+    }
+}
+
+/// One shard: its work queue and the coalescing map, under a single
+/// lock so a submit is one lock acquisition end to end.
+struct ShardState {
+    queue: VecDeque<Key>,
+    pending: FxHashMap<Key, Arc<AnswerCell>>,
+    /// The shard worker is parked on `work`; submitters only pay the
+    /// wake syscall when this is set.
+    parked: bool,
+    closed: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    work: Condvar,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                queue: VecDeque::new(),
+                pending: FxHashMap::default(),
+                parked: false,
+                closed: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+}
+
+struct Engine {
+    store: Arc<SnapshotStore>,
+    shards: Vec<Shard>,
+    admission: Admission,
+    recorder: RecorderHandle,
+}
+
+/// The batched, coalescing path-query engine. See the module docs.
+pub struct QueryEngine {
+    inner: Arc<Engine>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Spawn the shard workers over `store`'s snapshots.
+    pub fn new(store: Arc<SnapshotStore>, opts: QueryOpts) -> Self {
+        let shards = if opts.workers == 0 {
+            pool::default_workers()
+        } else {
+            opts.workers
+        };
+        let inner = Arc::new(Engine {
+            store,
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            admission: opts.admission,
+            recorder: opts.recorder,
+        });
+        let workers = (0..shards)
+            .map(|shard| {
+                let engine = inner.clone();
+                let batch = opts.batch.max(1);
+                std::thread::Builder::new()
+                    .name(format!("serve-q{shard}"))
+                    .spawn(move || engine.worker(shard, batch))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        QueryEngine { inner, workers }
+    }
+
+    /// Worker / shard count.
+    pub fn workers(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Submit a query; the ticket blocks until a shard worker answers.
+    pub fn submit(&self, query: PathQuery) -> Result<Ticket, ServeError> {
+        let (guard, cell) = self.inner.submit(query)?;
+        Ok(Ticket { cell, guard })
+    }
+
+    /// Submit and wait — the closed-loop client call.
+    pub fn query(&self, query: PathQuery) -> Result<PathAnswer, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Submit a whole batch, then collect every answer, in order.
+    pub fn query_batch(&self, queries: &[PathQuery]) -> Vec<Result<PathAnswer, ServeError>> {
+        let tickets: Vec<Result<Ticket, ServeError>> =
+            queries.iter().map(|&q| self.submit(q)).collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        for shard in &self.inner.shards {
+            shard.state.lock().unwrap().closed = true;
+            shard.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Workers drain their queues before exiting, so this is empty
+        // unless a submit raced the close; fail those waiters — the
+        // workers are gone, nobody else will.
+        for shard in &self.inner.shards {
+            let leftovers: Vec<Arc<AnswerCell>> = {
+                let mut st = shard.state.lock().unwrap();
+                st.queue.clear();
+                st.pending.drain().map(|(_, cell)| cell).collect()
+            };
+            for cell in leftovers {
+                cell.fulfill(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+}
+
+impl Engine {
+    fn shard_of(key: Key) -> usize {
+        // Fibonacci mix; shards are a small count, spread the pairs.
+        let h = (u64::from(key.0) << 32 | u64::from(key.1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 33) as usize
+    }
+
+    fn submit(&self, query: PathQuery) -> Result<(BudgetGuard, Arc<AnswerCell>), ServeError> {
+        let rec = &*self.recorder;
+        let budget = self.admission.budget(query.class);
+        let guard = budget.start();
+        // Admission: is the serving view within this class's size cap?
+        if let Err(e) = guard.admit(&self.store.read().net) {
+            rec.add(counters::QUERIES_REJECTED, 1);
+            return Err(ServeError::Budget(e));
+        }
+        let key: Key = (query.src.0, query.dst.0);
+        let shard = &self.shards[Self::shard_of(key) % self.shards.len()];
+        let mut st = shard.state.lock().unwrap();
+        if st.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if let Some(cell) = st.pending.get(&key) {
+            // Coalesce: ride the in-flight computation for this key.
+            cell.waiters.fetch_add(1, Ordering::Relaxed);
+            let cell = cell.clone();
+            drop(st);
+            rec.add(counters::QUERIES_COALESCED, 1);
+            return Ok((guard, cell));
+        }
+        if st.pending.len() >= self.admission.max_inflight {
+            let inflight = st.pending.len();
+            drop(st);
+            rec.add(counters::QUERIES_REJECTED, 1);
+            return Err(ServeError::Overloaded {
+                inflight,
+                limit: self.admission.max_inflight,
+            });
+        }
+        let cell = AnswerCell::new();
+        st.pending.insert(key, cell.clone());
+        st.queue.push_back(key);
+        let wake = st.parked;
+        drop(st);
+        if wake {
+            shard.work.notify_one();
+        }
+        Ok((guard, cell))
+    }
+
+    fn worker(&self, shard: usize, batch: usize) {
+        let rec = &*self.recorder;
+        let shard = &self.shards[shard];
+        let mut drained: Vec<(Key, Arc<AnswerCell>)> = Vec::with_capacity(batch);
+        loop {
+            {
+                let mut st = shard.state.lock().unwrap();
+                loop {
+                    if drained.len() >= batch {
+                        break;
+                    }
+                    if let Some(key) = st.queue.pop_front() {
+                        // Unlinking the cell here (under the shard
+                        // lock) freezes its waiter count: later
+                        // duplicates start a fresh entry.
+                        if let Some(cell) = st.pending.remove(&key) {
+                            drained.push((key, cell));
+                        }
+                        continue;
+                    }
+                    if !drained.is_empty() || st.closed {
+                        break;
+                    }
+                    st.parked = true;
+                    st = shard.work.wait(st).unwrap();
+                    st.parked = false;
+                }
+                if drained.is_empty() {
+                    return; // closed and fully drained
+                }
+            }
+            // One snapshot serves the whole batch: consistent answers,
+            // one lock-free read amortized over every query drained.
+            let snap = self.store.read();
+            let keys = drained.len();
+            let mut served = 0u64;
+            telemetry::timed(rec, phases::SERVE_BATCH, || {
+                for (key, cell) in drained.drain(..) {
+                    let answer = snap.answer(NodeId(key.0), NodeId(key.1));
+                    served += cell.waiters.load(Ordering::Relaxed) as u64;
+                    cell.fulfill(answer);
+                }
+            });
+            if rec.enabled() {
+                rec.add(counters::QUERIES_SERVED, served);
+                rec.observe(hists::SERVE_BATCH_SIZE, keys as u64);
+                if snap.epoch < self.store.epoch() {
+                    // An epoch swap landed mid-batch; these answers are
+                    // one epoch behind — consistent, just not newest.
+                    rec.add(counters::STALE_READS, served);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsssp_core::{DfSssp, RoutingEngine};
+    use fabric::topo;
+    use std::time::Duration;
+
+    fn engine_over(net: &fabric::Network, opts: QueryOpts) -> (Arc<SnapshotStore>, QueryEngine) {
+        let routes = DfSssp::new().route(net).unwrap();
+        let store = SnapshotStore::open(net.clone(), routes, None).unwrap();
+        let engine = QueryEngine::new(store.clone(), opts);
+        (store, engine)
+    }
+
+    #[test]
+    fn answers_match_direct_table_walks() {
+        let net = topo::torus(&[3, 3], 1);
+        let (store, engine) = engine_over(&net, QueryOpts::default());
+        let snap = store.read();
+        for &src in net.terminals() {
+            for &dst in net.terminals() {
+                if src == dst {
+                    continue;
+                }
+                let a = engine.query(PathQuery::new(src, dst)).unwrap();
+                assert_eq!(a.epoch, 0);
+                assert_eq!(a.hops, snap.routes.path_channels(&net, src, dst).unwrap());
+                let (st, dt) = (
+                    net.terminal_index(src).unwrap(),
+                    net.terminal_index(dst).unwrap(),
+                );
+                assert_eq!(a.vl, snap.routes.layer(st, dt));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_interface_answers_in_order() {
+        let net = topo::kary_ntree(4, 2);
+        let (_, engine) = engine_over(&net, QueryOpts::default());
+        let ts = net.terminals();
+        let queries: Vec<PathQuery> = (1..ts.len())
+            .map(|i| PathQuery::new(ts[0], ts[i]))
+            .collect();
+        let answers = engine.query_batch(&queries);
+        assert_eq!(answers.len(), queries.len());
+        for a in answers {
+            let a = a.unwrap();
+            assert!(!a.hops.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_coalesce() {
+        let net = topo::torus(&[3, 3], 1);
+        let collector = Arc::new(telemetry::Collector::new());
+        let opts = QueryOpts {
+            recorder: collector.clone(),
+            workers: 1,
+            ..QueryOpts::default()
+        };
+        let (_, engine) = engine_over(&net, opts);
+        let (a, b) = (net.terminals()[0], net.terminals()[1]);
+        // Saturate one key from several client threads; at least some
+        // must coalesce onto in-flight computations.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let engine = &engine;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        engine.query(PathQuery::new(a, b)).unwrap();
+                    }
+                });
+            }
+        });
+        let snap = collector.snapshot();
+        assert_eq!(
+            snap.counters["queries_served"],
+            8 * 200,
+            "every query answered exactly once"
+        );
+        assert!(
+            snap.counters.get("queries_coalesced").copied().unwrap_or(0) > 0,
+            "a hot pair under concurrent load must coalesce"
+        );
+        assert!(snap.histograms.contains_key("serve_batch_size"));
+    }
+
+    #[test]
+    fn bad_queries_are_typed_errors() {
+        let net = topo::ring(4, 1);
+        let (_, engine) = engine_over(&net, QueryOpts::default());
+        let t = net.terminals()[0];
+        assert!(matches!(
+            engine.query(PathQuery::new(t, t)),
+            Err(ServeError::BadQuery(_))
+        ));
+        let sw = net.switches()[0];
+        assert!(matches!(
+            engine.query(PathQuery::new(sw, t)),
+            Err(ServeError::Quarantined(_))
+        ));
+    }
+
+    #[test]
+    fn admission_budget_rejects_oversized_views() {
+        let net = topo::torus(&[4, 4], 1);
+        let opts = QueryOpts {
+            admission: Admission {
+                // The torus view has 32 nodes; admit at most 8.
+                interactive: Budget::new().max_nodes(8),
+                ..Admission::default()
+            },
+            ..QueryOpts::default()
+        };
+        let (_, engine) = engine_over(&net, opts);
+        let (a, b) = (net.terminals()[0], net.terminals()[1]);
+        match engine.query(PathQuery::new(a, b)) {
+            Err(ServeError::Budget(RouteError::BudgetExceeded { resource, .. })) => {
+                assert_eq!(resource, "nodes")
+            }
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+        // Bulk class is not configured: it still flows.
+        let bulk = PathQuery {
+            class: QueryClass::Bulk,
+            ..PathQuery::new(a, b)
+        };
+        assert!(engine.query(bulk).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_budget_trip() {
+        let net = topo::ring(4, 1);
+        let opts = QueryOpts {
+            admission: Admission {
+                interactive: Budget::new().deadline(Duration::ZERO),
+                ..Admission::default()
+            },
+            ..QueryOpts::default()
+        };
+        let (_, engine) = engine_over(&net, opts);
+        let (a, b) = (net.terminals()[0], net.terminals()[1]);
+        match engine.query(PathQuery::new(a, b)) {
+            Err(ServeError::Budget(RouteError::BudgetExceeded { resource, .. })) => {
+                assert_eq!(resource, "deadline_ms")
+            }
+            other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_is_clean_under_load() {
+        let net = topo::kary_ntree(4, 2);
+        let (_, engine) = engine_over(&net, QueryOpts::default());
+        let ts = net.terminals().to_vec();
+        std::thread::scope(|s| {
+            for off in 1..4 {
+                let engine = &engine;
+                let ts = &ts;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let q = PathQuery::new(ts[i % ts.len()], ts[(i + off) % ts.len()]);
+                        if q.src != q.dst {
+                            let _ = engine.query(q);
+                        }
+                    }
+                });
+            }
+        });
+        drop(engine); // joins workers; must not hang or panic
+    }
+}

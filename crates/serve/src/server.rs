@@ -1,0 +1,330 @@
+//! The route server: a subnet-manager loop whose reroutes feed the
+//! snapshot store.
+//!
+//! [`RouteServer`] owns an [`SmLoop`] (the writer side) and a
+//! [`SnapshotStore`] (the reader side) and keeps them in the only
+//! relationship the serving invariant allows:
+//!
+//! * Fabric events go through the SM's full machinery — coalescing,
+//!   the escalation ladder, staged update planning — *contained*: the
+//!   whole recompute runs under [`subnet::armor::contain`], so even a
+//!   panic that escapes the SM's own engine containment (a bug in
+//!   planning, diffing, remapping …) becomes a typed error instead of
+//!   unwinding through the serving thread.
+//! * Only a reroute that produced new tables is offered to the store,
+//!   and the store's vet gate decides whether it becomes an epoch.
+//!   Every failure mode — SM error, contained panic, vet rejection —
+//!   leaves the last-good snapshot serving.
+//!
+//! Query engines attach to the store ([`RouteServer::store`]); the
+//! server can live on a background thread (it is `Send` when the engine
+//! is) while readers keep their `Arc<SnapshotStore>`.
+
+use crate::query::{QueryEngine, QueryOpts};
+use crate::snapshot::{PublishError, Snapshot, SnapshotStore};
+use dfsssp_core::RoutingEngine;
+use fabric::{Network, NodeId};
+use std::sync::Arc;
+use subnet::{armor, EventOutcome, FabricEvent, SmError, SmLoop};
+use telemetry::RecorderHandle;
+
+/// Why the server could not apply a batch of events.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The subnet manager failed (or its recompute panicked and was
+    /// contained). The down-sets were rolled back; the previous epoch
+    /// keeps serving.
+    Sm(SmError),
+    /// The SM rerouted but the store's vet gate refused the artifact.
+    /// The SM now serves tables the store never published — the last
+    /// vet-clean epoch keeps serving readers.
+    Publish(PublishError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Sm(e) => write!(f, "subnet manager: {e}"),
+            ServerError::Publish(e) => write!(f, "publish gate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// What one served batch did: the SM outcome plus the epoch it became
+/// (when the reroute published).
+#[derive(Clone, Debug)]
+pub struct ServedOutcome {
+    /// The subnet manager's view of the batch.
+    pub outcome: EventOutcome,
+    /// Epoch the new tables were published as; `None` when the batch
+    /// was a no-op (no reroute, nothing to publish).
+    pub epoch: Option<u64>,
+}
+
+/// A subnet manager wired to a snapshot store. See the module docs.
+pub struct RouteServer<E> {
+    sm: SmLoop<E>,
+    store: Arc<SnapshotStore>,
+}
+
+impl<E: RoutingEngine> RouteServer<E> {
+    /// Bring up the fabric and open the store on the resulting tables
+    /// (epoch 0). Fails if bring-up fails or its artifact cannot pass
+    /// the vet gate.
+    pub fn bring_up(engine: E, net: Network, sm_node: NodeId) -> Result<Self, ServerError> {
+        Self::bring_up_recorded(engine, net, sm_node, telemetry::noop())
+    }
+
+    /// [`RouteServer::bring_up`] with a telemetry sink attached to both
+    /// the SM loop (reroute metrics) and the store (publish metrics).
+    pub fn bring_up_recorded(
+        engine: E,
+        net: Network,
+        sm_node: NodeId,
+        recorder: RecorderHandle,
+    ) -> Result<Self, ServerError> {
+        let mut sm = SmLoop::bring_up(engine, net, sm_node).map_err(ServerError::Sm)?;
+        sm.set_recorder(recorder.clone());
+        let mut store = SnapshotStore::open(
+            sm.network().clone(),
+            sm.programmed().routes.clone(),
+            Some(sm.reference()),
+        )
+        .map_err(ServerError::Publish)?;
+        Arc::get_mut(&mut store)
+            .expect("store not yet shared")
+            .set_recorder(recorder);
+        Ok(RouteServer { sm, store })
+    }
+
+    /// The store query engines read from. Clone the `Arc` freely; it
+    /// stays valid (serving the last published epoch) even if the
+    /// server itself is dropped.
+    pub fn store(&self) -> Arc<SnapshotStore> {
+        self.store.clone()
+    }
+
+    /// The current snapshot (shorthand for `store().read()`).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.read()
+    }
+
+    /// Spawn a query engine over this server's store.
+    pub fn query_engine(&self, opts: QueryOpts) -> QueryEngine {
+        QueryEngine::new(self.store(), opts)
+    }
+
+    /// The underlying subnet-manager loop (fallback, breaker and retry
+    /// knobs live there).
+    pub fn sm(&mut self) -> &mut SmLoop<E> {
+        &mut self.sm
+    }
+
+    /// Apply one fabric event. See [`RouteServer::handle_batch`].
+    pub fn handle(&mut self, event: FabricEvent) -> Result<ServedOutcome, ServerError> {
+        self.handle_batch(&[event])
+    }
+
+    /// Apply a batch of fabric events: coalesce + reroute in the SM
+    /// (contained), then offer the new tables to the store's vet gate.
+    /// On any error the last-good epoch keeps serving.
+    pub fn handle_batch(&mut self, events: &[FabricEvent]) -> Result<ServedOutcome, ServerError> {
+        // Belt and braces over the SM's own engine containment: a panic
+        // anywhere in the recompute (planning, diffing, remapping) must
+        // not unwind through the serving thread.
+        let outcome = armor::contain(|| self.sm.handle_batch(events)).map_err(ServerError::Sm)?;
+        if !outcome.rerouted {
+            return Ok(ServedOutcome {
+                outcome,
+                epoch: None,
+            });
+        }
+        let snap = self
+            .store
+            .publish(
+                self.sm.network().clone(),
+                self.sm.programmed().routes.clone(),
+                "event",
+                &outcome.plan.describe(),
+                Some(self.sm.reference()),
+            )
+            .map_err(ServerError::Publish)?;
+        Ok(ServedOutcome {
+            outcome,
+            epoch: Some(snap.epoch),
+        })
+    }
+}
+
+impl<E> std::fmt::Debug for RouteServer<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteServer")
+            .field("epoch", &self.store.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PathQuery;
+    use dfsssp_core::{DfSssp, EngineConfig};
+    use fabric::{topo, ChannelId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn fat_tree() -> Network {
+        topo::kary_ntree(4, 2)
+    }
+
+    fn uplinks(net: &Network) -> Vec<ChannelId> {
+        net.channels()
+            .filter(|(id, ch)| {
+                net.is_switch(ch.src) && net.is_switch(ch.dst) && ch.rev.is_none_or(|r| r.0 > id.0)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    #[test]
+    fn bring_up_publishes_epoch_zero() {
+        let net = fat_tree();
+        let server = RouteServer::bring_up(DfSssp::new(), net.clone(), net.terminals()[0]).unwrap();
+        let snap = server.snapshot();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.source, "bring-up");
+        for &t in net.terminals() {
+            assert!(snap.resolve(t).is_some());
+        }
+    }
+
+    #[test]
+    fn events_publish_new_epochs() {
+        let net = fat_tree();
+        let mut server =
+            RouteServer::bring_up(DfSssp::new(), net.clone(), net.terminals()[0]).unwrap();
+        let c = uplinks(&net)[0];
+        let served = server.handle(FabricEvent::CableDown(c)).unwrap();
+        assert_eq!(served.epoch, Some(1));
+        assert_eq!(server.snapshot().epoch, 1);
+        assert_eq!(server.snapshot().source, "event");
+        assert!(!server.snapshot().plan.is_empty());
+        // Flap of a healthy cable with no net change: no reroute, no epoch.
+        let flapper = uplinks(&net)[1];
+        let served = server
+            .handle_batch(&[
+                FabricEvent::CableDown(flapper),
+                FabricEvent::CableUp(flapper),
+            ])
+            .unwrap();
+        assert_eq!(served.epoch, None);
+        assert_eq!(server.snapshot().epoch, 1);
+        // Repair publishes again.
+        let served = server.handle(FabricEvent::CableUp(c)).unwrap();
+        assert_eq!(served.epoch, Some(2));
+    }
+
+    #[test]
+    fn quarantined_terminals_drop_out_of_the_snapshot() {
+        let net = fat_tree();
+        let mut server =
+            RouteServer::bring_up(DfSssp::new(), net.clone(), net.terminals()[0]).unwrap();
+        let leaf = *net
+            .switches()
+            .iter()
+            .find(|&&s| net.node(s).level == Some(0))
+            .unwrap();
+        let served = server.handle(FabricEvent::SwitchDown(leaf)).unwrap();
+        assert!(!served.outcome.quarantined.is_empty());
+        let snap = server.snapshot();
+        for &q in &served.outcome.quarantined {
+            assert_eq!(snap.resolve(q), None, "quarantined terminal still resolves");
+        }
+        // A query engine attached to the store sees the same truth.
+        let engine = server.query_engine(QueryOpts::default());
+        let q = served.outcome.quarantined[0];
+        let other = *net
+            .terminals()
+            .iter()
+            .find(|t| !served.outcome.quarantined.contains(t))
+            .unwrap();
+        assert!(matches!(
+            engine.query(PathQuery::new(q, other)),
+            Err(crate::query::ServeError::Quarantined(_))
+        ));
+        assert!(matches!(
+            engine.query(PathQuery::new(other, q)),
+            Err(crate::query::ServeError::Quarantined(_))
+        ));
+    }
+
+    /// An engine that panics on every reroute after the first.
+    #[derive(Debug)]
+    struct PanicAfterFirst {
+        inner: DfSssp,
+        calls: AtomicUsize,
+    }
+
+    impl RoutingEngine for PanicAfterFirst {
+        fn name(&self) -> &'static str {
+            "panic-after-first"
+        }
+        fn deadlock_free(&self) -> bool {
+            true
+        }
+        fn route(&self, net: &Network) -> Result<fabric::Routes, dfsssp_core::RouteError> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) > 0 {
+                panic!("chaos monkey");
+            }
+            self.inner.route(net)
+        }
+        fn config(&self) -> Option<EngineConfig> {
+            self.inner.config()
+        }
+        fn set_config(&mut self, config: EngineConfig) -> bool {
+            self.inner.set_config(config)
+        }
+    }
+
+    #[test]
+    fn contained_panic_keeps_last_good_epoch_serving() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let net = fat_tree();
+        let engine = PanicAfterFirst {
+            inner: DfSssp::new(),
+            calls: AtomicUsize::new(0),
+        };
+        let mut server = RouteServer::bring_up(engine, net.clone(), net.terminals()[0]).unwrap();
+        server.sm().set_fallback(None); // no rung to hide behind
+        let c = uplinks(&net)[0];
+        let err = server.handle(FabricEvent::CableDown(c)).unwrap_err();
+        std::panic::set_hook(hook);
+        assert!(matches!(err, ServerError::Sm(SmError::EnginePanicked(_))));
+        // The store still serves epoch 0 and answers queries.
+        let snap = server.snapshot();
+        assert_eq!(snap.epoch, 0);
+        let (a, b) = (net.terminals()[0], net.terminals()[1]);
+        assert!(snap.answer(a, b).is_ok());
+    }
+
+    #[test]
+    fn server_moves_to_a_background_thread() {
+        // The writer side must be Send: SmLoop + store handle cross a
+        // thread boundary while readers keep querying from here.
+        let net = fat_tree();
+        let mut server =
+            RouteServer::bring_up(DfSssp::new(), net.clone(), net.terminals()[0]).unwrap();
+        let store = server.store();
+        let c = uplinks(&net)[0];
+        let writer = std::thread::spawn(move || {
+            server.handle(FabricEvent::CableDown(c)).unwrap();
+            server.handle(FabricEvent::CableUp(c)).unwrap();
+            server.snapshot().epoch
+        });
+        let final_epoch = writer.join().unwrap();
+        assert_eq!(final_epoch, 2);
+        assert_eq!(store.read().epoch, 2);
+    }
+}

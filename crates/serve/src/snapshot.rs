@@ -1,0 +1,343 @@
+//! Epoch-versioned, immutable serving snapshots and the store that
+//! publishes them.
+//!
+//! A [`Snapshot`] is everything one epoch of the fabric needs to answer
+//! path queries: the (possibly degraded) serving [`Network`], the
+//! [`Routes`] the engine produced for it, the VL assignment those routes
+//! carry, and the [`vet::Report`] that proves the artifact is safe to
+//! serve. Snapshots are immutable — readers share them by `Arc` — and
+//! carry a terminal map from *reference* node ids (the stable physical
+//! identity fabric events use) to the epoch's renumbered view, so a
+//! query keeps meaning the same pair of hosts across degradations.
+//!
+//! The [`SnapshotStore`] owns the current snapshot behind the lock-free
+//! [`crate::swap::Swap`]. Its publishing gate is the subsystem's core
+//! invariant: **a snapshot becomes visible only after `vet::check`
+//! passes** ([`SnapshotStore::publish`] refuses artifacts with
+//! error-severity findings), so a bad reroute can never reach a reader —
+//! the last-good epoch simply keeps serving.
+
+use crate::swap::Swap;
+use fabric::{Network, NodeId, Routes};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use telemetry::{counters, hists, phases, RecorderHandle};
+
+/// One immutable epoch of the serving state.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Epoch number; 0 is bring-up, each publish increments.
+    pub epoch: u64,
+    /// The serving view this epoch routes (reference minus failed
+    /// hardware and quarantined terminals).
+    pub net: Network,
+    /// Forwarding tables + virtual-layer assignment for [`Self::net`].
+    pub routes: Routes,
+    /// The static-analysis report the publishing gate accepted
+    /// (`vet::check`; always error-free for published snapshots).
+    pub vet: vet::Report,
+    /// What produced this epoch (`"bring-up"`, `"event"`, …).
+    pub source: String,
+    /// How the tables were pushed (`UpdatePlan::describe` of the
+    /// transition that installed this epoch: `direct`, `staged(2)`, …).
+    pub plan: String,
+    /// Reference node id → view node id, for the terminals of the
+    /// reference network (`None`: quarantined / not currently served).
+    ref_terminals: Vec<Option<NodeId>>,
+}
+
+impl Snapshot {
+    /// Number of virtual layers this epoch's routing uses.
+    pub fn vls(&self) -> u8 {
+        self.routes.num_layers()
+    }
+
+    /// Resolve a reference terminal id to this epoch's view, `None`
+    /// when the terminal is quarantined (or `id` is out of range).
+    pub fn resolve(&self, id: NodeId) -> Option<NodeId> {
+        self.ref_terminals.get(id.idx()).copied().flatten()
+    }
+
+    /// Reference terminal ids this epoch serves (resolvable ones).
+    pub fn served_terminals(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ref_terminals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Build the reference→view terminal map. With no reference the
+    /// view is its own reference (identity over its terminals).
+    fn terminal_map(net: &Network, reference: Option<&Network>) -> Vec<Option<NodeId>> {
+        match reference {
+            None => {
+                let mut map = vec![None; net.num_nodes()];
+                for &t in net.terminals() {
+                    map[t.idx()] = Some(t);
+                }
+                map
+            }
+            Some(reference) => reference
+                .nodes()
+                .map(|(id, node)| {
+                    if !reference.is_terminal(id) {
+                        return None;
+                    }
+                    net.node_by_name(&node.name).filter(|&v| net.is_terminal(v))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Why a publish was refused. The store's gate rejects, it never
+/// panics: the previous epoch keeps serving.
+#[derive(Debug)]
+pub enum PublishError {
+    /// `vet::check` found error-severity diagnostics; the report is
+    /// attached for the operator.
+    VetRejected {
+        /// Error-severity findings.
+        errors: usize,
+        /// The full analysis.
+        report: Box<vet::Report>,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::VetRejected { errors, .. } => {
+                write!(f, "vet rejected the snapshot: {errors} error(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// The store: one current [`Snapshot`] behind a lock-free swap, a
+/// vet-gated publish path, and swap telemetry.
+pub struct SnapshotStore {
+    cell: Swap<Snapshot>,
+    /// Epoch of the current snapshot (for stale-read accounting;
+    /// updated after the swap, so it trails by at most one swap).
+    epoch: AtomicU64,
+    /// Serializes publishers across the whole vet+swap sequence so
+    /// epoch numbers and swap order agree.
+    publish_lock: Mutex<()>,
+    recorder: RecorderHandle,
+}
+
+impl SnapshotStore {
+    /// Open a store serving `(net, routes)` as epoch 0. The same vet
+    /// gate as [`SnapshotStore::publish`] applies: a store cannot even
+    /// come up on a bad artifact.
+    pub fn open(
+        net: Network,
+        routes: Routes,
+        reference: Option<&Network>,
+    ) -> Result<Arc<Self>, PublishError> {
+        let snap = Self::gate(0, net, routes, "bring-up", "direct", reference)?;
+        Ok(Arc::new(SnapshotStore {
+            cell: Swap::new(Arc::new(snap)),
+            epoch: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
+            recorder: telemetry::noop(),
+        }))
+    }
+
+    /// Attach a telemetry sink: `serve_publish` spans, the
+    /// `epochs_published` / `publish_rejected` counters and the
+    /// `swap_pause_us` histogram land here.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
+    }
+
+    /// The current snapshot. Lock-free; the returned `Arc` stays
+    /// internally consistent no matter how many epochs are published
+    /// after this returns.
+    pub fn read(&self) -> Arc<Snapshot> {
+        self.cell.read()
+    }
+
+    /// Epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Vet `(net, routes)` and, if clean, install it as the next epoch.
+    /// Readers see the old epoch until the swap instant and the new one
+    /// after; no reader ever waits or observes a mix.
+    pub fn publish(
+        &self,
+        net: Network,
+        routes: Routes,
+        source: &str,
+        plan: &str,
+        reference: Option<&Network>,
+    ) -> Result<Arc<Snapshot>, PublishError> {
+        let rec = self.recorder.clone();
+        let _guard = self.publish_lock.lock().unwrap();
+        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        let gated = telemetry::timed(&*rec, phases::SERVE_PUBLISH, || {
+            Self::gate(epoch, net, routes, source, plan, reference)
+        });
+        let snap = match gated {
+            Ok(snap) => Arc::new(snap),
+            Err(e) => {
+                rec.add(counters::PUBLISH_REJECTED, 1);
+                return Err(e);
+            }
+        };
+        let swap_started = Instant::now();
+        self.cell.publish(snap.clone());
+        self.epoch.store(epoch, Ordering::SeqCst);
+        let pause = swap_started.elapsed();
+        if rec.enabled() {
+            rec.phase(phases::EPOCH_SWAP, pause.as_nanos() as u64);
+            rec.observe(hists::SWAP_PAUSE_US, pause.as_micros() as u64);
+            rec.add(counters::EPOCHS_PUBLISHED, 1);
+        }
+        Ok(snap)
+    }
+
+    /// The gate: analyze the artifact, refuse on any error finding.
+    fn gate(
+        epoch: u64,
+        net: Network,
+        routes: Routes,
+        source: &str,
+        plan: &str,
+        reference: Option<&Network>,
+    ) -> Result<Snapshot, PublishError> {
+        let report = vet::check(&net, &routes);
+        if report.num_errors() > 0 {
+            return Err(PublishError::VetRejected {
+                errors: report.num_errors(),
+                report: Box::new(report),
+            });
+        }
+        let ref_terminals = Snapshot::terminal_map(&net, reference);
+        Ok(Snapshot {
+            epoch,
+            net,
+            routes,
+            vet: report,
+            source: source.to_string(),
+            plan: plan.to_string(),
+            ref_terminals,
+        })
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
+    use fabric::topo;
+
+    fn routed(net: &Network) -> Routes {
+        DfSssp::new().route(net).unwrap()
+    }
+
+    #[test]
+    fn open_serves_epoch_zero() {
+        let net = topo::torus(&[3, 3], 1);
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        let snap = store.read();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(store.epoch(), 0);
+        assert!(snap.vet.clean() || snap.vet.num_errors() == 0);
+        assert!(snap.vls() >= 2);
+        // Identity terminal map without a reference.
+        for &t in net.terminals() {
+            assert_eq!(snap.resolve(t), Some(t));
+        }
+    }
+
+    #[test]
+    fn publish_advances_the_epoch() {
+        let net = topo::kary_ntree(4, 2);
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        for e in 1..=5 {
+            let snap = store
+                .publish(net.clone(), routed(&net), "test", "direct", None)
+                .unwrap();
+            assert_eq!(snap.epoch, e);
+            assert_eq!(store.epoch(), e);
+            assert_eq!(store.read().epoch, e);
+        }
+    }
+
+    #[test]
+    fn vet_gate_refuses_bad_artifacts() {
+        // Plain SSSP on a ring has a cyclic CDG: V004, error severity.
+        let net = topo::ring(5, 1);
+        let routes = Sssp::new().route(&net).unwrap();
+        match SnapshotStore::open(net.clone(), routes.clone(), None) {
+            Err(PublishError::VetRejected { errors, report }) => {
+                assert!(errors > 0);
+                assert!(report.has(vet::LintCode::CdgCycle));
+            }
+            Ok(_) => panic!("cyclic artifact must be refused"),
+        }
+        // And the same gate guards a running store: the good epoch
+        // stays current after a refused publish.
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        assert!(store
+            .publish(net.clone(), routes, "test", "direct", None)
+            .is_err());
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.read().epoch, 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_refused_not_panicking() {
+        let net = topo::ring(5, 1);
+        let other = topo::ring(6, 1);
+        let routes = routed(&other);
+        assert!(SnapshotStore::open(net, routes, None).is_err());
+    }
+
+    #[test]
+    fn reference_map_tracks_degraded_views() {
+        use rustc_hash::FxHashSet;
+        let reference = topo::kary_ntree(4, 2);
+        // Kill one leaf switch: its terminals leave the view.
+        let leaf = *reference
+            .switches()
+            .iter()
+            .find(|&&s| reference.node(s).level == Some(0))
+            .unwrap();
+        let removed: FxHashSet<_> = [leaf].into_iter().collect();
+        let view = fabric::degrade::remove(&reference, &removed, &FxHashSet::default());
+        let (core, _) = fabric::degrade::extract_core(&view);
+        let store = SnapshotStore::open(core.clone(), routed(&core), Some(&reference)).unwrap();
+        let snap = store.read();
+        let mut served = 0;
+        let mut gone = 0;
+        for &t in reference.terminals() {
+            match snap.resolve(t) {
+                Some(v) => {
+                    assert_eq!(core.node(v).name, reference.node(t).name);
+                    served += 1;
+                }
+                None => gone += 1,
+            }
+        }
+        assert!(gone > 0, "the dead leaf's terminals must be unresolvable");
+        assert_eq!(served + gone, reference.num_terminals());
+        assert_eq!(snap.served_terminals().count(), served);
+    }
+}

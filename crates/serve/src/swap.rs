@@ -1,0 +1,255 @@
+//! The lock-free publish/read cell behind the snapshot store.
+//!
+//! [`Swap<T>`] holds one current `Arc<T>` and supports two operations:
+//! readers take a clone of the current value ([`Swap::read`]), writers
+//! replace it ([`Swap::publish`]). The requirements come straight from
+//! the serving path:
+//!
+//! * **Readers never block and never see a torn value.** A query worker
+//!   grabbing the current snapshot must cost a handful of atomic
+//!   operations, no matter how many other readers are hammering the
+//!   cell or whether a writer is mid-publish.
+//! * **Writers wait, readers don't.** An epoch swap is the rare, slow
+//!   side (it follows a full reroute plus a vet pass); it may briefly
+//!   wait for straggling readers, the readers never wait for it.
+//!
+//! The implementation is a slot ring with per-slot reader counts:
+//!
+//! ```text
+//!    current ──► slot[g % S]      (S = RING generations live at once)
+//!    slot      = { readers: AtomicUsize, ptr: AtomicPtr<T> }
+//! ```
+//!
+//! A reader enters the slot `current` points at by incrementing its
+//! reader count, then loads the pointer and clones the `Arc` out of it.
+//! A writer publishes generation `g+1` into slot `(g+1) % S` — the slot
+//! least recently current — by swapping its pointer to null, draining
+//! that slot's reader count to zero, dropping the retired value, and
+//! only then installing the new one and redirecting `current`.
+//!
+//! Why this is sound (all orderings are `SeqCst`, so every atomic
+//! operation below sits in one total order):
+//!
+//! * A reader increments `readers` *before* loading `ptr`. If its load
+//!   returned a non-null pointer, the load — and therefore the
+//!   increment — precedes the writer's swap-to-null in the total
+//!   order. The writer's subsequent drain loop must then observe the
+//!   reader's increment, and keeps waiting until the reader has cloned
+//!   the `Arc` (bumping the strong count) and decremented. The retired
+//!   `Arc` is dropped strictly after every such clone completes, so the
+//!   pointee is never freed under a reader.
+//! * A reader that loads a null pointer (it raced the recycling of a
+//!   slot that was current `S` generations ago) backs out and retries
+//!   with a fresh `current`; it never dereferences anything.
+//! * Stale readers can only inflate the count of a slot that stopped
+//!   being current; new readers pile onto the *current* slot. The
+//!   writer therefore drains a slot no reader is steered to anymore —
+//!   with `RING` generations in flight, a reader would have to sleep
+//!   through `RING - 1` full publishes (each a reroute plus a vet walk)
+//!   between two adjacent atomic operations to delay a writer at all,
+//!   and even then the writer only waits, it never corrupts.
+//!
+//! The one `unsafe` surface is the `Arc::into_raw` / `from_raw` round
+//! trip; the protocol above is what licenses it.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Generations that can be live at once. Publishing generation `g`
+/// recycles the value of generation `g - RING + 1`.
+const RING: usize = 8;
+
+struct Slot<T> {
+    /// Readers currently inside this slot (between enter and exit).
+    readers: AtomicUsize,
+    /// `Arc::into_raw` of the slot's value; null while recycling or
+    /// never yet published.
+    ptr: AtomicPtr<T>,
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Slot {
+            readers: AtomicUsize::new(0),
+            ptr: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+/// A lock-free current-value cell: wait-free-in-practice reads of an
+/// `Arc<T>`, serialized writers. See the module docs for the protocol.
+pub struct Swap<T> {
+    /// Slot index readers should enter.
+    current: AtomicUsize,
+    slots: Box<[Slot<T>]>,
+    /// Serializes publishers and owns the generation counter.
+    writer: Mutex<usize>,
+}
+
+impl<T> Swap<T> {
+    /// A cell holding `initial` as generation 0.
+    pub fn new(initial: Arc<T>) -> Self {
+        let slots: Box<[Slot<T>]> = (0..RING).map(|_| Slot::empty()).collect();
+        slots[0].ptr.store(Arc::into_raw(initial) as *mut T, SeqCst);
+        Swap {
+            current: AtomicUsize::new(0),
+            slots,
+            writer: Mutex::new(0),
+        }
+    }
+
+    /// Clone the current value out of the cell. Lock-free: a handful of
+    /// atomics, no mutex, no waiting on writers.
+    pub fn read(&self) -> Arc<T> {
+        loop {
+            let slot = &self.slots[self.current.load(SeqCst) % RING];
+            slot.readers.fetch_add(1, SeqCst);
+            let p = slot.ptr.load(SeqCst);
+            if !p.is_null() {
+                // SAFETY: `p` came from `Arc::into_raw`. Our reader-count
+                // increment is ordered before this non-null load, so the
+                // writer recycling this slot (which nulls the pointer
+                // *first*, then drains `readers` to zero, then drops)
+                // cannot release the value before our decrement below —
+                // by which point we hold our own strong reference.
+                let arc = unsafe {
+                    Arc::increment_strong_count(p);
+                    Arc::from_raw(p)
+                };
+                slot.readers.fetch_sub(1, SeqCst);
+                return arc;
+            }
+            // Raced a recycle of a long-stale slot: back out, retry.
+            slot.readers.fetch_sub(1, SeqCst);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Install `value` as the new current value, returning its
+    /// generation. Publishers serialize; the call may briefly wait for
+    /// readers that are still inside the slot being recycled (a slot
+    /// that was last current `RING - 1` publishes ago).
+    pub fn publish(&self, value: Arc<T>) -> usize {
+        let mut gen = self.writer.lock().unwrap();
+        *gen += 1;
+        let slot = &self.slots[*gen % RING];
+        let old = slot.ptr.swap(ptr::null_mut(), SeqCst);
+        while slot.readers.load(SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        if !old.is_null() {
+            // SAFETY: `old` came from `Arc::into_raw` at a previous
+            // publish. The pointer was nulled above and the reader count
+            // has drained: no reader can still produce a clone from it.
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+        slot.ptr.store(Arc::into_raw(value) as *mut T, SeqCst);
+        self.current.store(*gen % RING, SeqCst);
+        *gen
+    }
+
+    /// Generations published so far (0 = only the initial value).
+    pub fn generation(&self) -> usize {
+        *self.writer.lock().unwrap()
+    }
+}
+
+impl<T> Drop for Swap<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.ptr.swap(ptr::null_mut(), SeqCst);
+            if !p.is_null() {
+                // SAFETY: `&mut self` — no readers or writers remain.
+                unsafe { drop(Arc::from_raw(p)) };
+            }
+        }
+    }
+}
+
+// SAFETY: the cell hands out `Arc<T>` clones across threads, which is
+// exactly what `Arc` requires of `T`.
+unsafe impl<T: Send + Sync> Send for Swap<T> {}
+unsafe impl<T: Send + Sync> Sync for Swap<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn read_returns_latest_publish() {
+        let cell = Swap::new(Arc::new(0u64));
+        assert_eq!(*cell.read(), 0);
+        for g in 1..=20u64 {
+            assert_eq!(cell.publish(Arc::new(g)), g as usize);
+            assert_eq!(*cell.read(), g);
+        }
+        assert_eq!(cell.generation(), 20);
+    }
+
+    #[test]
+    fn every_value_dropped_exactly_once() {
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        {
+            let cell = Swap::new(Arc::new(Counted));
+            for _ in 0..100 {
+                cell.publish(Arc::new(Counted));
+            }
+            let held = cell.read();
+            drop(cell);
+            // The ring retired all but the reader-held value.
+            assert_eq!(DROPS.load(SeqCst), 100);
+            drop(held);
+        }
+        assert_eq!(DROPS.load(SeqCst), 101);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotonic_published_values() {
+        const PUBLISHES: u64 = 2_000;
+        let cell = Arc::new(Swap::new(Arc::new(0u64)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = cell.clone();
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let v = *cell.read();
+                        assert!(v >= last, "reads went backwards: {v} after {last}");
+                        last = v;
+                        if v == PUBLISHES {
+                            break;
+                        }
+                    }
+                });
+            }
+            for g in 1..=PUBLISHES {
+                cell.publish(Arc::new(g));
+            }
+        });
+        assert_eq!(*cell.read(), PUBLISHES);
+    }
+
+    #[test]
+    fn concurrent_publishers_serialize() {
+        let cell = Arc::new(Swap::new(Arc::new(0usize)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = cell.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        cell.publish(Arc::new(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.generation(), 2_000);
+    }
+}

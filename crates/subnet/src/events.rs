@@ -135,7 +135,9 @@ impl EventOutcome {
 pub struct SmLoop<E> {
     sm: SubnetManager<E>,
     /// Deadlock-free engine of last resort (`None` disables the rung).
-    fallback: Option<Box<dyn RoutingEngine>>,
+    /// `Send` so the whole loop can serve from a background writer
+    /// thread (the route server's deployment shape).
+    fallback: Option<Box<dyn RoutingEngine + Send>>,
     /// The pristine fabric all event ids refer to.
     reference: Network,
     /// Canonical ids (lower id of each direction pair) of failed cables.
@@ -202,7 +204,7 @@ impl<E: RoutingEngine> SmLoop<E> {
     }
 
     /// Replace the fallback engine (`None` disables the fallback rung).
-    pub fn set_fallback(&mut self, fallback: Option<Box<dyn RoutingEngine>>) {
+    pub fn set_fallback(&mut self, fallback: Option<Box<dyn RoutingEngine + Send>>) {
         self.fallback = fallback;
     }
 

@@ -170,19 +170,26 @@ mod tests {
 
     #[test]
     fn collector_is_shareable_across_threads() {
-        let c = Arc::new(Collector::new());
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let c = c.clone();
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..1000 {
-                    c.add("n", 1);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        // Compile-time contract: every piece the serving path moves
+        // across threads really is Send + Sync — recorder impls, the
+        // shared handle, and the sink-carrying engine config.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Collector>();
+        assert_send_sync::<JsonlSink>();
+        assert_send_sync::<crate::Noop>();
+        assert_send_sync::<crate::RecorderHandle>();
+
+        // Borrowed sharing, no Arc: scoped threads hammer one collector.
+        let c = Collector::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add("n", 1);
+                    }
+                });
+            }
+        });
         assert_eq!(c.snapshot().counters["n"], 4000);
     }
 

@@ -64,6 +64,13 @@ pub mod phases {
     pub const FLITSIM: &str = "flitsim";
     /// Whole-binary wall clock (recorded by the repro CLI harness).
     pub const TOTAL: &str = "total";
+    /// One snapshot publish: vet gate + snapshot construction.
+    pub const SERVE_PUBLISH: &str = "serve_publish";
+    /// The atomic swap installing a published snapshot (the only part
+    /// of a publish concurrent readers can even theoretically notice).
+    pub const EPOCH_SWAP: &str = "epoch_swap";
+    /// One drained query batch answered by a serve worker.
+    pub const SERVE_BATCH: &str = "serve_batch";
 }
 
 /// Well-known counter names.
@@ -104,6 +111,19 @@ pub mod counters {
     pub const BREAKER_PROBES: &str = "breaker_probes";
     /// Bounded retries of a panicking primary engine.
     pub const ENGINE_RETRIES: &str = "engine_retries";
+    /// Path queries answered by the serve workers.
+    pub const QUERIES_SERVED: &str = "queries_served";
+    /// Queries that attached to an identical in-flight query.
+    pub const QUERIES_COALESCED: &str = "queries_coalesced";
+    /// Queries refused by admission control (budget or overload).
+    pub const QUERIES_REJECTED: &str = "queries_rejected";
+    /// Snapshot epochs published to readers.
+    pub const EPOCHS_PUBLISHED: &str = "epochs_published";
+    /// Snapshot publishes the vet gate refused.
+    pub const PUBLISH_REJECTED: &str = "publish_rejected";
+    /// Queries answered from an epoch older than the newest published
+    /// one (consistent, but one swap behind).
+    pub const STALE_READS: &str = "stale_reads";
 }
 
 /// Well-known histogram names.
@@ -118,6 +138,10 @@ pub mod hists {
     pub const REROUTE_US: &str = "reroute_us";
     /// Per-pattern mean flow bandwidth, milli-units (ORCS).
     pub const PATTERN_BW_MILLI: &str = "pattern_bw_milli";
+    /// Reader-visible pause per epoch swap, microseconds.
+    pub const SWAP_PAUSE_US: &str = "swap_pause_us";
+    /// Queries drained per serve-worker batch.
+    pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
 }
 
 /// A metrics sink. Implementations must be cheap to call; hot paths

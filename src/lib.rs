@@ -41,6 +41,7 @@
 //! | [`appsim`] | Netgauge / all-to-all / NAS workload models |
 //! | [`vet`] | static analyzer for routing artifacts (lints V001–V006) |
 //! | [`telemetry`] | phase timers, counters, histograms, run manifests |
+//! | [`serve`] | epoch-versioned snapshots, batched concurrent query engine |
 //!
 //! ## Measuring a run
 //!
@@ -78,6 +79,7 @@ pub use dfsssp_core as core;
 pub use fabric;
 pub use flitsim;
 pub use orcs;
+pub use serve;
 pub use subnet;
 pub use telemetry;
 pub use vet;
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use fabric::{Network, NetworkBuilder, Routes};
     pub use flitsim::{simulate, Outcome, SimConfig, Workload};
     pub use orcs::{effective_bisection_bandwidth, EbbOptions, Pattern};
+    pub use serve::{PathAnswer, PathQuery, QueryEngine, RouteServer, SnapshotStore};
     pub use subnet::{FabricEvent, Rung, SmLoop, SubnetManager};
     pub use telemetry::{Collector, Recorder, RecorderHandle, RunManifest};
     pub use vet::check;
