@@ -71,9 +71,12 @@ impl DeadlockReport {
 pub fn deadlock_report(net: &Network, routes: &Routes) -> Result<DeadlockReport, VerifyError> {
     let cfg = vet::Config {
         // Cyclic layers are this function's *result*, not an error; and
-        // minimality is verify_minimal's concern.
+        // minimality is verify_minimal's concern. Existence (V007) is a
+        // question about the network, not this artifact — callers who
+        // care ask `vet::existence` directly.
         deadlock_error: false,
         check_minimal: false,
+        check_existence: false,
         ..vet::Config::default()
     };
     let report = vet::analyze_with(net, routes, &cfg);

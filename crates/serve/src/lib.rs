@@ -26,14 +26,21 @@
 //!   and each successful reroute is offered to the store's vet gate.
 //! * [`pool`] — the `std`-only plumbing ([`pool::ShardedQueue`],
 //!   [`pool::scoped_map`]) other crates reuse for data-parallel sweeps.
+//!
+//! The concurrent cores take their primitives from the [`sync`] shim, so
+//! `--features loom-tests` compiles the exact production protocols against
+//! the `weave` model checker (see `src/models.rs` and DESIGN.md §13).
 
 #![warn(missing_docs)]
 
+#[cfg(all(test, feature = "loom-tests"))]
+mod models;
 pub mod pool;
 pub mod query;
 pub mod server;
 pub mod snapshot;
 pub mod swap;
+pub mod sync;
 
 pub use query::{
     Admission, PathAnswer, PathQuery, QueryClass, QueryEngine, QueryOpts, ServeError, Ticket,

@@ -7,7 +7,7 @@
 //! [`std::thread::available_parallelism`] via [`default_workers`].
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 /// The machine's available parallelism (≥ 1).
 pub fn default_workers() -> usize {
@@ -86,6 +86,15 @@ impl<T> ShardedQueue<T> {
     pub fn close(&self) {
         *self.closed.lock().unwrap() = true;
         for s in &self.shards {
+            // Acquire each shard's queue mutex before notifying. `closed`
+            // lives under its own lock, so without this a consumer could
+            // read `closed == false`, lose the CPU, and park *after* the
+            // notification below — a lost wakeup that hangs the worker
+            // forever. Taking the queue mutex forces that consumer to
+            // either finish parking first (the notify reaches it) or
+            // re-check `closed` after we set it. Found by the `weave`
+            // model in `crate::models::pool_queue_close_releases_blocked_consumer`.
+            let _q = s.queue.lock().unwrap();
             s.ready.notify_all();
         }
     }

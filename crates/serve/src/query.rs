@@ -33,8 +33,8 @@ use dfsssp_core::{Budget, BudgetGuard, RouteError};
 use fabric::{ChannelId, NodeId};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use telemetry::{counters, hists, phases, RecorderHandle};
 
@@ -207,30 +207,30 @@ impl Default for QueryOpts {
     }
 }
 
-type Key = (u32, u32);
+pub(crate) type Key = (u32, u32);
 
 #[derive(Default)]
-struct AnswerState {
-    answer: Option<Result<PathAnswer, ServeError>>,
+pub(crate) struct AnswerState {
+    pub(crate) answer: Option<Result<PathAnswer, ServeError>>,
     /// Waiters currently parked on `ready`; lets `fulfill` skip the
     /// wake syscall when every ticket-holder is still running.
-    sleepers: usize,
+    pub(crate) sleepers: usize,
 }
 
 /// A one-shot answer slot shared by *all* waiters coalesced onto one
 /// in-flight `(src, dst)` key. The worker fulfills it exactly once.
-struct AnswerCell {
-    state: Mutex<AnswerState>,
-    ready: Condvar,
+pub(crate) struct AnswerCell {
+    pub(crate) state: Mutex<AnswerState>,
+    pub(crate) ready: Condvar,
     /// Tickets attached to this cell. Attach happens under the shard
     /// lock; the worker reads the final count after unlinking the cell
     /// from the pending map (under the same lock), so no attach races
     /// the read.
-    waiters: AtomicUsize,
+    pub(crate) waiters: AtomicUsize,
 }
 
 impl AnswerCell {
-    fn new() -> Arc<Self> {
+    pub(crate) fn new() -> Arc<Self> {
         Arc::new(AnswerCell {
             state: Mutex::new(AnswerState::default()),
             ready: Condvar::new(),
@@ -238,7 +238,7 @@ impl AnswerCell {
         })
     }
 
-    fn fulfill(&self, answer: Result<PathAnswer, ServeError>) {
+    pub(crate) fn fulfill(&self, answer: Result<PathAnswer, ServeError>) {
         let mut st = self.state.lock().unwrap();
         if st.answer.is_none() {
             st.answer = Some(answer);
@@ -248,7 +248,7 @@ impl AnswerCell {
         }
     }
 
-    fn wait(&self) -> Result<PathAnswer, ServeError> {
+    pub(crate) fn wait(&self) -> Result<PathAnswer, ServeError> {
         let mut st = self.state.lock().unwrap();
         while st.answer.is_none() {
             st.sleepers += 1;
@@ -279,22 +279,22 @@ impl Ticket {
 
 /// One shard: its work queue and the coalescing map, under a single
 /// lock so a submit is one lock acquisition end to end.
-struct ShardState {
-    queue: VecDeque<Key>,
-    pending: FxHashMap<Key, Arc<AnswerCell>>,
+pub(crate) struct ShardState {
+    pub(crate) queue: VecDeque<Key>,
+    pub(crate) pending: FxHashMap<Key, Arc<AnswerCell>>,
     /// The shard worker is parked on `work`; submitters only pay the
     /// wake syscall when this is set.
-    parked: bool,
-    closed: bool,
+    pub(crate) parked: bool,
+    pub(crate) closed: bool,
 }
 
-struct Shard {
-    state: Mutex<ShardState>,
-    work: Condvar,
+pub(crate) struct Shard {
+    pub(crate) state: Mutex<ShardState>,
+    pub(crate) work: Condvar,
 }
 
 impl Shard {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Shard {
             state: Mutex::new(ShardState {
                 queue: VecDeque::new(),
@@ -563,7 +563,8 @@ mod tests {
     #[test]
     fn duplicate_queries_coalesce() {
         let net = topo::torus(&[3, 3], 1);
-        let collector = Arc::new(telemetry::Collector::new());
+        // std Arc: RecorderHandle is telemetry's alias, outside the shim.
+        let collector = std::sync::Arc::new(telemetry::Collector::new());
         let opts = QueryOpts {
             recorder: collector.clone(),
             workers: 1,

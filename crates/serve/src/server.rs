@@ -24,7 +24,7 @@ use crate::query::{QueryEngine, QueryOpts};
 use crate::snapshot::{PublishError, Snapshot, SnapshotStore};
 use dfsssp_core::RoutingEngine;
 use fabric::{Network, NodeId};
-use std::sync::Arc;
+use crate::sync::Arc;
 use subnet::{armor, EventOutcome, FabricEvent, SmError, SmLoop};
 use telemetry::RecorderHandle;
 

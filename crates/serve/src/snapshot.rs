@@ -19,8 +19,8 @@
 
 use crate::swap::Swap;
 use fabric::{Network, NodeId, Routes};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use std::time::Instant;
 use telemetry::{counters, hists, phases, RecorderHandle};
 
@@ -51,6 +51,13 @@ impl Snapshot {
     /// Number of virtual layers this epoch's routing uses.
     pub fn vls(&self) -> u8 {
         self.routes.num_layers()
+    }
+
+    /// The V007 existence verdict the publish gate admitted this epoch
+    /// under (e.g. the up*/down* certificate summary) — the *proof* an
+    /// admission decision cites, not just the absence of findings.
+    pub fn existence_proof(&self) -> Option<&str> {
+        self.vet.stats.existence.as_deref()
     }
 
     /// Resolve a reference terminal id to this epoch's view, `None`
@@ -104,6 +111,17 @@ pub enum PublishError {
         /// The full analysis.
         report: Box<vet::Report>,
     },
+    /// The *fabric itself* fails the deadlock-free-routing existence
+    /// condition (V007, arXiv:2503.04583): no single-layer routing —
+    /// this artifact or any other — can be deadlock-free on it. A
+    /// reroute cannot fix this; the caller must escalate (extra layer,
+    /// quarantine, drain) instead of retrying.
+    NoRoutingExists {
+        /// The V007 finding, witness included.
+        detail: String,
+        /// The full analysis.
+        report: Box<vet::Report>,
+    },
 }
 
 impl std::fmt::Display for PublishError {
@@ -111,6 +129,9 @@ impl std::fmt::Display for PublishError {
         match self {
             PublishError::VetRejected { errors, .. } => {
                 write!(f, "vet rejected the snapshot: {errors} error(s)")
+            }
+            PublishError::NoRoutingExists { detail, .. } => {
+                write!(f, "fabric fails the existence condition: {detail}")
             }
         }
     }
@@ -215,6 +236,19 @@ impl SnapshotStore {
     ) -> Result<Snapshot, PublishError> {
         let report = vet::check(&net, &routes);
         if report.num_errors() > 0 {
+            // A V007 error means the fabric, not the artifact, is beyond
+            // single-layer repair — name it so the caller escalates
+            // instead of burning reroute budget.
+            let existence_error = report
+                .diagnostics_for(vet::LintCode::DeadlockExistence)
+                .find(|d| d.severity == vet::Severity::Error)
+                .map(|d| d.message.clone());
+            if let Some(detail) = existence_error {
+                return Err(PublishError::NoRoutingExists {
+                    detail,
+                    report: Box::new(report),
+                });
+            }
             return Err(PublishError::VetRejected {
                 errors: report.num_errors(),
                 report: Box::new(report),
@@ -290,7 +324,7 @@ mod tests {
                 assert!(errors > 0);
                 assert!(report.has(vet::LintCode::CdgCycle));
             }
-            Ok(_) => panic!("cyclic artifact must be refused"),
+            other => panic!("cyclic artifact must be VetRejected, got {other:?}"),
         }
         // And the same gate guards a running store: the good epoch
         // stays current after a refused publish.
@@ -300,6 +334,38 @@ mod tests {
             .is_err());
         assert_eq!(store.epoch(), 0);
         assert_eq!(store.read().epoch, 0);
+    }
+
+    #[test]
+    fn published_snapshots_carry_an_existence_proof() {
+        let net = topo::torus(&[3, 3], 1);
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        let proof = store.read().existence_proof().unwrap().to_string();
+        assert!(proof.starts_with("certified"), "{proof}");
+    }
+
+    #[test]
+    fn existence_violation_is_named_not_lumped_in() {
+        // A half-dead inter-switch link: t1 -> t0 becomes unservable, so
+        // V007 refutes existence for the *fabric* and the gate must say
+        // so — this is not a "try another reroute" rejection.
+        let mut b = fabric::NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.add_channel(s0, s1).unwrap();
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        let routes = Routes::new(&net, "none");
+        match SnapshotStore::open(net, routes, None) {
+            Err(PublishError::NoRoutingExists { detail, report }) => {
+                assert!(detail.contains("no routing can serve"), "{detail}");
+                assert!(report.has(vet::LintCode::DeadlockExistence));
+            }
+            other => panic!("expected NoRoutingExists, got {other:?}"),
+        }
     }
 
     #[test]

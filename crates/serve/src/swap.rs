@@ -21,11 +21,13 @@
 //! ```
 //!
 //! A reader enters the slot `current` points at by incrementing its
-//! reader count, then loads the pointer and clones the `Arc` out of it.
-//! A writer publishes generation `g+1` into slot `(g+1) % S` — the slot
-//! least recently current — by swapping its pointer to null, draining
-//! that slot's reader count to zero, dropping the retired value, and
-//! only then installing the new one and redirecting `current`.
+//! reader count, then loads the pointer and clones the `Arc` out of it,
+//! and finally re-checks that `current` has not moved (retrying if it
+//! has). A writer publishes generation `g+1` into slot `(g+1) % S` — the
+//! slot least recently current — by swapping its pointer to null,
+//! draining that slot's reader count to zero, dropping the retired
+//! value, and only then installing the new one and redirecting
+//! `current`.
 //!
 //! Why this is sound (all orderings are `SeqCst`, so every atomic
 //! operation below sits in one total order):
@@ -48,17 +50,35 @@
 //!   through `RING - 1` full publishes (each a reroute plus a vet walk)
 //!   between two adjacent atomic operations to delay a writer at all,
 //!   and even then the writer only waits, it never corrupts.
+//! * The final `current` re-check makes reads **linearizable**: a read
+//!   returns only if `current` equals the generation it entered with,
+//!   which pins a moment (that last load) at which the returned value
+//!   *was* the current value. Publishers complete `current` before
+//!   releasing the writer lock and `current` is the monotonically
+//!   increasing generation itself (not a slot index), so the check
+//!   cannot be fooled by wraparound. Without it, a reader stalled
+//!   between choosing its slot and loading the pointer could return a
+//!   *newer* value than `current` points at, and a subsequent read
+//!   would then go backwards — an interleaving the `weave` model in
+//!   `crate::models` finds in seconds (see DESIGN.md §13).
 //!
 //! The one `unsafe` surface is the `Arc::into_raw` / `from_raw` round
 //! trip; the protocol above is what licenses it.
 
+use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use crate::sync::{Arc, Mutex};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
 
 /// Generations that can be live at once. Publishing generation `g`
 /// recycles the value of generation `g - RING + 1`.
+#[cfg(not(feature = "loom-tests"))]
 const RING: usize = 8;
+/// Under the model checker the ring shrinks to the smallest size that
+/// still recycles, so exhaustive exploration reaches the reader-vs-recycle
+/// race within two publishes instead of eight. The protocol is
+/// ring-size-independent; see `crate::models`.
+#[cfg(feature = "loom-tests")]
+const RING: usize = 2;
 
 struct Slot<T> {
     /// Readers currently inside this slot (between enter and exit).
@@ -80,7 +100,9 @@ impl<T> Slot<T> {
 /// A lock-free current-value cell: wait-free-in-practice reads of an
 /// `Arc<T>`, serialized writers. See the module docs for the protocol.
 pub struct Swap<T> {
-    /// Slot index readers should enter.
+    /// Latest fully published generation; readers enter slot
+    /// `current % RING`. Storing the generation rather than the slot
+    /// index keeps the read-side re-check wraparound-proof.
     current: AtomicUsize,
     slots: Box<[Slot<T>]>,
     /// Serializes publishers and owns the generation counter.
@@ -103,7 +125,8 @@ impl<T> Swap<T> {
     /// atomics, no mutex, no waiting on writers.
     pub fn read(&self) -> Arc<T> {
         loop {
-            let slot = &self.slots[self.current.load(SeqCst) % RING];
+            let gen = self.current.load(SeqCst);
+            let slot = &self.slots[gen % RING];
             slot.readers.fetch_add(1, SeqCst);
             let p = slot.ptr.load(SeqCst);
             if !p.is_null() {
@@ -118,11 +141,19 @@ impl<T> Swap<T> {
                     Arc::from_raw(p)
                 };
                 slot.readers.fetch_sub(1, SeqCst);
-                return arc;
+                if self.current.load(SeqCst) == gen {
+                    return arc;
+                }
+                // A publish completed while we were inside the slot, so
+                // `arc` may be newer than what `current` now points at;
+                // returning it would let a later read go backwards.
+                // Drop it and retry against the fresh generation.
+                drop(arc);
+            } else {
+                // Raced a recycle of a long-stale slot: back out, retry.
+                slot.readers.fetch_sub(1, SeqCst);
             }
-            // Raced a recycle of a long-stale slot: back out, retry.
-            slot.readers.fetch_sub(1, SeqCst);
-            std::hint::spin_loop();
+            crate::sync::spin_loop();
         }
     }
 
@@ -136,7 +167,7 @@ impl<T> Swap<T> {
         let slot = &self.slots[*gen % RING];
         let old = slot.ptr.swap(ptr::null_mut(), SeqCst);
         while slot.readers.load(SeqCst) != 0 {
-            std::thread::yield_now();
+            crate::sync::yield_now();
         }
         if !old.is_null() {
             // SAFETY: `old` came from `Arc::into_raw` at a previous
@@ -145,7 +176,7 @@ impl<T> Swap<T> {
             unsafe { drop(Arc::from_raw(old)) };
         }
         slot.ptr.store(Arc::into_raw(value) as *mut T, SeqCst);
-        self.current.store(*gen % RING, SeqCst);
+        self.current.store(*gen, SeqCst);
         *gen
     }
 

@@ -1,0 +1,28 @@
+//! Synchronisation shim: the crate's concurrent cores ([`crate::swap`],
+//! [`crate::query`], [`crate::pool`], [`crate::snapshot`]) import their
+//! primitives from here instead of `std` directly.
+//!
+//! * Default build: straight re-exports of `std::sync` / `std::thread` /
+//!   `std::hint` — zero cost, identical semantics.
+//! * `--features loom-tests`: re-exports of the [`weave`] model checker's
+//!   primitives. Outside a `weave::model` run those pass through to `std`,
+//!   so the crate's ordinary tests still behave normally; inside a model
+//!   every operation becomes an exhaustively explored scheduling point.
+//!
+//! The module is public so integration tests (e.g. `tests/stress.rs`) can
+//! name the same `Arc` type the crate's public signatures use under either
+//! configuration.
+
+#[cfg(feature = "loom-tests")]
+pub use weave::{
+    hint::spin_loop,
+    sync::{atomic, Arc, Condvar, Mutex, MutexGuard},
+    thread::yield_now,
+};
+
+#[cfg(not(feature = "loom-tests"))]
+pub use std::{
+    hint::spin_loop,
+    sync::{atomic, Arc, Condvar, Mutex, MutexGuard},
+    thread::yield_now,
+};

@@ -9,8 +9,11 @@ use dfsssp_core::DfSssp;
 use fabric::{topo, ChannelId, Network, NodeId};
 use rustc_hash::FxHashSet;
 use serve::{PathAnswer, PathQuery, QueryEngine, QueryOpts, RouteServer, ServedOutcome, Snapshot};
+// `serve::sync::Arc` so `store.read()`'s type matches under both the std
+// build and `--features loom-tests` (where it is weave's tracked Arc).
+use serve::sync::Arc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use subnet::FabricEvent;
 
 fn splitmix64(mut x: u64) -> u64 {

@@ -21,6 +21,7 @@
 //!   sequence.
 
 use crate::manager::SmError;
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -62,19 +63,62 @@ pub enum BreakerState {
 /// [`CircuitBreaker::allow`] refuses `cooldown` calls, then moves to
 /// half-open and admits one probe. A successful probe closes the
 /// breaker; a failed one re-opens it for a full cooldown.
-#[derive(Clone, Debug)]
+///
+/// The mutable state — `(state, consecutive, remaining)` — lives in one
+/// packed atomic word updated by compare-exchange loops, so every method
+/// takes `&self` and each transition is a single linearization point:
+/// concurrent `allow`/`record_failure` calls can never lose a failure
+/// count or admit two half-open probes (model-checked under
+/// `--features loom-tests`). `consecutive` and `remaining` each get 31
+/// bits; counts saturate there, which only matters for configurations
+/// beyond 2^31 (a saturated `remaining` still refuses, a saturated
+/// `consecutive` still stays below any larger threshold).
+#[derive(Debug)]
 pub struct CircuitBreaker {
     threshold: usize,
     cooldown: usize,
-    state: BreakerState,
-    consecutive: usize,
-    remaining: usize,
+    /// Packed `[state:2][consecutive:31][remaining:31]`.
+    word: AtomicU64,
+}
+
+/// Field widths/offsets of the packed breaker word.
+const BR_FIELD_BITS: u32 = 31;
+const BR_FIELD_MASK: u64 = (1 << BR_FIELD_BITS) - 1;
+
+fn br_pack(state: BreakerState, consecutive: u64, remaining: u64) -> u64 {
+    let s = match state {
+        BreakerState::Closed => 0u64,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    };
+    (s << (2 * BR_FIELD_BITS))
+        | (consecutive.min(BR_FIELD_MASK) << BR_FIELD_BITS)
+        | remaining.min(BR_FIELD_MASK)
+}
+
+fn br_unpack(word: u64) -> (BreakerState, u64, u64) {
+    let state = match word >> (2 * BR_FIELD_BITS) {
+        0 => BreakerState::Closed,
+        1 => BreakerState::Open,
+        _ => BreakerState::HalfOpen,
+    };
+    (state, (word >> BR_FIELD_BITS) & BR_FIELD_MASK, word & BR_FIELD_MASK)
 }
 
 impl Default for CircuitBreaker {
     /// Three consecutive failures open the breaker for two reroutes.
     fn default() -> Self {
         CircuitBreaker::new(3, 2)
+    }
+}
+
+impl Clone for CircuitBreaker {
+    fn clone(&self) -> Self {
+        CircuitBreaker {
+            threshold: self.threshold,
+            cooldown: self.cooldown,
+            word: AtomicU64::new(self.word.load(Ordering::SeqCst)),
+        }
     }
 }
 
@@ -86,71 +130,88 @@ impl CircuitBreaker {
         CircuitBreaker {
             threshold: threshold.max(1),
             cooldown: cooldown.max(1),
-            state: BreakerState::Closed,
-            consecutive: 0,
-            remaining: 0,
+            word: AtomicU64::new(br_pack(BreakerState::Closed, 0, 0)),
         }
     }
 
     /// Current state.
     pub fn state(&self) -> BreakerState {
-        self.state
+        br_unpack(self.word.load(Ordering::SeqCst)).0
     }
 
     /// Consecutive failures recorded since the last success.
     pub fn consecutive_failures(&self) -> usize {
-        self.consecutive
+        br_unpack(self.word.load(Ordering::SeqCst)).1 as usize
     }
 
     /// May the next call go to the primary engine? Ticks the cooldown
     /// while open; the call that exhausts it is admitted as the
-    /// half-open probe.
-    pub fn allow(&mut self) -> bool {
-        match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
-            BreakerState::Open => {
-                self.remaining = self.remaining.saturating_sub(1);
-                if self.remaining == 0 {
-                    self.state = BreakerState::HalfOpen;
-                    true
-                } else {
-                    false
+    /// half-open probe (exactly one caller wins that race).
+    pub fn allow(&self) -> bool {
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let (state, consecutive, remaining) = br_unpack(cur);
+            match state {
+                BreakerState::Closed | BreakerState::HalfOpen => return true,
+                BreakerState::Open => {
+                    let left = remaining.saturating_sub(1);
+                    let (next_state, verdict) = if left == 0 {
+                        (BreakerState::HalfOpen, true)
+                    } else {
+                        (BreakerState::Open, false)
+                    };
+                    let next = br_pack(next_state, consecutive, left);
+                    match self.word.compare_exchange(
+                        cur,
+                        next,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => return verdict,
+                        Err(seen) => cur = seen,
+                    }
                 }
             }
         }
     }
 
     /// Record a successful primary call: closes the breaker.
-    pub fn record_success(&mut self) {
-        self.state = BreakerState::Closed;
-        self.consecutive = 0;
+    pub fn record_success(&self) {
+        self.word
+            .store(br_pack(BreakerState::Closed, 0, 0), Ordering::SeqCst);
     }
 
     /// Record a failed primary call. Returns `true` when this failure
-    /// tripped the breaker open (from closed or from a failed probe).
-    pub fn record_failure(&mut self) -> bool {
-        match self.state {
-            BreakerState::Open => false,
-            BreakerState::HalfOpen => {
-                self.trip();
-                true
-            }
-            BreakerState::Closed => {
-                self.consecutive += 1;
-                if self.consecutive >= self.threshold {
-                    self.trip();
-                    true
-                } else {
-                    false
+    /// tripped the breaker open (from closed or from a failed probe);
+    /// under concurrency exactly one of the racing failures trips.
+    pub fn record_failure(&self) -> bool {
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let (state, consecutive, _remaining) = br_unpack(cur);
+            let (next, tripped) = match state {
+                BreakerState::Open => return false,
+                BreakerState::HalfOpen => (self.tripped_word(), true),
+                BreakerState::Closed => {
+                    let seen = consecutive.saturating_add(1);
+                    if seen as usize >= self.threshold {
+                        (self.tripped_word(), true)
+                    } else {
+                        (br_pack(BreakerState::Closed, seen, 0), false)
+                    }
                 }
+            };
+            match self
+                .word
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return tripped,
+                Err(seen) => cur = seen,
             }
         }
     }
 
-    fn trip(&mut self) {
-        self.state = BreakerState::Open;
-        self.remaining = self.cooldown;
-        self.consecutive = 0;
+    fn tripped_word(&self) -> u64 {
+        br_pack(BreakerState::Open, 0, self.cooldown as u64)
     }
 }
 
@@ -240,7 +301,7 @@ mod tests {
 
     #[test]
     fn breaker_walks_closed_open_halfopen_closed() {
-        let mut b = CircuitBreaker::new(2, 2);
+        let b = CircuitBreaker::new(2, 2);
         assert_eq!(b.state(), BreakerState::Closed);
         assert!(!b.record_failure());
         assert!(b.record_failure(), "second failure trips the threshold");
@@ -255,7 +316,7 @@ mod tests {
 
     #[test]
     fn failed_probe_reopens() {
-        let mut b = CircuitBreaker::new(1, 1);
+        let b = CircuitBreaker::new(1, 1);
         assert!(b.record_failure());
         assert!(b.allow(), "cooldown of 1: next call is the probe");
         assert!(b.record_failure(), "failed probe re-trips");
@@ -264,7 +325,7 @@ mod tests {
 
     #[test]
     fn success_resets_the_failure_streak() {
-        let mut b = CircuitBreaker::new(3, 1);
+        let b = CircuitBreaker::new(3, 1);
         b.record_failure();
         b.record_failure();
         b.record_success();
@@ -299,5 +360,122 @@ mod tests {
     fn backoff_caps_at_the_ceiling() {
         let p = RetryPolicy::default();
         assert!(p.backoff(60) <= p.max_backoff);
+    }
+}
+
+/// Exhaustive interleaving models for the breaker's packed-word CAS
+/// protocol, plus a torn-RMW mutant the checker must refute. Compiled
+/// only under `--features loom-tests`; see `serve::models` and
+/// DESIGN.md §13 for the scheme.
+#[cfg(all(test, feature = "loom-tests"))]
+mod breaker_models {
+    use super::*;
+    use weave::sync::Arc;
+    use weave::{thread, Builder};
+
+    #[test]
+    fn racing_failures_trip_exactly_once() {
+        Builder::default()
+            .check(|| {
+                let b = Arc::new(CircuitBreaker::new(2, 1));
+                let b2 = Arc::clone(&b);
+                let racer = thread::spawn(move || b2.record_failure());
+                let here = b.record_failure();
+                let there = racer.join().unwrap();
+                // Threshold 2, two racing failures: the CAS serializes
+                // them, so exactly the second one trips.
+                assert!(here ^ there, "expected exactly one trip: {here}/{there}");
+                assert_eq!(b.state(), BreakerState::Open);
+            })
+            .expect("racing record_failure must trip exactly once");
+    }
+
+    #[test]
+    fn racing_allows_admit_exactly_one_probe() {
+        Builder::default()
+            .check(|| {
+                let b = Arc::new(CircuitBreaker::new(1, 2));
+                assert!(b.record_failure(), "threshold 1 trips immediately");
+                let b2 = Arc::clone(&b);
+                let racer = thread::spawn(move || b2.allow());
+                let here = b.allow();
+                let there = racer.join().unwrap();
+                // Cooldown 2, two racing allows: one burns the budget and
+                // is refused, the other is admitted as the half-open probe.
+                assert!(here ^ there, "expected exactly one probe: {here}/{there}");
+                assert_eq!(b.state(), BreakerState::HalfOpen);
+            })
+            .expect("racing allow must admit exactly one half-open probe");
+    }
+
+    #[test]
+    fn success_during_failure_race_never_wedges_open_state() {
+        Builder::default()
+            .check(|| {
+                let b = Arc::new(CircuitBreaker::new(2, 1));
+                let b2 = Arc::clone(&b);
+                let failer = thread::spawn(move || {
+                    b2.record_failure();
+                });
+                b.record_success();
+                failer.join().unwrap();
+                // Whoever lost the race, the word must be a coherent
+                // state: either the streak restarted after the success or
+                // the failure landed after it (streak of one). Never open.
+                assert_ne!(b.state(), BreakerState::Open);
+                assert!(b.consecutive_failures() <= 1);
+            })
+            .expect("success racing one failure below threshold");
+    }
+
+    /// The seeded bug: `record_failure` as a torn load/modify/store
+    /// instead of a CAS loop — the exact defect the packed-word design
+    /// exists to rule out.
+    struct TornBreaker {
+        threshold: usize,
+        word: crate::sync::atomic::AtomicU64,
+    }
+
+    impl TornBreaker {
+        fn record_failure(&self) -> bool {
+            use crate::sync::atomic::Ordering;
+            let cur = self.word.load(Ordering::SeqCst);
+            let (state, consecutive, _) = br_unpack(cur);
+            let (next, tripped) = match state {
+                BreakerState::Open => return false,
+                BreakerState::HalfOpen => (br_pack(BreakerState::Open, 0, 1), true),
+                BreakerState::Closed => {
+                    let seen = consecutive.saturating_add(1);
+                    if seen >= self.threshold as u64 {
+                        (br_pack(BreakerState::Open, 0, 1), true)
+                    } else {
+                        (br_pack(BreakerState::Closed, seen, 0), false)
+                    }
+                }
+            };
+            self.word.store(next, Ordering::SeqCst);
+            tripped
+        }
+    }
+
+    #[test]
+    fn mutant_torn_rmw_loses_a_failure() {
+        let failure = Builder::default()
+            .check(|| {
+                let b = Arc::new(TornBreaker {
+                    threshold: 2,
+                    word: crate::sync::atomic::AtomicU64::new(0),
+                });
+                let b2 = Arc::clone(&b);
+                let racer = thread::spawn(move || b2.record_failure());
+                let here = b.record_failure();
+                let there = racer.join().unwrap();
+                assert!(here ^ there, "expected exactly one trip: {here}/{there}");
+            })
+            .expect_err("a torn RMW must lose one of the racing failures");
+        assert!(
+            failure.message.contains("exactly one trip"),
+            "{failure}"
+        );
     }
 }

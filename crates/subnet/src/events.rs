@@ -86,6 +86,14 @@ pub enum Rung {
         /// Name of the fallback engine.
         engine: String,
     },
+    /// V007 refuted single-layer deadlock-free-routing existence for
+    /// the degraded view (`vet::existence`): whatever the engine does
+    /// next, multiple virtual layers are provably *necessary*, not a
+    /// heuristic choice. The rung cites the witness size.
+    MultiLayerForced {
+        /// Channels in the forced dependency cycle witness.
+        witness: usize,
+    },
 }
 
 impl std::fmt::Display for Rung {
@@ -95,6 +103,7 @@ impl std::fmt::Display for Rung {
             Rung::Quarantine { stranded } => write!(f, "quarantine({})", stranded.len()),
             Rung::WidenedVls { budget } => write!(f, "widened-vls({budget})"),
             Rung::Fallback { engine } => write!(f, "fallback({engine})"),
+            Rung::MultiLayerForced { witness } => write!(f, "multi-layer-forced({witness})"),
         }
     }
 }
@@ -119,6 +128,9 @@ pub struct EventOutcome {
     pub retries: usize,
     /// Virtual layers of the serving routing after the event.
     pub vls: usize,
+    /// The V007 existence verdict for the served view, one line — the
+    /// proof the admission decision cites (`None` for no-op batches).
+    pub existence: Option<String>,
     /// Wall-clock reroute time.
     pub elapsed: Duration,
 }
@@ -192,6 +204,7 @@ impl<E: RoutingEngine> SmLoop<E> {
                 rerouted: false,
                 retries: 0,
                 vls: 0,
+                existence: None,
                 elapsed: Duration::ZERO,
             },
             breaker: CircuitBreaker::default(),
@@ -318,6 +331,7 @@ impl<E: RoutingEngine> SmLoop<E> {
                 rerouted: false,
                 retries: 0,
                 vls: self.current.routes.num_layers() as usize,
+                existence: self.last.existence.clone(),
                 elapsed: Duration::ZERO,
             };
             self.last = outcome.clone();
@@ -433,6 +447,37 @@ impl<E: RoutingEngine> SmLoop<E> {
                 total: view.num_nodes(),
             })?;
 
+        // V007: decide what the degraded view still *admits* before
+        // spending engine budget on it. The quarantine rung left the
+        // view strongly connected, so the verdict here is either a
+        // certificate (cited in the outcome), a proof that one layer
+        // cannot possibly suffice (recorded as its own rung), or
+        // undecided (the engine settles it empirically).
+        let existence = match vet::existence(&view) {
+            vet::Existence::Exists { roots, pairs } => format!(
+                "certified: up*/down* from {} root(s) covers {pairs} pair(s)",
+                roots.len()
+            ),
+            vet::Existence::NotExists(vet::ExistenceWitness::ForcedCycle { channels }) => {
+                rungs.push(Rung::MultiLayerForced {
+                    witness: channels.len(),
+                });
+                format!(
+                    "refuted: forced dependency cycle of {} channel(s); multiple layers required",
+                    channels.len()
+                )
+            }
+            vet::Existence::NotExists(vet::ExistenceWitness::OneWayPair { src, dst }) => {
+                // Cannot happen after the strong-connectivity extraction
+                // above; record it rather than panic if degrade ever
+                // changes semantics.
+                format!("refuted: one-way pair {src:?} -> {dst:?} survived core extraction")
+            }
+            vet::Existence::Undecided { src, dst } => {
+                format!("undecided: pair {src:?} -> {dst:?} uncertified")
+            }
+        };
+
         // Rungs 2 and 3: widen the VL budget, then fall back. The
         // primary engine runs contained (panics become typed errors,
         // retried with bounded backoff) and behind the circuit breaker:
@@ -530,6 +575,7 @@ impl<E: RoutingEngine> SmLoop<E> {
             rerouted: true,
             retries,
             vls: fabric.routes.num_layers() as usize,
+            existence: Some(existence),
             elapsed: start.elapsed(),
         };
         self.net = view;
@@ -556,6 +602,7 @@ impl<E: RoutingEngine> SmLoop<E> {
                 Rung::Quarantine { .. } => counters::RUNG_QUARANTINE,
                 Rung::WidenedVls { .. } => counters::RUNG_WIDENED_VLS,
                 Rung::Fallback { .. } => counters::RUNG_FALLBACK,
+                Rung::MultiLayerForced { .. } => counters::RUNG_MULTI_LAYER_FORCED,
             };
             rec.add(counter, 1);
         }
@@ -612,6 +659,40 @@ mod tests {
         assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
         assert!(sm.outcome().rerouted);
         assert_eq!(sm.outcome().resolved_by(), Rung::Baseline);
+        // A healthy fabric's admission cites the V007 certificate.
+        let proof = sm.outcome().existence.as_deref().unwrap();
+        assert!(proof.starts_with("certified"), "{proof}");
+    }
+
+    #[test]
+    fn one_way_ring_forces_the_multi_layer_rung() {
+        // A unidirectional ring is strongly connected (no quarantine),
+        // but V007 refutes single-layer existence: the ladder must
+        // record that multiple layers are *provably* required, and the
+        // outcome cites the refutation.
+        let mut b = fabric::NetworkBuilder::new();
+        let s: Vec<_> = (0..4).map(|i| b.add_switch(format!("s{i}"), 4)).collect();
+        let t: Vec<_> = (0..4).map(|i| b.add_terminal(format!("t{i}"))).collect();
+        for i in 0..4 {
+            b.add_channel(s[i], s[(i + 1) % 4]).unwrap();
+            b.link(t[i], s[i]).unwrap();
+        }
+        let net = b.build();
+        let sm_node = net.terminals()[0];
+        let sm = SmLoop::bring_up(DfSssp::new(), net, sm_node).unwrap();
+        let outcome = sm.outcome();
+        assert!(
+            outcome
+                .rungs
+                .iter()
+                .any(|r| matches!(r, Rung::MultiLayerForced { witness } if *witness > 0)),
+            "rungs: {:?}",
+            outcome.rungs
+        );
+        let proof = outcome.existence.as_deref().unwrap();
+        assert!(proof.starts_with("refuted"), "{proof}");
+        // And the engine indeed needed more than one layer to serve it.
+        assert!(outcome.vls > 1, "vls: {}", outcome.vls);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod events;
 pub mod lft;
 pub mod lid;
 pub mod manager;
+pub mod sync;
 pub mod transition;
 
 pub use armor::{BreakerState, CircuitBreaker, RetryPolicy};

@@ -1,0 +1,10 @@
+//! Synchronisation shim (see `serve::sync` for the pattern): the circuit
+//! breaker's atomics come from here, so `--features loom-tests` compiles
+//! the exact production state machine against the `weave` model checker
+//! while the default build re-exports `std::sync::atomic` unchanged.
+
+#[cfg(feature = "loom-tests")]
+pub use weave::sync::atomic;
+
+#[cfg(not(feature = "loom-tests"))]
+pub use std::sync::atomic;

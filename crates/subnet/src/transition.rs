@@ -380,6 +380,10 @@ fn vet_ok(net: &Network, r: &mut Routes, hw_vls: usize) -> bool {
         hw_vls: Some(hw_vls.min(u8::MAX as usize) as u8),
         deadlock_error: true,
         check_minimal: false,
+        // The network is constant across an update window; its V007
+        // verdict is decided once by the ladder and the publish gate,
+        // not re-derived for every drain-and-swap stage.
+        check_existence: false,
         ..vet::Config::default()
     };
     vet::analyze_with(net, r, &cfg).clean()

@@ -273,8 +273,9 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
+                    // SAFETY: `self.bytes` came from a `&str` and `self.pos`
+                    // only ever advances past complete scalars (ASCII matches
+                    // above, `len_utf8` here), so the tail is valid UTF-8.
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();

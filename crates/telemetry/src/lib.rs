@@ -95,6 +95,9 @@ pub mod counters {
     pub const RUNG_WIDENED_VLS: &str = "rung_widened_vls";
     /// See [`RUNG_QUARANTINE`].
     pub const RUNG_FALLBACK: &str = "rung_fallback";
+    /// See [`RUNG_QUARANTINE`] — fired when V007 proves the degraded
+    /// view needs multiple virtual layers (existence refuted).
+    pub const RUNG_MULTI_LAYER_FORCED: &str = "rung_multi_layer_forced";
     /// Traffic patterns simulated (ORCS).
     pub const PATTERNS_SIMULATED: &str = "patterns_simulated";
     /// Packets delivered (flit simulator).

@@ -27,17 +27,24 @@ pub enum LintCode {
     VlOutOfRange,
     /// `V006`: a pair is routed over more hops than the shortest path.
     NonMinimalPath,
+    /// `V007`: the *fabric itself* (not any particular artifact) fails —
+    /// or cannot be certified to satisfy — the deadlock-free-routing
+    /// existence condition of Mendlovic & Matias (arXiv:2503.04583): no
+    /// assignment of paths on a single virtual layer can connect the
+    /// required terminal pairs with an acyclic channel dependency graph.
+    DeadlockExistence,
 }
 
 impl LintCode {
     /// All codes, in numeric order. `counts` arrays index by this order.
-    pub const ALL: [LintCode; 6] = [
+    pub const ALL: [LintCode; 7] = [
         LintCode::ForwardingLoop,
         LintCode::MissingEntry,
         LintCode::InvalidNextHop,
         LintCode::CdgCycle,
         LintCode::VlOutOfRange,
         LintCode::NonMinimalPath,
+        LintCode::DeadlockExistence,
     ];
 
     /// The stable `V00x` code string.
@@ -49,6 +56,7 @@ impl LintCode {
             LintCode::CdgCycle => "V004",
             LintCode::VlOutOfRange => "V005",
             LintCode::NonMinimalPath => "V006",
+            LintCode::DeadlockExistence => "V007",
         }
     }
 
@@ -61,6 +69,7 @@ impl LintCode {
             LintCode::CdgCycle => "cdg-cycle",
             LintCode::VlOutOfRange => "vl-out-of-range",
             LintCode::NonMinimalPath => "non-minimal-path",
+            LintCode::DeadlockExistence => "deadlock-existence",
         }
     }
 
@@ -74,6 +83,7 @@ impl LintCode {
             LintCode::CdgCycle => 3,
             LintCode::VlOutOfRange => 4,
             LintCode::NonMinimalPath => 5,
+            LintCode::DeadlockExistence => 6,
         }
     }
 }
@@ -160,6 +170,20 @@ pub enum Witness {
         hops: u32,
         minimal: u32,
     },
+    /// V007: a terminal pair connected by the fabric in one direction but
+    /// not the other (a half-dead cable, say) — no routing of any kind,
+    /// deadlock-free or not, can serve it.
+    OneWayPair { src: NodeId, dst: NodeId },
+    /// V007: dependency edges *forced* by pairs whose only path through
+    /// the fabric is unique close a cycle. Every single-layer routing
+    /// must contain each forced edge, so every one violates Dally &
+    /// Seitz: no deadlock-free routing exists on one layer. Consecutive
+    /// channels chain head-to-tail and the last feeds the first.
+    ForcedCycle { channels: Vec<ChannelId> },
+    /// V007 (undecided): the pair the certificate could not cover — it
+    /// is routable, but only over channels the up*/down* orientation
+    /// cannot order (directed-only links), and no refutation was found.
+    UncertifiedPair { src: NodeId, dst: NodeId },
 }
 
 /// One finding: a lint code, its severity, a human message and a witness.
@@ -211,6 +235,9 @@ pub struct Stats {
     /// Sample of terminal pairs whose table walk failed (broken or
     /// unreachable), capped at [`Stats::BROKEN_PAIR_SAMPLE`] entries.
     pub broken_pairs: Vec<(NodeId, NodeId)>,
+    /// V007 verdict summary when the existence check ran: what the
+    /// certificate proved (or why it couldn't), in one line.
+    pub existence: Option<String>,
 }
 
 impl Stats {
@@ -230,7 +257,7 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Findings per lint code, indexed like [`LintCode::ALL`]. Counts
     /// include suppressed findings.
-    pub counts: [usize; 6],
+    pub counts: [usize; 7],
     /// Findings per severity (info, warning, error), including suppressed.
     pub severity_counts: [usize; 3],
     /// Findings dropped by the per-code diagnostic cap.
@@ -324,7 +351,7 @@ impl Report {
 /// Collects diagnostics during analysis, enforcing the per-code cap.
 pub(crate) struct Emitter {
     pub diagnostics: Vec<Diagnostic>,
-    pub counts: [usize; 6],
+    pub counts: [usize; 7],
     pub severity_counts: [usize; 3],
     pub suppressed: usize,
     cap: usize,
@@ -334,7 +361,7 @@ impl Emitter {
     pub fn new(cap: usize) -> Self {
         Emitter {
             diagnostics: Vec::new(),
-            counts: [0; 6],
+            counts: [0; 7],
             severity_counts: [0; 3],
             suppressed: 0,
             cap,

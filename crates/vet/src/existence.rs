@@ -1,0 +1,559 @@
+//! V007 — does a deadlock-free routing *exist* for this fabric at all?
+//!
+//! Every other lint judges an artifact; this one judges the network.
+//! Mendlovic & Matias (arXiv:2503.04583) study exactly this question:
+//! given an arbitrary channel graph, does *some* assignment of paths
+//! connecting the required terminal pairs have an acyclic channel
+//! dependency graph (Dally & Seitz), without adding virtual layers? A
+//! degraded fabric can fail this condition — at which point no reroute,
+//! however clever, can restore single-layer deadlock freedom, and the
+//! control plane should escalate (add a layer, quarantine, drain)
+//! instead of burning reroute budget on an impossible ask.
+//!
+//! Deciding existence exactly is hard in general, so [`existence`] is a
+//! sound three-valued decision procedure scoped to **one virtual
+//! layer** (the Mendlovic–Matias setting; the multi-layer escape hatch
+//! is precisely what the escalation ladder buys):
+//!
+//! * [`Existence::NotExists`] — a machine-checkable refutation:
+//!   * **One-way pair**: terminals connected by cabling but directed
+//!     reachability holds in only one direction (a half-dead link). No
+//!     routing of any kind serves the pair, deadlock-free or not.
+//!   * **Forced cycle**: for some pairs the fabric admits exactly one
+//!     path (at every node along it, exactly one usable out-channel
+//!     makes progress). The dependency edges of such paths appear in
+//!     *every* routing; if their union is cyclic, every single-layer
+//!     routing violates Dally & Seitz.
+//! * [`Existence::Exists`] — a certificate: orient the bidirected
+//!   subgraph up*/down* from a BFS root per component ((depth, id)
+//!   order), verify the allowed-dependency graph (everything except
+//!   down→up turns) is acyclic, and check every required pair has both
+//!   endpoints under a common root. Up*/down* paths then connect every
+//!   required pair with dependencies drawn only from the acyclic
+//!   allowed graph — a constructive deadlock-free routing.
+//! * [`Existence::Undecided`] — neither side closed: some pair is
+//!   routable only over one-directional channels the up*/down*
+//!   certificate cannot order. Reported as a warning, never an error.
+//!
+//! Pairs in different undirected (cabling) components are *not*
+//! required: they are latent fabric facts in V002's jurisdiction, and a
+//! fabric split in two still deserves an existence verdict per half.
+
+use crate::cdg_lint;
+use fabric::{ChannelId, Network, NodeId};
+use rustc_hash::FxHashSet;
+
+/// The V007 verdict for a fabric. See the module docs for semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Existence {
+    /// A deadlock-free single-layer routing exists; the up*/down*
+    /// orientation rooted at `roots` (one per bidirected component) is
+    /// a constructive witness covering all `pairs` required pairs.
+    Exists {
+        roots: Vec<NodeId>,
+        /// Ordered terminal pairs the certificate covers.
+        pairs: usize,
+    },
+    /// No single-layer deadlock-free routing exists; the witness is a
+    /// concrete refutation.
+    NotExists(ExistenceWitness),
+    /// The procedure could neither certify nor refute; `(src, dst)` is
+    /// the first required pair the certificate fails to cover.
+    Undecided { src: NodeId, dst: NodeId },
+}
+
+/// A concrete refutation of single-layer deadlock-free-routing
+/// existence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExistenceWitness {
+    /// `src` and `dst` share a cable path but no directed path: the
+    /// pair is unservable outright.
+    OneWayPair { src: NodeId, dst: NodeId },
+    /// Dependency edges forced by unique paths close this cycle
+    /// (channels chain head-to-tail, last feeds first).
+    ForcedCycle { channels: Vec<ChannelId> },
+}
+
+/// Per-pair work cap for the forced-path walks: pairs² × channels
+/// beyond this skips the walks (the refuter weakens to one-way pairs
+/// only — sound, the verdict just leans Undecided on huge degraded
+/// fabrics instead of stalling a publish gate).
+const FORCED_WALK_BUDGET: u64 = 50_000_000;
+
+/// Decide whether `net` admits a deadlock-free routing on a single
+/// virtual layer. Runs in `O(T · E)` for the reachability passes plus
+/// `O(T² · diameter · E)` (budget-capped) for the forced-path walks.
+pub fn existence(net: &Network) -> Existence {
+    let terms = net.terminals();
+    if terms.len() < 2 {
+        // Nothing to route: the empty routing is vacuously deadlock-free.
+        return Existence::Exists {
+            roots: Vec::new(),
+            pairs: 0,
+        };
+    }
+
+    let cert = Certificate::build(net);
+    let walk_forced = (terms.len() as u64).pow(2)
+        .saturating_mul(net.num_channels().max(1) as u64)
+        <= FORCED_WALK_BUDGET;
+    let mut forced: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut uncertified: Option<(NodeId, NodeId)> = None;
+    let mut required_pairs = 0usize;
+
+    for &d in terms {
+        let reach = directed_reach_to(net, d);
+        let cabled = undirected_reach_to(net, d);
+        for &s in terms {
+            if s == d || !cabled[s.idx()] {
+                continue;
+            }
+            required_pairs += 1;
+            if !reach[s.idx()] {
+                return Existence::NotExists(ExistenceWitness::OneWayPair { src: s, dst: d });
+            }
+            if walk_forced {
+                collect_forced_edges(net, s, d, &mut forced);
+            }
+            if uncertified.is_none() && !cert.covers(net, s, d) {
+                uncertified = Some((s, d));
+            }
+        }
+    }
+
+    if let Some(channels) = cdg_lint::find_cycle(net.num_channels(), &forced) {
+        return Existence::NotExists(ExistenceWitness::ForcedCycle { channels });
+    }
+    if let Some((src, dst)) = uncertified {
+        return Existence::Undecided { src, dst };
+    }
+    Existence::Exists {
+        roots: cert.roots,
+        pairs: required_pairs,
+    }
+}
+
+/// Nodes with a directed path to `d` transiting only switches. `d`
+/// itself is marked; terminals may source such a path but never relay
+/// one, so the reverse BFS expands switch nodes only.
+fn directed_reach_to(net: &Network, d: NodeId) -> Vec<bool> {
+    let mut reach = vec![false; net.num_nodes()];
+    reach[d.idx()] = true;
+    let mut queue = vec![d];
+    while let Some(v) = queue.pop() {
+        for &c in net.in_channels(v) {
+            let u = net.channel(c).src;
+            if !reach[u.idx()] {
+                reach[u.idx()] = true;
+                if net.is_switch(u) {
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Nodes sharing a cable path with `d` (channels taken in either
+/// direction), same switch-transit rule. Defines which pairs the
+/// fabric *intends* to connect — and therefore which pairs V007 must
+/// account for.
+fn undirected_reach_to(net: &Network, d: NodeId) -> Vec<bool> {
+    let mut reach = vec![false; net.num_nodes()];
+    reach[d.idx()] = true;
+    let mut queue = vec![d];
+    while let Some(v) = queue.pop() {
+        let backwards = net.in_channels(v).iter().map(|&c| net.channel(c).src);
+        let forwards = net.out_channels(v).iter().map(|&c| net.channel(c).dst);
+        for u in backwards.chain(forwards) {
+            if !reach[u.idx()] {
+                reach[u.idx()] = true;
+                if net.is_switch(u) {
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Walk from `s` toward `d` as long as exactly one out-channel makes
+/// progress — progress meaning its head still reaches `d` by a *simple*
+/// continuation (avoiding every node already on the walk; a head that
+/// can only reach `d` back through the walk offers no real choice). A
+/// fully forced walk pins its dependency edges into every routing that
+/// serves the pair; any genuine branching point ends the obligation and
+/// the pair contributes nothing.
+fn collect_forced_edges(net: &Network, s: NodeId, d: NodeId, forced: &mut FxHashSet<(u32, u32)>) {
+    let mut cur = s;
+    let mut prev: Option<ChannelId> = None;
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+    let mut visited = FxHashSet::default();
+    visited.insert(s);
+    while cur != d {
+        let reach = directed_reach_avoiding(net, d, &visited);
+        let mut usable = net.out_channels(cur).iter().copied().filter(|&c| {
+            let head = net.channel(c).dst;
+            reach[head.idx()] && (head == d || net.is_switch(head))
+        });
+        let (Some(c), None) = (usable.next(), usable.next()) else {
+            return; // a choice exists (or none) — nothing is forced
+        };
+        let head = net.channel(c).dst;
+        visited.insert(head);
+        if let Some(p) = prev {
+            pending.push((p.0, c.0));
+        }
+        prev = Some(c);
+        cur = head;
+    }
+    forced.extend(pending);
+}
+
+/// [`directed_reach_to`] restricted to paths that dodge `avoid`
+/// (`d` itself is assumed not to be avoided).
+fn directed_reach_avoiding(net: &Network, d: NodeId, avoid: &FxHashSet<NodeId>) -> Vec<bool> {
+    let mut reach = vec![false; net.num_nodes()];
+    reach[d.idx()] = true;
+    let mut queue = vec![d];
+    while let Some(v) = queue.pop() {
+        for &c in net.in_channels(v) {
+            let u = net.channel(c).src;
+            if !reach[u.idx()] && !avoid.contains(&u) {
+                reach[u.idx()] = true;
+                if net.is_switch(u) {
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// The up*/down* existence certificate: a BFS orientation of the
+/// bidirected subgraph, self-checked for acyclicity of its allowed
+/// dependency graph.
+struct Certificate {
+    /// One BFS root per bidirected switch component.
+    roots: Vec<NodeId>,
+    /// Switch component index, `usize::MAX` off the bidirected subgraph.
+    comp: Vec<usize>,
+    /// BFS depth within the component (switches only).
+    depth: Vec<u32>,
+    /// Whether the allowed-dependency acyclicity self-check passed; if
+    /// not, the certificate covers nothing (conservative).
+    valid: bool,
+}
+
+impl Certificate {
+    fn build(net: &Network) -> Certificate {
+        let n = net.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut depth = vec![u32::MAX; n];
+        let mut roots = Vec::new();
+
+        // Components and depths over bidirected switch-switch links.
+        for &root in net.switches() {
+            if comp[root.idx()] != usize::MAX {
+                continue;
+            }
+            let cid = roots.len();
+            roots.push(root);
+            comp[root.idx()] = cid;
+            depth[root.idx()] = 0;
+            let mut queue = std::collections::VecDeque::from([root]);
+            while let Some(u) = queue.pop_front() {
+                for &c in net.out_channels(u) {
+                    let v = net.channel(c).dst;
+                    if net.is_switch(v) && paired(net, c) && comp[v.idx()] == usize::MAX {
+                        comp[v.idx()] = cid;
+                        depth[v.idx()] = depth[u.idx()] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        // Terminals hang one level below their (unique-component) switch.
+        // A terminal cabled into several components keeps MAX and is
+        // handled pairwise in `covers` via its attachment list.
+        for &t in net.terminals() {
+            let mut attached: Option<(usize, u32)> = None;
+            let mut multi = false;
+            for &c in net.out_channels(t) {
+                let v = net.channel(c).dst;
+                if net.is_switch(v) && paired(net, c) && comp[v.idx()] != usize::MAX {
+                    match attached {
+                        None => attached = Some((comp[v.idx()], depth[v.idx()] + 1)),
+                        Some((cid, ref mut dep)) if cid == comp[v.idx()] => {
+                            *dep = (*dep).min(depth[v.idx()] + 1);
+                        }
+                        Some(_) => multi = true,
+                    }
+                }
+            }
+            if let (Some((cid, dep)), false) = (attached, multi) {
+                comp[t.idx()] = cid;
+                depth[t.idx()] = dep;
+            }
+        }
+
+        let mut cert = Certificate {
+            roots,
+            comp,
+            depth,
+            valid: false,
+        };
+        cert.valid = cert.allowed_graph_is_acyclic(net);
+        cert
+    }
+
+    /// (depth, id) order within a component; `None` when the node has
+    /// no single home component.
+    fn ord(&self, v: NodeId) -> Option<(u32, u32)> {
+        (self.comp[v.idx()] != usize::MAX).then(|| (self.depth[v.idx()], v.0))
+    }
+
+    /// `true` when the channel ascends toward its component's root.
+    fn is_up(&self, net: &Network, c: ChannelId) -> Option<bool> {
+        let ch = net.channel(c);
+        if self.comp[ch.src.idx()] != self.comp[ch.dst.idx()] {
+            return None;
+        }
+        Some(self.ord(ch.dst)? < self.ord(ch.src)?)
+    }
+
+    /// Self-check: the dependency edges up*/down* permits — every
+    /// chain except a down-channel feeding an up-channel — must be
+    /// acyclic, or the orientation proves nothing.
+    fn allowed_graph_is_acyclic(&self, net: &Network) -> bool {
+        let mut allowed: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for &v in net.switches() {
+            for &a in net.in_channels(v) {
+                let Some(a_up) = self.is_up(net, a) else {
+                    continue;
+                };
+                for &b in net.out_channels(v) {
+                    let Some(b_up) = self.is_up(net, b) else {
+                        continue;
+                    };
+                    if a_up || !b_up {
+                        allowed.insert((a.0, b.0));
+                    }
+                }
+            }
+        }
+        cdg_lint::find_cycle(net.num_channels(), &allowed).is_none()
+    }
+
+    /// Does the certificate cover the ordered pair `(s, d)`? Yes when
+    /// the self-check passed and either both live under one root (an
+    /// up-then-down path connects them) or a bidirected link joins
+    /// them directly (a single hop has no dependencies).
+    fn covers(&self, net: &Network, s: NodeId, d: NodeId) -> bool {
+        if !self.valid {
+            return false;
+        }
+        if self.comp[s.idx()] != usize::MAX && self.comp[s.idx()] == self.comp[d.idx()] {
+            return true;
+        }
+        net.channel_between(s, d)
+            .is_some_and(|c| paired(net, c))
+    }
+}
+
+/// Does the reverse channel exist? Bidirected channels are the raw
+/// material of the up*/down* certificate.
+fn paired(net: &Network, c: ChannelId) -> bool {
+    let ch = net.channel(c);
+    net.channel_between(ch.dst, ch.src).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::NetworkBuilder;
+
+    /// t0 - s0 - s1 - t1 with everything bidirected.
+    fn healthy_line() -> Network {
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(s0, s1).unwrap();
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn healthy_line_is_certified() {
+        let v = existence(&healthy_line());
+        let Existence::Exists { roots, pairs } = v else {
+            panic!("expected a certificate, got {v:?}");
+        };
+        assert_eq!(roots.len(), 1);
+        assert_eq!(pairs, 2);
+    }
+
+    #[test]
+    fn one_way_degradation_is_refuted() {
+        // t0 - s0 = s1 - t1 where the s1 -> s0 direction is dead.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.add_channel(s0, s1).unwrap();
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        let net = b.build();
+        let v = existence(&net);
+        assert_eq!(
+            v,
+            Existence::NotExists(ExistenceWitness::OneWayPair { src: t1, dst: t0 })
+        );
+    }
+
+    #[test]
+    fn unidirectional_ring_forces_a_cycle() {
+        // Switches cabled clockwise-only: every pair has exactly one
+        // path, and the forced dependencies close the ring.
+        let mut b = NetworkBuilder::new();
+        let s: Vec<_> = (0..4).map(|i| b.add_switch(format!("s{i}"), 4)).collect();
+        let t: Vec<_> = (0..4).map(|i| b.add_terminal(format!("t{i}"))).collect();
+        for i in 0..4 {
+            b.add_channel(s[i], s[(i + 1) % 4]).unwrap();
+            b.link(t[i], s[i]).unwrap();
+        }
+        let net = b.build();
+        let v = existence(&net);
+        let Existence::NotExists(ExistenceWitness::ForcedCycle { channels }) = v else {
+            panic!("expected a forced cycle, got {v:?}");
+        };
+        assert!(!channels.is_empty());
+        // The witness chains head-to-tail and closes.
+        for w in channels.windows(2) {
+            assert_eq!(net.channel(w[0]).dst, net.channel(w[1]).src);
+        }
+        assert_eq!(
+            net.channel(*channels.last().unwrap()).dst,
+            net.channel(channels[0]).src
+        );
+    }
+
+    #[test]
+    fn bidirected_ring_is_certified_despite_cycles_in_the_graph() {
+        // A healthy ring has cyclic channel dependencies available, but
+        // up*/down* avoids them: existence holds.
+        let mut b = NetworkBuilder::new();
+        let s: Vec<_> = (0..4).map(|i| b.add_switch(format!("s{i}"), 4)).collect();
+        let t: Vec<_> = (0..4).map(|i| b.add_terminal(format!("t{i}"))).collect();
+        for i in 0..4 {
+            b.link(s[i], s[(i + 1) % 4]).unwrap();
+            b.link(t[i], s[i]).unwrap();
+        }
+        let v = existence(&b.build());
+        assert!(matches!(v, Existence::Exists { pairs: 12, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn split_fabric_certifies_each_island() {
+        // Two disconnected islands: pairs across are not required, each
+        // island certifies on its own root.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let t: Vec<_> = (0..4).map(|i| b.add_terminal(format!("t{i}"))).collect();
+        b.link(t[0], s0).unwrap();
+        b.link(t[1], s0).unwrap();
+        b.link(t[2], s1).unwrap();
+        b.link(t[3], s1).unwrap();
+        let v = existence(&b.build());
+        let Existence::Exists { roots, pairs } = v else {
+            panic!("expected per-island certificates, got {v:?}");
+        };
+        assert_eq!(roots.len(), 2);
+        assert_eq!(pairs, 4, "two ordered pairs per island");
+    }
+
+    #[test]
+    fn directed_only_detour_is_undecided() {
+        // s0 and s1 joined by one-way rings through two relay switches:
+        // both directions are reachable (no one-way pair) and the
+        // forced dependencies do not close a cycle, but the bidirected
+        // certificate cannot order the relay channels — Undecided.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let s1 = b.add_switch("s1", 4);
+        let ra = b.add_switch("ra", 4);
+        let rb = b.add_switch("rb", 4);
+        let t0 = b.add_terminal("t0");
+        let t1 = b.add_terminal("t1");
+        b.link(t0, s0).unwrap();
+        b.link(t1, s1).unwrap();
+        b.add_channel(s0, ra).unwrap();
+        b.add_channel(ra, s1).unwrap();
+        b.add_channel(s1, rb).unwrap();
+        b.add_channel(rb, s0).unwrap();
+        let v = existence(&b.build());
+        assert!(matches!(v, Existence::Undecided { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn single_terminal_is_vacuously_deadlock_free() {
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_switch("s0", 4);
+        let t0 = b.add_terminal("t0");
+        b.link(t0, s0).unwrap();
+        assert!(matches!(
+            existence(&b.build()),
+            Existence::Exists { pairs: 0, .. }
+        ));
+    }
+
+    /// Acceptance: V007 stays silent (certifies) on every healthy example
+    /// topology. The one honest exception is the directed Kautz graph,
+    /// whose antiparallel detours the forced-walk cannot certify or
+    /// refute — it must land on `Undecided`, never `NotExists`.
+    #[test]
+    fn example_topologies_stay_silent() {
+        use fabric::topo;
+        let healthy: Vec<(&str, Network)> = vec![
+            ("ring", topo::ring(8, 1)),
+            ("star", topo::star(6)),
+            ("fully-connected", topo::fully_connected(5, 1)),
+            ("mesh", topo::mesh(&[3, 3], 1)),
+            ("torus", topo::torus(&[4, 4], 1)),
+            ("hypercube", topo::hypercube(3, 1)),
+            ("kary-ntree", topo::kary_ntree(2, 3)),
+            ("xgft", topo::xgft(2, &[4, 4], &[1, 2])),
+            ("dragonfly", topo::dragonfly(4, 2, 2)),
+            ("kautz-bidirected", topo::kautz(2, 3, 24, true)),
+            (
+                "random",
+                topo::random_topology(
+                    &topo::RandomTopoSpec {
+                        switches: 8,
+                        radix: 8,
+                        terminals_per_switch: 2,
+                        interswitch_links: 12,
+                    },
+                    42,
+                ),
+            ),
+        ];
+        for (name, net) in &healthy {
+            let v = existence(net);
+            assert!(
+                matches!(v, Existence::Exists { .. }),
+                "{name}: expected a certificate, got {v:?}"
+            );
+        }
+        let v = existence(&topo::kautz(2, 3, 24, false));
+        assert!(
+            matches!(v, Existence::Undecided { .. }),
+            "directed kautz: expected undecided, got {v:?}"
+        );
+    }
+}

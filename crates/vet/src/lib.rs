@@ -13,16 +13,25 @@
 //! | V004 | cdg-cycle | cyclic channel dependencies within a layer |
 //! | V005 | vl-out-of-range | layer assignment out of range / over the hardware limit / imbalanced |
 //! | V006 | non-minimal-path | routes longer than the shortest path |
+//! | V007 | deadlock-existence | fabrics where *no* single-layer deadlock-free routing can exist |
 //!
 //! The analysis is destination-centric: one colored walk of the next-hop
 //! function per destination classifies every node in O(V), instead of
 //! re-walking each of the O(V²) pairs. See [`analyze`] and [`Report`].
+//!
+//! V001–V006 judge the artifact; V007 judges the *network* (see
+//! [`existence`] and the [`existence()`][fn@existence] decision
+//! procedure): after degradation, can any reroute on one virtual layer
+//! still be deadlock-free? Its verdict gates admission upstream — an
+//! Error here means escalate (extra layer, quarantine), not reroute.
 
 mod cdg_lint;
 mod diag;
+mod existence;
 mod walk;
 
 pub use diag::{Diagnostic, LintCode, Report, Severity, Stats, Witness};
+pub use existence::{existence, Existence, ExistenceWitness};
 
 use fabric::{ChannelId, Network, Routes};
 use rustc_hash::FxHashSet;
@@ -46,6 +55,12 @@ pub struct Config {
     /// Retain at most this many diagnostics per lint code; the rest are
     /// counted but dropped (see [`Report::suppressed`]).
     pub max_diagnostics_per_code: usize,
+    /// Whether to run the V007 existence check ([`existence`]): does the
+    /// fabric itself still admit *some* single-layer deadlock-free
+    /// routing? `NotExists` is an error with a concrete witness,
+    /// `Undecided` a warning, `Exists` records its certificate in
+    /// [`Stats::existence`].
+    pub check_existence: bool,
 }
 
 impl Default for Config {
@@ -56,6 +71,7 @@ impl Default for Config {
             check_minimal: true,
             imbalance_factor: 4.0,
             max_diagnostics_per_code: 25,
+            check_existence: true,
         }
     }
 }
@@ -174,6 +190,80 @@ pub fn analyze_with(net: &Network, routes: &Routes, cfg: &Config) -> Report {
                     populations: stats.paths_per_layer.clone(),
                 },
             );
+        }
+    }
+
+    // V007: Mendlovic & Matias — does the fabric still admit *any*
+    // single-layer deadlock-free routing? A network-level verdict: the
+    // artifact under analysis neither helps nor hurts it. A refutation
+    // condemns *single-layer* artifacts outright; an artifact already
+    // on multiple layers took the one escape hatch the theorem leaves
+    // open, so for it the refutation is a (citable) warning that the
+    // extra layers are provably necessary, not optional.
+    if cfg.check_existence {
+        let refuted_sev = if routes.num_layers() <= 1 {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
+        match existence::existence(net) {
+            Existence::Exists { roots, pairs } => {
+                stats.existence = Some(format!(
+                    "certified: up*/down* orientation from {} root(s) covers all {pairs} \
+                     required pair(s) with an acyclic dependency graph",
+                    roots.len()
+                ));
+            }
+            Existence::NotExists(ExistenceWitness::OneWayPair { src, dst }) => {
+                stats.existence = Some(format!("refuted: one-way pair {src:?} -> {dst:?}"));
+                em.emit(
+                    LintCode::DeadlockExistence,
+                    // One-way pairs are unservable at *any* layer count.
+                    Severity::Error,
+                    format!(
+                        "no routing can serve {src:?} -> {dst:?}: the pair is cabled but \
+                         directed reachability holds only the other way (half-dead link?)"
+                    ),
+                    Witness::OneWayPair { src, dst },
+                );
+            }
+            Existence::NotExists(ExistenceWitness::ForcedCycle { channels }) => {
+                stats.existence = Some(format!(
+                    "refuted: forced dependency cycle of {} channel(s)",
+                    channels.len()
+                ));
+                em.emit(
+                    LintCode::DeadlockExistence,
+                    refuted_sev,
+                    format!(
+                        "no single-layer deadlock-free routing exists: unique paths force a \
+                         dependency cycle of {} channel(s) into every routing{}",
+                        channels.len(),
+                        if refuted_sev == Severity::Warning {
+                            format!(
+                                " (this artifact's {} layers are provably necessary)",
+                                routes.num_layers()
+                            )
+                        } else {
+                            String::new()
+                        }
+                    ),
+                    Witness::ForcedCycle { channels },
+                );
+            }
+            Existence::Undecided { src, dst } => {
+                stats.existence = Some(format!("undecided: pair {src:?} -> {dst:?} uncertified"));
+                em.emit(
+                    LintCode::DeadlockExistence,
+                    Severity::Warning,
+                    format!(
+                        "existence of a single-layer deadlock-free routing is undecided: \
+                         {src:?} -> {dst:?} is routable only over channels the up*/down* \
+                         certificate cannot order"
+                    ),
+                    Witness::UncertifiedPair { src, dst },
+                );
+            }
         }
     }
 

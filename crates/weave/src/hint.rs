@@ -1,0 +1,13 @@
+//! Modeled `std::hint` subset.
+
+/// Spin-loop hint. Inside a model this behaves like
+/// [`crate::thread::yield_now`]: the spinner is deprioritised so busy-wait
+/// loops terminate under exhaustive scheduling instead of exploding the
+/// tree. Outside a model it is `std::hint::spin_loop`.
+pub fn spin_loop() {
+    if crate::sched::in_model() {
+        crate::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,65 @@
+//! Modeled threads: real OS threads gated by the scheduler inside a model,
+//! plain `std::thread` outside one.
+
+use crate::sched;
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+enum Inner<T> {
+    Model {
+        tid: usize,
+        slot: StdArc<StdMutex<Option<T>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Owned permission to join on a thread, mirroring
+/// `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Inside a model
+    /// a child panic aborts the whole execution before `join` can observe
+    /// it, so the model path always returns `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { tid, slot } => {
+                sched::join_model(tid);
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("model thread finished without a result");
+                Ok(v)
+            }
+            Inner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// Spawn a thread. Inside a model the child participates in exhaustive
+/// scheduling; outside it is a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if sched::in_model() {
+        let (tid, slot) = sched::spawn_model(Box::new(f));
+        JoinHandle {
+            inner: Inner::Model { tid, slot },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Os(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Cooperatively yield. Inside a model the calling thread is deprioritised
+/// until every non-yielded thread has quiesced — this is what lets weave
+/// explore spin-wait loops without unbounded schedule trees.
+pub fn yield_now() {
+    sched::yield_model();
+}

@@ -1,0 +1,129 @@
+//! Update windows × the V007 existence lint.
+//!
+//! `plan_update` stages drain-and-swap transitions using
+//! [`vet::union_cycles`] / [`vet::dependency_edges`]; V007 answers a
+//! different question — whether the *fabric* still admits any single-layer
+//! deadlock-free routing at all. These tests pin their interaction down:
+//! on a certified fabric every stage of a staged plan is clean, and on a
+//! refuted fabric the update machinery keeps working (layering is the one
+//! escape hatch the theorem leaves open) while single-layer artifacts are
+//! condemned outright.
+
+use dfsssp::prelude::*;
+use fabric::degrade::fail_random_cables;
+use fabric::topo;
+use subnet::{plan_update, remap_routes};
+use vet::{Existence, LintCode, Severity};
+
+/// Switches cabled clockwise-only: strongly connected, but every
+/// switch-to-switch pair has exactly one path and the forced dependencies
+/// close the ring — V007 refutes single-layer existence.
+fn unidirectional_ring(n: usize) -> Network {
+    let mut b = NetworkBuilder::new();
+    let s: Vec<_> = (0..n).map(|i| b.add_switch(format!("s{i}"), 4)).collect();
+    let t: Vec<_> = (0..n).map(|i| b.add_terminal(format!("t{i}"))).collect();
+    for i in 0..n {
+        b.add_channel(s[i], s[(i + 1) % n]).unwrap();
+        b.link(t[i], s[i]).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn staged_update_on_a_certified_fabric_is_clean_at_every_stage() {
+    let net = topo::torus(&[4, 4], 1);
+    let old = DfSssp::new().route(&net).unwrap();
+
+    // Lose some cables, re-express the stale tables against the survivor
+    // fabric, and re-route. The degraded fabric still certifies.
+    let (degraded, removed) = fail_random_cables(&net, 4, 11);
+    assert!(removed > 0);
+    let stale = remap_routes(&net, &old, &degraded);
+    let fresh = DfSssp::new().route(&degraded).unwrap();
+    assert!(
+        matches!(vet::existence(&degraded), Existence::Exists { .. }),
+        "losing {removed} cables must not refute existence on a torus"
+    );
+
+    let plan = plan_update(&degraded, Some(&stale), &fresh, 8);
+    assert!(!plan.stages.is_empty(), "stale tables must need reprogramming");
+    assert!(
+        plan.all_vetted(),
+        "every drain-and-swap stage must pass the analyzer: {}",
+        plan.describe()
+    );
+
+    // If the planner staged the window, the hazards it cites must be real:
+    // each union cycle's consecutive edges exist in the merged per-layer
+    // dependency edges of the two endpoint artifacts.
+    if !plan.direct {
+        let cycles = vet::union_cycles(&degraded, &[&stale, &fresh]);
+        assert!(!cycles.is_empty(), "staged plans exist only under hazards");
+        assert_eq!(
+            plan.hazard_layers,
+            cycles.iter().map(|(l, _)| *l).collect::<Vec<_>>()
+        );
+        let a = vet::dependency_edges(&degraded, &stale);
+        let b = vet::dependency_edges(&degraded, &fresh);
+        for (layer, cycle) in &cycles {
+            let l = *layer as usize;
+            for w in cycle.windows(2) {
+                let edge = (w[0].0, w[1].0);
+                assert!(
+                    a.get(l).is_some_and(|s| s.contains(&edge))
+                        || b.get(l).is_some_and(|s| s.contains(&edge)),
+                    "cited hazard edge {edge:?} is in neither artifact"
+                );
+            }
+        }
+    }
+
+    // Both endpoints of the window carry the certificate in their report.
+    for artifact in [&stale, &fresh] {
+        let report = vet::analyze(&degraded, artifact);
+        assert!(!report.has(LintCode::DeadlockExistence));
+        assert!(
+            report
+                .stats
+                .existence
+                .as_deref()
+                .is_some_and(|p| p.starts_with("certified")),
+            "expected a certificate, got {:?}",
+            report.stats.existence
+        );
+    }
+}
+
+#[test]
+fn refuted_fabric_condemns_single_layer_but_not_layered_artifacts() {
+    let net = unidirectional_ring(4);
+    assert!(matches!(vet::existence(&net), Existence::NotExists(_)));
+
+    // A single-layer routing on this fabric is impossible to make
+    // deadlock-free — V007 is an *error* for it.
+    let flat = Sssp::new().route(&net).unwrap();
+    let report = vet::analyze(&net, &flat);
+    let diag = report
+        .diagnostics_for(LintCode::DeadlockExistence)
+        .next()
+        .expect("V007 must fire on a refuted fabric");
+    assert_eq!(diag.severity, Severity::Error);
+
+    // A layered routing took the only escape hatch: V007 downgrades to a
+    // warning citing that the layers are provably necessary.
+    let layered = DfSssp::new().route(&net).unwrap();
+    assert!(layered.num_layers() > 1, "the ring needs layers");
+    let report = vet::analyze(&net, &layered);
+    let diag = report
+        .diagnostics_for(LintCode::DeadlockExistence)
+        .next()
+        .expect("V007 still reports the refutation");
+    assert_eq!(diag.severity, Severity::Warning);
+    assert!(diag.message.contains("provably necessary"), "{}", diag.message);
+    assert_eq!(report.num_errors(), 0, "{:?}", report.diagnostics);
+
+    // And the update machinery keeps working above the refuted fabric:
+    // bring-up (no old tables) plans direct and fully vetted.
+    let plan = plan_update(&net, None, &layered, 8);
+    assert!(plan.direct && plan.all_vetted());
+}
