@@ -14,15 +14,20 @@
 //! * [`netgauge`] — the eBB measurement (Fig 12).
 //! * [`alltoall`] — phased all-to-all timing (Fig 13).
 //! * [`nas`] — NAS BT/CG/FT/LU/MG/SP models (Figs 14–16, Table II).
+//! * [`traffic`] — open-loop query traces (Poisson/bursty arrivals,
+//!   NAS/hotspot/diurnal/flash-crowd mixes) for overload-testing the
+//!   serving path.
 
 pub mod alloc;
 pub mod alltoall;
 pub mod collectives;
 pub mod nas;
 pub mod netgauge;
+pub mod traffic;
 
 pub use alloc::Allocation;
 pub use alltoall::alltoall_time;
 pub use collectives::Collective;
 pub use nas::{NasBenchmark, NasResult};
 pub use netgauge::{netgauge_ebb, point_to_point_reference};
+pub use traffic::{Arrivals, Mix, Shape, TraceQuery, TraceSpec, TrafficClass};

@@ -154,6 +154,23 @@ impl NasBenchmark {
         }
     }
 
+    /// The benchmark's per-iteration communication pairs in *rank*
+    /// space, each phase's flows repeated by its sweep count. This is
+    /// the raw material the open-loop trace generator
+    /// ([`crate::traffic`]) replays as a query stream: the pair
+    /// frequencies reproduce the kernel's traffic skew (stencil
+    /// locality, transpose diagonals, FT's all-to-all) without any
+    /// bandwidth modeling.
+    pub fn comm_pairs(self, cores: usize) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for (pattern, _bytes, repeats) in self.phases(cores) {
+            for _ in 0..repeats {
+                pairs.extend_from_slice(&pattern.flows);
+            }
+        }
+        pairs
+    }
+
     /// Model the benchmark on `cores` ranks over the given fabric.
     pub fn run(
         self,

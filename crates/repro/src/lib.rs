@@ -16,6 +16,7 @@
 pub mod bench;
 pub mod cli;
 pub mod fuzz;
+pub mod loadgen;
 pub mod serve_bench;
 
 pub use cli::Cli;

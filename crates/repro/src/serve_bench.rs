@@ -152,8 +152,8 @@ fn measure_point(
 
 /// Switch-switch cables whose loss keeps every terminal served (the
 /// chaos phase only breaks redundant hardware, so zero failed queries
-/// is a *requirement*, not luck).
-fn safe_cables(net: &Network) -> Vec<fabric::ChannelId> {
+/// is a *requirement*, not luck). Shared with the loadgen bench.
+pub(crate) fn safe_cables(net: &Network) -> Vec<fabric::ChannelId> {
     use rustc_hash::FxHashSet;
     net.channels()
         .filter(|(id, ch)| {

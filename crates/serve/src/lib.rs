@@ -19,8 +19,16 @@
 //! * [`QueryEngine`] — a sharded thread pool answering
 //!   [`PathQuery`] → [`PathAnswer`] with per-batch snapshot reads
 //!   (every answer internally consistent by construction), coalescing
-//!   of duplicate in-flight queries, and admission control reusing
-//!   [`dfsssp_core::Budget`] per [`QueryClass`].
+//!   of duplicate in-flight queries, and weighted-fair admission per
+//!   [`QueryClass`]: each class runs under a [`ClassPolicy`] (a
+//!   [`dfsssp_core::Budget`] plus a deficit-weighted queue share), and
+//!   overload is met in order by DWRR fairness, expired-in-queue
+//!   shedding, the adaptive [`ShedController`] (AIMD on queue delay),
+//!   and finally queue caps — every refusal a typed
+//!   [`ServeError::Overloaded`] with a `retry_after` hint.
+//! * [`SloPolicy`] / [`SloVerdict`] — per-class latency objectives
+//!   judged from recorded histograms; what the overload bench and CI
+//!   gate on.
 //! * [`RouteServer`] — the writer loop: fabric events run through
 //!   [`subnet::SmLoop`]'s escalation ladder under panic containment,
 //!   and each successful reroute is offered to the store's vet gate.
@@ -38,13 +46,18 @@ mod models;
 pub mod pool;
 pub mod query;
 pub mod server;
+pub mod shed;
+pub mod slo;
 pub mod snapshot;
 pub mod swap;
 pub mod sync;
 
 pub use query::{
-    Admission, PathAnswer, PathQuery, QueryClass, QueryEngine, QueryOpts, ServeError, Ticket,
+    Admission, ClassPolicy, PathAnswer, PathQuery, QueryClass, QueryEngine, QueryOpts, ServeError,
+    Ticket,
 };
 pub use server::{RouteServer, ServedOutcome, ServerError};
+pub use shed::{ShedConfig, ShedController};
+pub use slo::{SloPolicy, SloVerdict};
 pub use snapshot::{PublishError, Snapshot, SnapshotStore};
 pub use swap::Swap;

@@ -22,10 +22,11 @@
 //! DESIGN.md §13 for the full division of labour.
 
 use crate::pool::ShardedQueue;
-use crate::query::{AnswerCell, Key, Shard, ServeError};
+use crate::query::{AnswerCell, Key, QueryClass, QueueEntry, ServeError, Shard};
 use crate::swap::Swap;
 use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 use crate::sync::{Arc, Mutex};
+use std::time::Duration;
 use weave::{thread, Builder};
 
 /// Full-DFS builder for 2-thread models (trees stay small).
@@ -317,8 +318,7 @@ fn answer_cell_first_fulfiller_wins_and_sticks() {
                 c2.fulfill(Err(ServeError::ShuttingDown));
             });
             cell.fulfill(Err(ServeError::Overloaded {
-                inflight: 1,
-                limit: 1,
+                retry_after: Duration::from_millis(1),
             }));
             racer.join().unwrap();
             // Whichever fulfiller won, the cell must have settled: two
@@ -365,12 +365,14 @@ fn mutant_elided_notify_is_refuted() {
 // ---------------------------------------------------------------------
 
 /// The worker side of the handshake, verbatim from `Engine::worker`'s
-/// park loop: drain, else mark parked and wait.
+/// park loop: drain the deficit-weighted queues, else mark parked and
+/// wait. Equal quanta here — the weights are a fairness property, the
+/// model checks the wakeup protocol.
 fn park_until_work(shard: &Shard) -> Option<Key> {
     let mut st = shard.state.lock().unwrap();
     loop {
-        if let Some(key) = st.queue.pop_front() {
-            return Some(key);
+        if let Some(entry) = st.pop_next(&[1, 1]) {
+            return Some(entry.key);
         }
         if st.closed {
             return None;
@@ -381,16 +383,21 @@ fn park_until_work(shard: &Shard) -> Option<Key> {
     }
 }
 
-/// The submitter side, verbatim from `QueryEngine::submit`: enqueue,
-/// read `parked` under the lock, wake outside it only when needed.
-fn submit_key(shard: &Shard, key: Key) {
+/// The submitter side, verbatim from `QueryEngine::submit`: enqueue
+/// into the class queue, read `parked` under the lock, wake outside it
+/// only when needed.
+fn submit_key_class(shard: &Shard, key: Key, class: QueryClass) {
     let mut st = shard.state.lock().unwrap();
-    st.queue.push_back(key);
+    st.queues[class.index()].push_back(QueueEntry::immediate(key));
     let wake = st.parked;
     drop(st);
     if wake {
         shard.work.notify_one();
     }
+}
+
+fn submit_key(shard: &Shard, key: Key) {
+    submit_key_class(shard, key, QueryClass::Interactive);
 }
 
 #[test]
@@ -460,12 +467,102 @@ fn mutant_unconditional_elision_is_refuted() {
             let worker = thread::spawn(move || park_until_work(&s2));
             {
                 let mut st = shard.state.lock().unwrap();
-                st.queue.push_back((1, 2));
+                st.queues[0].push_back(QueueEntry::immediate((1, 2)));
                 // bug: `st.parked` ignored, notify elided unconditionally
             }
             assert_eq!(worker.join().unwrap(), Some((1, 2)));
         })
         .expect_err("eliding every wakeup must strand a parked worker");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+// ---------------------------------------------------------------------
+// 4. Fair-admission gate: the DWRR pop under the same parked/wake
+// handshake. The risk the models pin down is a *lost wakeup through the
+// scheduler*: a submitter refills a class's deficit (by making its
+// queue non-empty) while the worker is parked or mid-round on another
+// class, and the worker must still find the work.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dwrr_cross_class_submit_wakes_parked_worker() {
+    // Submissions race into *different* class queues; one parked
+    // worker must retrieve both regardless of where the cursor and the
+    // deficits are when each submitter lands.
+    bounded()
+        .check(|| {
+            let shard = Arc::new(Shard::new());
+            let s2 = Arc::clone(&shard);
+            let worker = thread::spawn(move || {
+                let first = park_until_work(&s2);
+                let second = park_until_work(&s2);
+                (first, second)
+            });
+            let s3 = Arc::clone(&shard);
+            let bulk = thread::spawn(move || submit_key_class(&s3, (3, 4), QueryClass::Bulk));
+            submit_key_class(&shard, (1, 2), QueryClass::Interactive);
+            bulk.join().unwrap();
+            let (first, second) = worker.join().unwrap();
+            let mut got = [first.unwrap(), second.unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, [(1, 2), (3, 4)]);
+        })
+        .expect("a submit to either class must reach a parked worker");
+}
+
+#[test]
+fn dwrr_stale_credit_never_blocks_the_other_class() {
+    // The refill race: the bulk class holds leftover deficit from an
+    // earlier round but its queue is empty, and the cursor is parked on
+    // it. A submit to the *other* class must still be found — pop_next
+    // has to retire the stale credit and scan on, on every schedule.
+    exhaustive()
+        .check(|| {
+            let shard = Arc::new(Shard::new());
+            {
+                let mut st = shard.state.lock().unwrap();
+                st.cursor = QueryClass::Bulk.index();
+                st.deficit[QueryClass::Bulk.index()] = 5; // stale credit
+            }
+            let s2 = Arc::clone(&shard);
+            let worker = thread::spawn(move || park_until_work(&s2));
+            submit_key_class(&shard, (1, 2), QueryClass::Interactive);
+            assert_eq!(worker.join().unwrap(), Some((1, 2)));
+        })
+        .expect("stale deficit on an empty class must not strand work");
+}
+
+#[test]
+fn mutant_cursor_only_pop_is_refuted() {
+    // The seeded bug: a pop that only ever looks at the cursor's class
+    // and parks when that queue is empty. Work arriving on the other
+    // class refills its deficit, the wakeup fires — and the worker
+    // re-checks the wrong queue and parks again, forever.
+    fn park_cursor_only(shard: &Shard) -> Option<Key> {
+        let mut st = shard.state.lock().unwrap();
+        loop {
+            let c = st.cursor;
+            if let Some(entry) = st.queues[c].pop_front() {
+                return Some(entry.key);
+            }
+            if st.closed {
+                return None;
+            }
+            st.parked = true;
+            st = shard.work.wait(st).unwrap();
+            st.parked = false;
+        }
+    }
+    let failure = exhaustive()
+        .check(|| {
+            let shard = Arc::new(Shard::new());
+            let s2 = Arc::clone(&shard);
+            let worker = thread::spawn(move || park_cursor_only(&s2));
+            // Cursor starts at Interactive; the work lands on Bulk.
+            submit_key_class(&shard, (1, 2), QueryClass::Bulk);
+            assert_eq!(worker.join().unwrap(), Some((1, 2)));
+        })
+        .expect_err("ignoring non-cursor classes must strand their work");
     assert!(failure.message.contains("deadlock"), "{failure}");
 }
 

@@ -6,8 +6,8 @@
 //! [`scoped_map`]. Pool sizes default to
 //! [`std::thread::available_parallelism`] via [`default_workers`].
 
-use std::collections::VecDeque;
 use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
 
 /// The machine's available parallelism (≥ 1).
 pub fn default_workers() -> usize {

@@ -6,10 +6,10 @@
 //! the load:
 //!
 //! * **Sharding** — a query is routed to a shard by `(src, dst)` hash;
-//!   each worker owns one shard's queue, so unrelated queries never
+//!   each worker owns one shard's queues, so unrelated queries never
 //!   contend on a lock.
-//! * **Batching** — a worker drains its queue in batches and answers
-//!   the whole batch from *one* snapshot read. Under load the queue is
+//! * **Batching** — a worker drains its queues in batches and answers
+//!   the whole batch from *one* snapshot read. Under load the queues are
 //!   never empty, so per-query wakeup cost amortizes away — this is
 //!   where closed-loop throughput scaling comes from.
 //! * **Coalescing** — duplicate in-flight queries (same `(src, dst)`)
@@ -21,21 +21,43 @@
 //! VL and epoch are internally consistent by construction — an epoch
 //! swap mid-batch changes *future* batches, never a computed answer.
 //!
-//! Admission control reuses [`dfsssp_core::Budget`] per [`QueryClass`]:
-//! the `max_nodes` axis refuses queries against views larger than the
-//! class admits, the `deadline` axis expires queries whose tickets are
-//! redeemed too late, and a per-shard in-flight cap sheds load before
-//! queues grow unboundedly.
+//! # Admission under overload
+//!
+//! Each [`QueryClass`] runs under a [`ClassPolicy`]: a
+//! [`dfsssp_core::Budget`] (the `max_nodes` axis refuses queries
+//! against oversized views, the `deadline` axis bounds how stale a
+//! redeemed ticket may be), a **deficit-weighted queue share**, a queue
+//! cap, and a sheddable bit. Overload defenses fire in order of cost:
+//!
+//! 1. **Deficit-weighted round robin** — each shard keeps one queue per
+//!    class; workers drain [`ClassPolicy::weight`] queries from a class
+//!    per round ([`ShardState::pop_next`]), so a bulk backlog cannot
+//!    starve interactive traffic.
+//! 2. **Expired-in-queue shedding** — a query whose class deadline
+//!    passed while it sat queued is failed with the budget trip *at the
+//!    drain*, before a snapshot read is paid for it, and without
+//!    consuming a batch slot.
+//! 3. **Adaptive shed** — sheddable classes pass through the engine's
+//!    [`ShedController`] (AIMD on admitted rate, keyed off the
+//!    queue-delay EWMA workers report per batch).
+//! 4. **Queue caps** — the backstop; a full class queue refuses with
+//!    typed backpressure and tightens the shed controller.
+//!
+//! Both shed paths return [`ServeError::Overloaded`] carrying a
+//! `retry_after` derived from the observed queue delay, so callers can
+//! back off deterministically instead of hammering a saturated shard.
 
 use crate::pool;
+use crate::shed::{ShedConfig, ShedController};
 use crate::snapshot::{Snapshot, SnapshotStore};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 use dfsssp_core::{Budget, BudgetGuard, RouteError};
 use fabric::{ChannelId, NodeId};
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
-use crate::sync::atomic::{AtomicUsize, Ordering};
-use crate::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use telemetry::{counters, hists, phases, RecorderHandle};
 
 /// One path question: how do I get from `src` to `dst`? Ids are
@@ -62,7 +84,7 @@ impl PathQuery {
     }
 }
 
-/// Which admission budget a query runs under.
+/// Which admission policy a query runs under.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum QueryClass {
     /// Latency-sensitive traffic (the default).
@@ -70,6 +92,30 @@ pub enum QueryClass {
     Interactive,
     /// Bulk / best-effort traffic (sweeps, prefetchers).
     Bulk,
+}
+
+impl QueryClass {
+    /// Number of classes (queue-array dimension).
+    pub const COUNT: usize = 2;
+
+    /// All classes, in [`QueryClass::index`] order.
+    pub const ALL: [QueryClass; QueryClass::COUNT] = [QueryClass::Interactive, QueryClass::Bulk];
+
+    /// Dense index for per-class arrays.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            QueryClass::Interactive => 0,
+            QueryClass::Bulk => 1,
+        }
+    }
+
+    /// Lower-case display name (also the metric-name suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Interactive => "interactive",
+            QueryClass::Bulk => "bulk",
+        }
+    }
 }
 
 /// The answer: the channel hops of the path, the virtual layer the
@@ -85,7 +131,11 @@ pub struct PathAnswer {
     pub epoch: u64,
 }
 
-/// Why a query was not answered.
+/// Why a query was not answered. Every rejection under overload is one
+/// of the *typed* variants ([`ServeError::Overloaded`] with a backoff
+/// hint, or [`ServeError::Budget`] for an expired deadline) — callers
+/// can always tell shed load from broken queries.
+#[must_use = "a serve error distinguishes shed load from broken queries; inspect it"]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// The terminal is quarantined (or gone) in the serving epoch.
@@ -96,14 +146,15 @@ pub enum ServeError {
     /// vet-clean epochs; surfaced instead of panicking).
     Unroutable(String),
     /// The query's class budget refused it (`max_nodes` admission or
-    /// an expired `deadline`).
+    /// an expired `deadline` — including deadlines that passed while
+    /// the query sat queued).
     Budget(RouteError),
-    /// Too many queries in flight on this shard.
+    /// The shard shed this query: either the adaptive controller thinned
+    /// a sheddable class, or the class queue hit its cap.
     Overloaded {
-        /// Queries in flight on the shard.
-        inflight: usize,
-        /// The configured cap.
-        limit: usize,
+        /// How long to back off before resubmitting, derived from the
+        /// observed queue delay. Always positive.
+        retry_after: Duration,
     },
     /// The engine is shutting down.
     ShuttingDown,
@@ -116,8 +167,8 @@ impl std::fmt::Display for ServeError {
             ServeError::BadQuery(why) => write!(f, "bad query: {why}"),
             ServeError::Unroutable(why) => write!(f, "unroutable: {why}"),
             ServeError::Budget(e) => write!(f, "admission refused: {e}"),
-            ServeError::Overloaded { inflight, limit } => {
-                write!(f, "overloaded: {inflight} in flight, limit {limit}")
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "overloaded: retry after {} us", retry_after.as_micros())
             }
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
         }
@@ -152,34 +203,75 @@ impl Snapshot {
     }
 }
 
-/// Per-class admission budgets plus the load-shedding cap.
+/// Admission policy for one [`QueryClass`]: its budget, its weighted
+/// share of each shard's drain capacity, and how it sheds.
+#[derive(Clone, Debug)]
+pub struct ClassPolicy {
+    /// Size/deadline budget each query of this class runs under.
+    pub budget: Budget,
+    /// Deficit-weighted round-robin quantum: queries drained per visit
+    /// when other classes are also backlogged. Relative weights are the
+    /// fairness contract (8 vs 1 → 8:1 capacity split under overload).
+    pub weight: u32,
+    /// Per-shard queue cap; beyond it submissions are refused with
+    /// [`ServeError::Overloaded`].
+    pub max_queued: usize,
+    /// Whether the adaptive [`ShedController`] may thin this class.
+    /// Keep latency-sensitive classes `false` — they are protected by
+    /// `weight` and shed only via deadline expiry and the queue cap.
+    pub sheddable: bool,
+}
+
+impl Default for ClassPolicy {
+    fn default() -> Self {
+        ClassPolicy {
+            budget: Budget::default(),
+            weight: 1,
+            max_queued: 4096,
+            sheddable: false,
+        }
+    }
+}
+
+/// Per-class admission policies (weighted-fair across tenants).
 #[derive(Clone, Debug)]
 pub struct Admission {
-    /// Budget for [`QueryClass::Interactive`] queries.
-    pub interactive: Budget,
-    /// Budget for [`QueryClass::Bulk`] queries.
-    pub bulk: Budget,
-    /// Maximum distinct queries in flight per shard before new ones are
-    /// refused with [`ServeError::Overloaded`].
-    pub max_inflight: usize,
+    /// Policy for [`QueryClass::Interactive`] queries.
+    pub interactive: ClassPolicy,
+    /// Policy for [`QueryClass::Bulk`] queries.
+    pub bulk: ClassPolicy,
 }
 
 impl Default for Admission {
     fn default() -> Self {
         Admission {
-            interactive: Budget::default(),
-            bulk: Budget::default(),
-            max_inflight: 4096,
+            interactive: ClassPolicy {
+                weight: 8,
+                ..ClassPolicy::default()
+            },
+            bulk: ClassPolicy {
+                weight: 1,
+                sheddable: true,
+                ..ClassPolicy::default()
+            },
         }
     }
 }
 
 impl Admission {
-    fn budget(&self, class: QueryClass) -> &Budget {
+    fn policy(&self, class: QueryClass) -> &ClassPolicy {
         match class {
             QueryClass::Interactive => &self.interactive,
             QueryClass::Bulk => &self.bulk,
         }
+    }
+
+    /// The DWRR quanta, indexed by [`QueryClass::index`].
+    fn quanta(&self) -> [u64; QueryClass::COUNT] {
+        [
+            u64::from(self.interactive.weight.max(1)),
+            u64::from(self.bulk.weight.max(1)),
+        ]
     }
 }
 
@@ -192,6 +284,8 @@ pub struct QueryOpts {
     pub batch: usize,
     /// Admission control.
     pub admission: Admission,
+    /// Adaptive shed controller tunables.
+    pub shed: ShedConfig,
     /// Telemetry sink.
     pub recorder: RecorderHandle,
 }
@@ -202,6 +296,7 @@ impl Default for QueryOpts {
             workers: 0,
             batch: 64,
             admission: Admission::default(),
+            shed: ShedConfig::default(),
             recorder: telemetry::noop(),
         }
     }
@@ -259,33 +354,118 @@ impl AnswerCell {
     }
 }
 
-/// A submitted query's handle; redeem it with [`Ticket::wait`].
+/// A submitted query's handle; redeem it with [`Ticket::wait`]. A
+/// dropped ticket abandons an answer somebody paid queue share for —
+/// hence `#[must_use]`.
+#[must_use = "a Ticket must be waited on; dropping it abandons the answer"]
 pub struct Ticket {
     cell: Arc<AnswerCell>,
     guard: BudgetGuard,
+    class: QueryClass,
+    submitted: Instant,
+    recorder: RecorderHandle,
 }
 
 impl Ticket {
     /// Block until the answer is in. A ticket redeemed after its class
-    /// deadline gets the budget trip, not stale data.
+    /// deadline gets the budget trip, not stale data. Records the
+    /// submit-to-redeem latency into the class's SLO histogram when a
+    /// recorder is attached.
     pub fn wait(self) -> Result<PathAnswer, ServeError> {
         let answer = self.cell.wait();
+        if self.recorder.enabled() {
+            self.recorder.observe(
+                crate::slo::wait_hist(self.class),
+                self.submitted.elapsed().as_micros() as u64,
+            );
+        }
         if let Err(e) = self.guard.check_deadline() {
             return Err(ServeError::Budget(e));
         }
         answer
     }
+
+    /// The class this ticket was admitted under.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
 }
 
-/// One shard: its work queue and the coalescing map, under a single
-/// lock so a submit is one lock acquisition end to end.
+/// One queued query: its coalescing key, when it was enqueued (for the
+/// queue-delay signal) and when its class deadline expires (for
+/// expired-in-queue shedding).
+pub(crate) struct QueueEntry {
+    pub(crate) key: Key,
+    pub(crate) enqueued: Instant,
+    /// `(expires_at, configured_deadline)`, from the class budget.
+    pub(crate) deadline: Option<(Instant, Duration)>,
+}
+
+impl QueueEntry {
+    /// An entry with no deadline, enqueued now (test/model helper).
+    #[cfg(any(test, feature = "loom-tests"))]
+    pub(crate) fn immediate(key: Key) -> Self {
+        QueueEntry {
+            key,
+            enqueued: Instant::now(),
+            deadline: None,
+        }
+    }
+}
+
+/// One shard: its per-class work queues and the coalescing map, under a
+/// single lock so a submit is one lock acquisition end to end.
 pub(crate) struct ShardState {
-    pub(crate) queue: VecDeque<Key>,
+    /// One FIFO per class, indexed by [`QueryClass::index`].
+    pub(crate) queues: [VecDeque<QueueEntry>; QueryClass::COUNT],
+    /// Deficit counters of the weighted round robin.
+    pub(crate) deficit: [u64; QueryClass::COUNT],
+    /// The class the round robin is currently serving.
+    pub(crate) cursor: usize,
     pub(crate) pending: FxHashMap<Key, Arc<AnswerCell>>,
     /// The shard worker is parked on `work`; submitters only pay the
     /// wake syscall when this is set.
     pub(crate) parked: bool,
     pub(crate) closed: bool,
+}
+
+impl ShardState {
+    /// `true` when no class has queued work.
+    pub(crate) fn queues_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Deficit-weighted round-robin pop: the next entry to serve, or
+    /// `None` when every queue is empty. A class arriving at the cursor
+    /// with an exhausted deficit is granted its quantum (the "refill");
+    /// it keeps the cursor until the quantum or its queue runs out, so
+    /// backlogged classes split drain capacity in `quanta` proportion.
+    pub(crate) fn pop_next(&mut self, quanta: &[u64; QueryClass::COUNT]) -> Option<QueueEntry> {
+        if self.queues_empty() {
+            return None;
+        }
+        loop {
+            let c = self.cursor;
+            if self.queues[c].is_empty() {
+                self.deficit[c] = 0;
+                self.cursor = (c + 1) % QueryClass::COUNT;
+                continue;
+            }
+            if self.deficit[c] == 0 {
+                // Fresh visit this round: grant the class its quantum.
+                self.deficit[c] = quanta[c].max(1);
+            }
+            self.deficit[c] -= 1;
+            let entry = self.queues[c].pop_front();
+            if self.queues[c].is_empty() {
+                self.deficit[c] = 0;
+            }
+            if self.deficit[c] == 0 {
+                self.cursor = (c + 1) % QueryClass::COUNT;
+            }
+            return entry;
+        }
+    }
 }
 
 pub(crate) struct Shard {
@@ -297,7 +477,9 @@ impl Shard {
     pub(crate) fn new() -> Self {
         Shard {
             state: Mutex::new(ShardState {
-                queue: VecDeque::new(),
+                queues: std::array::from_fn(|_| VecDeque::new()),
+                deficit: [0; QueryClass::COUNT],
+                cursor: 0,
                 pending: FxHashMap::default(),
                 parked: false,
                 closed: false,
@@ -311,6 +493,7 @@ struct Engine {
     store: Arc<SnapshotStore>,
     shards: Vec<Shard>,
     admission: Admission,
+    shed: Arc<ShedController>,
     recorder: RecorderHandle,
 }
 
@@ -332,6 +515,7 @@ impl QueryEngine {
             store,
             shards: (0..shards).map(|_| Shard::new()).collect(),
             admission: opts.admission,
+            shed: Arc::new(ShedController::new(opts.shed)),
             recorder: opts.recorder,
         });
         let workers = (0..shards)
@@ -352,10 +536,23 @@ impl QueryEngine {
         self.inner.shards.len()
     }
 
+    /// The engine's adaptive shed controller (shared with the workers);
+    /// lets a [`crate::RouteServer`] fold shed state into its event
+    /// outcomes and benches report the admitted-rate floor.
+    pub fn shed_controller(&self) -> Arc<ShedController> {
+        self.inner.shed.clone()
+    }
+
     /// Submit a query; the ticket blocks until a shard worker answers.
     pub fn submit(&self, query: PathQuery) -> Result<Ticket, ServeError> {
-        let (guard, cell) = self.inner.submit(query)?;
-        Ok(Ticket { cell, guard })
+        let (guard, cell, submitted) = self.inner.submit(query)?;
+        Ok(Ticket {
+            cell,
+            guard,
+            class: query.class,
+            submitted,
+            recorder: self.inner.recorder.clone(),
+        })
     }
 
     /// Submit and wait — the closed-loop client call.
@@ -392,7 +589,9 @@ impl Drop for QueryEngine {
         for shard in &self.inner.shards {
             let leftovers: Vec<Arc<AnswerCell>> = {
                 let mut st = shard.state.lock().unwrap();
-                st.queue.clear();
+                for q in &mut st.queues {
+                    q.clear();
+                }
                 st.pending.drain().map(|(_, cell)| cell).collect()
             };
             for cell in leftovers {
@@ -409,15 +608,19 @@ impl Engine {
         (h >> 33) as usize
     }
 
-    fn submit(&self, query: PathQuery) -> Result<(BudgetGuard, Arc<AnswerCell>), ServeError> {
+    fn submit(
+        &self,
+        query: PathQuery,
+    ) -> Result<(BudgetGuard, Arc<AnswerCell>, Instant), ServeError> {
         let rec = &*self.recorder;
-        let budget = self.admission.budget(query.class);
-        let guard = budget.start();
+        let policy = self.admission.policy(query.class);
+        let guard = policy.budget.start();
         // Admission: is the serving view within this class's size cap?
         if let Err(e) = guard.admit(&self.store.read().net) {
             rec.add(counters::QUERIES_REJECTED, 1);
             return Err(ServeError::Budget(e));
         }
+        let now = Instant::now();
         let key: Key = (query.src.0, query.dst.0);
         let shard = &self.shards[Self::shard_of(key) % self.shards.len()];
         let mut st = shard.state.lock().unwrap();
@@ -426,62 +629,115 @@ impl Engine {
         }
         if let Some(cell) = st.pending.get(&key) {
             // Coalesce: ride the in-flight computation for this key.
+            // Free for the fabric, so it bypasses the shed gates.
             cell.waiters.fetch_add(1, Ordering::Relaxed);
             let cell = cell.clone();
             drop(st);
             rec.add(counters::QUERIES_COALESCED, 1);
-            return Ok((guard, cell));
+            return Ok((guard, cell, now));
         }
-        if st.pending.len() >= self.admission.max_inflight {
-            let inflight = st.pending.len();
+        // Adaptive shed: under sustained queue delay the AIMD
+        // controller thins best-effort admissions before queues grow.
+        if policy.sheddable && !self.shed.admit() {
             drop(st);
+            rec.add(counters::QUERIES_SHED, 1);
             rec.add(counters::QUERIES_REJECTED, 1);
             return Err(ServeError::Overloaded {
-                inflight,
-                limit: self.admission.max_inflight,
+                retry_after: self.shed.retry_after(),
+            });
+        }
+        let class = query.class.index();
+        if st.queues[class].len() >= policy.max_queued {
+            drop(st);
+            // A full queue means the backlog got ahead of the servo.
+            self.shed.on_queue_full(rec);
+            rec.add(counters::QUERIES_REJECTED, 1);
+            return Err(ServeError::Overloaded {
+                retry_after: self.shed.retry_after(),
             });
         }
         let cell = AnswerCell::new();
         st.pending.insert(key, cell.clone());
-        st.queue.push_back(key);
+        st.queues[class].push_back(QueueEntry {
+            key,
+            enqueued: now,
+            deadline: policy.budget.deadline.map(|d| (now + d, d)),
+        });
         let wake = st.parked;
         drop(st);
         if wake {
             shard.work.notify_one();
         }
-        Ok((guard, cell))
+        Ok((guard, cell, now))
     }
 
     fn worker(&self, shard: usize, batch: usize) {
         let rec = &*self.recorder;
+        let quanta = self.admission.quanta();
         let shard = &self.shards[shard];
         let mut drained: Vec<(Key, Arc<AnswerCell>)> = Vec::with_capacity(batch);
+        // Expired-in-queue queries: fulfilled with the budget trip
+        // outside the shard lock, charged no batch slot.
+        let mut expired: Vec<(Arc<AnswerCell>, u64)> = Vec::new();
         loop {
-            {
+            let mut max_wait_us = 0u64;
+            let shutting_down = {
                 let mut st = shard.state.lock().unwrap();
+                let mut now = Instant::now();
                 loop {
                     if drained.len() >= batch {
                         break;
                     }
-                    if let Some(key) = st.queue.pop_front() {
+                    if let Some(entry) = st.pop_next(&quanta) {
                         // Unlinking the cell here (under the shard
                         // lock) freezes its waiter count: later
                         // duplicates start a fresh entry.
-                        if let Some(cell) = st.pending.remove(&key) {
-                            drained.push((key, cell));
+                        let Some(cell) = st.pending.remove(&entry.key) else {
+                            continue;
+                        };
+                        let waited = now.saturating_duration_since(entry.enqueued);
+                        max_wait_us = max_wait_us.max(waited.as_micros() as u64);
+                        if let Some((at, total)) = entry.deadline {
+                            if now >= at {
+                                // Expired while queued: shed before a
+                                // snapshot read is paid; no batch slot.
+                                expired.push((cell, total.as_millis() as u64));
+                                continue;
+                            }
                         }
+                        drained.push((entry.key, cell));
                         continue;
                     }
-                    if !drained.is_empty() || st.closed {
+                    if !drained.is_empty() || !expired.is_empty() || st.closed {
                         break;
                     }
                     st.parked = true;
                     st = shard.work.wait(st).unwrap();
                     st.parked = false;
+                    now = Instant::now();
                 }
-                if drained.is_empty() {
-                    return; // closed and fully drained
+                drained.is_empty() && expired.is_empty() && st.closed
+            };
+            for (cell, limit) in expired.drain(..) {
+                rec.add(counters::QUERIES_EXPIRED, 1);
+                cell.fulfill(Err(ServeError::Budget(RouteError::BudgetExceeded {
+                    resource: "deadline_ms",
+                    limit,
+                })));
+            }
+            if shutting_down {
+                return; // closed and fully drained
+            }
+            if max_wait_us > 0 || !drained.is_empty() {
+                // The shed controller's congestion signal: the worst
+                // in-queue wait this drain observed.
+                self.shed.observe_queue_delay(max_wait_us, rec);
+                if rec.enabled() {
+                    rec.observe(hists::QUEUE_DELAY_US, max_wait_us);
                 }
+            }
+            if drained.is_empty() {
+                continue;
             }
             // One snapshot serves the whole batch: consistent answers,
             // one lock-free read amortized over every query drained.
@@ -513,7 +769,6 @@ mod tests {
     use super::*;
     use dfsssp_core::{DfSssp, RoutingEngine};
     use fabric::topo;
-    use std::time::Duration;
 
     fn engine_over(net: &fabric::Network, opts: QueryOpts) -> (Arc<SnapshotStore>, QueryEngine) {
         let routes = DfSssp::new().route(net).unwrap();
@@ -595,6 +850,9 @@ mod tests {
             "a hot pair under concurrent load must coalesce"
         );
         assert!(snap.histograms.contains_key("serve_batch_size"));
+        // Closed-loop clients redeem their tickets: the SLO histogram
+        // for the class is populated.
+        assert!(snap.histograms.contains_key("wait_us_interactive"));
     }
 
     #[test]
@@ -619,7 +877,10 @@ mod tests {
         let opts = QueryOpts {
             admission: Admission {
                 // The torus view has 32 nodes; admit at most 8.
-                interactive: Budget::new().max_nodes(8),
+                interactive: ClassPolicy {
+                    budget: Budget::new().max_nodes(8),
+                    ..ClassPolicy::default()
+                },
                 ..Admission::default()
             },
             ..QueryOpts::default()
@@ -645,7 +906,10 @@ mod tests {
         let net = topo::ring(4, 1);
         let opts = QueryOpts {
             admission: Admission {
-                interactive: Budget::new().deadline(Duration::ZERO),
+                interactive: ClassPolicy {
+                    budget: Budget::new().deadline(Duration::ZERO),
+                    ..ClassPolicy::default()
+                },
                 ..Admission::default()
             },
             ..QueryOpts::default()
@@ -657,6 +921,154 @@ mod tests {
                 assert_eq!(resource, "deadline_ms")
             }
             other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_in_queue_sheds_without_a_batch_slot() {
+        // A zero deadline expires every query *in the queue*: the drain
+        // must fail it with the budget trip before paying a snapshot
+        // read — queries_expired counts up, queries_served stays 0.
+        let net = topo::ring(4, 1);
+        let collector = std::sync::Arc::new(telemetry::Collector::new());
+        let opts = QueryOpts {
+            workers: 1,
+            recorder: collector.clone(),
+            admission: Admission {
+                bulk: ClassPolicy {
+                    budget: Budget::new().deadline(Duration::ZERO),
+                    ..ClassPolicy::default()
+                },
+                ..Admission::default()
+            },
+            ..QueryOpts::default()
+        };
+        let (_, engine) = engine_over(&net, opts);
+        let (a, b) = (net.terminals()[0], net.terminals()[1]);
+        let q = PathQuery {
+            class: QueryClass::Bulk,
+            ..PathQuery::new(a, b)
+        };
+        for _ in 0..8 {
+            match engine.query(q) {
+                Err(ServeError::Budget(RouteError::BudgetExceeded { resource, .. })) => {
+                    assert_eq!(resource, "deadline_ms")
+                }
+                other => panic!("expected in-queue expiry, got {other:?}"),
+            }
+        }
+        drop(engine);
+        let snap = collector.snapshot();
+        assert!(snap.counters.get("queries_expired").copied().unwrap_or(0) >= 1);
+        assert_eq!(
+            snap.counters.get("queries_served").copied().unwrap_or(0),
+            0,
+            "an expired query must not consume a batch slot"
+        );
+    }
+
+    #[test]
+    fn full_class_queue_refuses_with_typed_backpressure() {
+        let net = topo::kary_ntree(4, 2);
+        let opts = QueryOpts {
+            workers: 1,
+            admission: Admission {
+                bulk: ClassPolicy {
+                    // Cap of zero: every non-coalesced bulk submit must
+                    // bounce with a positive retry hint.
+                    max_queued: 0,
+                    sheddable: false,
+                    ..ClassPolicy::default()
+                },
+                ..Admission::default()
+            },
+            ..QueryOpts::default()
+        };
+        let (_, engine) = engine_over(&net, opts);
+        let (a, b) = (net.terminals()[0], net.terminals()[1]);
+        let bulk = PathQuery {
+            class: QueryClass::Bulk,
+            ..PathQuery::new(a, b)
+        };
+        match engine.query(bulk) {
+            Err(ServeError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected typed backpressure, got {other:?}"),
+        }
+        // Interactive queries are untouched by the bulk cap.
+        assert!(engine.query(PathQuery::new(a, b)).is_ok());
+    }
+
+    #[test]
+    fn weighted_drain_splits_capacity_by_quanta() {
+        // Pure scheduling test over ShardState: both classes backlogged,
+        // quanta 8:1 — 18 pops must split 16:2.
+        let shard = Shard::new();
+        let mut st = shard.state.lock().unwrap();
+        for i in 0..100u32 {
+            st.queues[0].push_back(QueueEntry::immediate((i, 1)));
+            st.queues[1].push_back(QueueEntry::immediate((i, 2)));
+        }
+        let quanta = [8u64, 1u64];
+        let mut by_class = [0usize; 2];
+        for _ in 0..18 {
+            let e = st.pop_next(&quanta).unwrap();
+            by_class[(e.key.1 - 1) as usize] += 1;
+        }
+        assert_eq!(by_class, [16, 2], "DWRR must honor the 8:1 weights");
+        // A lone backlogged class gets everything.
+        st.queues[0].clear();
+        st.deficit = [0, 0];
+        for _ in 0..50 {
+            let e = st.pop_next(&quanta).unwrap();
+            assert_eq!(e.key.1, 2);
+        }
+    }
+
+    #[test]
+    fn shed_controller_thins_only_sheddable_classes() {
+        let net = topo::kary_ntree(4, 2);
+        let opts = QueryOpts {
+            workers: 1,
+            shed: ShedConfig {
+                tick: Duration::from_millis(10),
+                ..ShedConfig::default()
+            },
+            ..QueryOpts::default()
+        };
+        let (_, engine) = engine_over(&net, opts);
+        // Force the controller to its floor by hand: one multiplicative
+        // decrease fires per tick, so pace the pressure across ticks.
+        let shed = engine.shed_controller();
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(11));
+            shed.on_queue_full(&telemetry::Noop);
+        }
+        assert!(shed.shedding());
+        let ts = net.terminals();
+        let (mut ok, mut dropped) = (0u32, 0u32);
+        for i in 0..200 {
+            let q = PathQuery {
+                class: QueryClass::Bulk,
+                ..PathQuery::new(ts[i % ts.len()], ts[(i + 1) % ts.len()])
+            };
+            match engine.query(q) {
+                Ok(_) => ok += 1,
+                Err(ServeError::Overloaded { retry_after }) => {
+                    assert!(retry_after > Duration::ZERO);
+                    dropped += 1;
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(dropped > 0, "a floored controller must thin bulk traffic");
+        assert!(ok > 0, "the floor must keep some bulk flowing");
+        // Interactive is never rate-shed.
+        for i in 0..50 {
+            engine
+                .query(PathQuery::new(ts[i % ts.len()], ts[(i + 1) % ts.len()]))
+                .unwrap();
         }
     }
 

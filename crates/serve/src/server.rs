@@ -21,12 +21,13 @@
 //! is) while readers keep their `Arc<SnapshotStore>`.
 
 use crate::query::{QueryEngine, QueryOpts};
+use crate::shed::ShedController;
 use crate::snapshot::{PublishError, Snapshot, SnapshotStore};
+use crate::sync::Arc;
 use dfsssp_core::RoutingEngine;
 use fabric::{Network, NodeId};
-use crate::sync::Arc;
-use subnet::{armor, EventOutcome, FabricEvent, SmError, SmLoop};
-use telemetry::RecorderHandle;
+use subnet::{armor, EventOutcome, FabricEvent, Rung, SmError, SmLoop};
+use telemetry::{counters, RecorderHandle};
 
 /// Why the server could not apply a batch of events.
 #[derive(Debug)]
@@ -67,6 +68,10 @@ pub struct ServedOutcome {
 pub struct RouteServer<E> {
     sm: SmLoop<E>,
     store: Arc<SnapshotStore>,
+    /// Shed controllers of the query engines spawned off this server;
+    /// lets epoch publication see overload state (and vice versa).
+    sheds: Vec<Arc<ShedController>>,
+    recorder: RecorderHandle,
 }
 
 impl<E: RoutingEngine> RouteServer<E> {
@@ -95,8 +100,13 @@ impl<E: RoutingEngine> RouteServer<E> {
         .map_err(ServerError::Publish)?;
         Arc::get_mut(&mut store)
             .expect("store not yet shared")
-            .set_recorder(recorder);
-        Ok(RouteServer { sm, store })
+            .set_recorder(recorder.clone());
+        Ok(RouteServer {
+            sm,
+            store,
+            sheds: Vec::new(),
+            recorder,
+        })
     }
 
     /// The store query engines read from. Clone the `Arc` freely; it
@@ -111,9 +121,15 @@ impl<E: RoutingEngine> RouteServer<E> {
         self.store.read()
     }
 
-    /// Spawn a query engine over this server's store.
-    pub fn query_engine(&self, opts: QueryOpts) -> QueryEngine {
-        QueryEngine::new(self.store(), opts)
+    /// Spawn a query engine over this server's store. The engine's shed
+    /// controller is registered with the server, so event outcomes
+    /// published while the engine is thinning load carry an
+    /// [`Rung::OverloadShed`] rung — reroute storms and overload are
+    /// visible in one escalation ladder.
+    pub fn query_engine(&mut self, opts: QueryOpts) -> QueryEngine {
+        let engine = QueryEngine::new(self.store(), opts);
+        self.sheds.push(engine.shed_controller());
+        engine
     }
 
     /// The underlying subnet-manager loop (fallback, breaker and retry
@@ -134,7 +150,8 @@ impl<E: RoutingEngine> RouteServer<E> {
         // Belt and braces over the SM's own engine containment: a panic
         // anywhere in the recompute (planning, diffing, remapping) must
         // not unwind through the serving thread.
-        let outcome = armor::contain(|| self.sm.handle_batch(events)).map_err(ServerError::Sm)?;
+        let mut outcome =
+            armor::contain(|| self.sm.handle_batch(events)).map_err(ServerError::Sm)?;
         if !outcome.rerouted {
             return Ok(ServedOutcome {
                 outcome,
@@ -151,6 +168,22 @@ impl<E: RoutingEngine> RouteServer<E> {
                 Some(self.sm.reference()),
             )
             .map_err(ServerError::Publish)?;
+        // Fold serving-side overload into the escalation record: an
+        // epoch published while an attached engine is thinning load is
+        // a reroute storm meeting a flash crowd — the ladder should say
+        // so. The shed floor guarantees admitted_permille > 0 here.
+        if let Some(admitted) = self
+            .sheds
+            .iter()
+            .filter(|s| s.shedding())
+            .map(|s| s.admitted_permille())
+            .min()
+        {
+            outcome.rungs.push(Rung::OverloadShed {
+                admitted_permille: admitted,
+            });
+            self.recorder.add(counters::RUNG_OVERLOAD_SHED, 1);
+        }
         Ok(ServedOutcome {
             outcome,
             epoch: Some(snap.epoch),

@@ -18,9 +18,9 @@
 //! the last-good epoch simply keeps serving.
 
 use crate::swap::Swap;
-use fabric::{Network, NodeId, Routes};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex};
+use fabric::{Network, NodeId, Routes};
 use std::time::Instant;
 use telemetry::{counters, hists, phases, RecorderHandle};
 

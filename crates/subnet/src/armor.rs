@@ -102,7 +102,11 @@ fn br_unpack(word: u64) -> (BreakerState, u64, u64) {
         1 => BreakerState::Open,
         _ => BreakerState::HalfOpen,
     };
-    (state, (word >> BR_FIELD_BITS) & BR_FIELD_MASK, word & BR_FIELD_MASK)
+    (
+        state,
+        (word >> BR_FIELD_BITS) & BR_FIELD_MASK,
+        word & BR_FIELD_MASK,
+    )
 }
 
 impl Default for CircuitBreaker {
@@ -161,12 +165,10 @@ impl CircuitBreaker {
                         (BreakerState::Open, false)
                     };
                     let next = br_pack(next_state, consecutive, left);
-                    match self.word.compare_exchange(
-                        cur,
-                        next,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    ) {
+                    match self
+                        .word
+                        .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                    {
                         Ok(_) => return verdict,
                         Err(seen) => cur = seen,
                     }
@@ -473,9 +475,6 @@ mod breaker_models {
                 assert!(here ^ there, "expected exactly one trip: {here}/{there}");
             })
             .expect_err("a torn RMW must lose one of the racing failures");
-        assert!(
-            failure.message.contains("exactly one trip"),
-            "{failure}"
-        );
+        assert!(failure.message.contains("exactly one trip"), "{failure}");
     }
 }

@@ -94,6 +94,15 @@ pub enum Rung {
         /// Channels in the forced dependency cycle witness.
         witness: usize,
     },
+    /// The serving side was thinning best-effort load (adaptive shed)
+    /// while this event's tables published: a reroute storm coinciding
+    /// with overload. Appended by `serve::RouteServer`, never by the SM
+    /// itself. The admitted rate is in permille and — by the shed
+    /// controller's floor — always positive.
+    OverloadShed {
+        /// Fraction of best-effort submissions still admitted (permille).
+        admitted_permille: u32,
+    },
 }
 
 impl std::fmt::Display for Rung {
@@ -104,6 +113,9 @@ impl std::fmt::Display for Rung {
             Rung::WidenedVls { budget } => write!(f, "widened-vls({budget})"),
             Rung::Fallback { engine } => write!(f, "fallback({engine})"),
             Rung::MultiLayerForced { witness } => write!(f, "multi-layer-forced({witness})"),
+            Rung::OverloadShed { admitted_permille } => {
+                write!(f, "overload-shed({admitted_permille})")
+            }
         }
     }
 }
@@ -603,6 +615,10 @@ impl<E: RoutingEngine> SmLoop<E> {
                 Rung::WidenedVls { .. } => counters::RUNG_WIDENED_VLS,
                 Rung::Fallback { .. } => counters::RUNG_FALLBACK,
                 Rung::MultiLayerForced { .. } => counters::RUNG_MULTI_LAYER_FORCED,
+                // Appended downstream by the route server (the SM never
+                // sees it), which records it itself; counted here too in
+                // case an outcome is replayed through record().
+                Rung::OverloadShed { .. } => counters::RUNG_OVERLOAD_SHED,
             };
             rec.add(counter, 1);
         }

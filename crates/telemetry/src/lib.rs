@@ -127,6 +127,15 @@ pub mod counters {
     /// Queries answered from an epoch older than the newest published
     /// one (consistent, but one swap behind).
     pub const STALE_READS: &str = "stale_reads";
+    /// Queries whose class deadline passed while they sat in a shard
+    /// queue; dropped before a snapshot read was paid for them.
+    pub const QUERIES_EXPIRED: &str = "queries_expired";
+    /// Best-effort queries refused by the adaptive shed controller
+    /// (AIMD admitted-rate gate, not a queue cap).
+    pub const QUERIES_SHED: &str = "queries_shed";
+    /// See [`RUNG_QUARANTINE`] — a reroute published while the serving
+    /// path was actively shedding best-effort load.
+    pub const RUNG_OVERLOAD_SHED: &str = "rung_overload_shed";
 }
 
 /// Well-known histogram names.
@@ -145,6 +154,17 @@ pub mod hists {
     pub const SWAP_PAUSE_US: &str = "swap_pause_us";
     /// Queries drained per serve-worker batch.
     pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
+    /// Worst in-queue wait of a drained batch, microseconds (the signal
+    /// the adaptive shed controller keys its EWMA off).
+    pub const QUEUE_DELAY_US: &str = "queue_delay_us";
+    /// Admitted-rate setting (permille) each time the AIMD controller
+    /// adjusts it; min shows the deepest shed, max the recovery.
+    pub const ADMITTED_PERMILLE: &str = "admitted_permille";
+    /// Submit-to-redeem latency of interactive queries, microseconds
+    /// (the histogram per-class SLO verdicts are judged from).
+    pub const WAIT_US_INTERACTIVE: &str = "wait_us_interactive";
+    /// See [`WAIT_US_INTERACTIVE`]; the bulk class.
+    pub const WAIT_US_BULK: &str = "wait_us_bulk";
 }
 
 /// A metrics sink. Implementations must be cheap to call; hot paths

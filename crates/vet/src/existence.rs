@@ -94,7 +94,8 @@ pub fn existence(net: &Network) -> Existence {
     }
 
     let cert = Certificate::build(net);
-    let walk_forced = (terms.len() as u64).pow(2)
+    let walk_forced = (terms.len() as u64)
+        .pow(2)
         .saturating_mul(net.num_channels().max(1) as u64)
         <= FORCED_WALK_BUDGET;
     let mut forced: FxHashSet<(u32, u32)> = FxHashSet::default();
@@ -356,8 +357,7 @@ impl Certificate {
         if self.comp[s.idx()] != usize::MAX && self.comp[s.idx()] == self.comp[d.idx()] {
             return true;
         }
-        net.channel_between(s, d)
-            .is_some_and(|c| paired(net, c))
+        net.channel_between(s, d).is_some_and(|c| paired(net, c))
     }
 }
 

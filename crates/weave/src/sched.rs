@@ -272,11 +272,7 @@ fn pick(sh: &Shared, st: &mut StdGuard<'_, State>, options: usize) -> usize {
 }
 
 /// Park until this thread is the active one (or the model is aborting).
-fn wait_turn<'a>(
-    sh: &'a Shared,
-    mut st: StdGuard<'a, State>,
-    me: usize,
-) -> StdGuard<'a, State> {
+fn wait_turn<'a>(sh: &'a Shared, mut st: StdGuard<'a, State>, me: usize) -> StdGuard<'a, State> {
     loop {
         if st.aborting {
             drop(st);
@@ -355,7 +351,9 @@ pub(crate) fn register_mutex() -> usize {
 pub(crate) fn register_condvar() -> usize {
     let (sh, _) = current().expect("register_condvar outside model");
     let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
-    st.condvars.push(CondvarState { waiters: Vec::new() });
+    st.condvars.push(CondvarState {
+        waiters: Vec::new(),
+    });
     st.condvars.len()
 }
 
@@ -431,7 +429,11 @@ pub(crate) fn condvar_notify(cid: usize, all: bool) {
         return;
     }
     let cid = cid - 1;
-    let label = if all { "condvar.notify_all" } else { "condvar.notify_one" };
+    let label = if all {
+        "condvar.notify_all"
+    } else {
+        "condvar.notify_one"
+    };
     let mut st = op_prologue(&sh, me, label);
     let woken: Vec<(usize, usize)> = if all {
         std::mem::take(&mut st.condvars[cid].waiters)
@@ -785,10 +787,7 @@ impl Builder {
     /// Explore every schedule of `f`. Returns the first failure found, or a
     /// report once the tree is exhausted (or the execution cap is hit).
     pub fn check<F: Fn()>(&self, f: F) -> Result<Report, Failure> {
-        assert!(
-            current().is_none(),
-            "nested weave models are not supported"
-        );
+        assert!(current().is_none(), "nested weave models are not supported");
         let shared = StdArc::new(Shared {
             state: StdMutex::new(State::new(self.max_steps, self.preemption_bound)),
             cv: StdCondvar::new(),

@@ -379,7 +379,10 @@ impl Condvar {
             sched::condvar_wait(self.model_id(), guard.model_id);
             Ok(guard)
         } else {
-            let real = guard.real.take().expect("non-model guard without real lock");
+            let real = guard
+                .real
+                .take()
+                .expect("non-model guard without real lock");
             let real = self.real.wait(real).unwrap_or_else(|e| e.into_inner());
             guard.real = Some(real);
             Ok(guard)
@@ -502,8 +505,12 @@ pub mod atomic {
                 ) -> Result<$prim, $prim> {
                     if sched::in_model() {
                         sched::sched_point(concat!($label, ".compare_exchange"));
-                        self.inner
-                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
                     } else {
                         self.inner.compare_exchange(current, new, success, failure)
                     }

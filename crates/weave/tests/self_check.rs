@@ -136,10 +136,7 @@ fn detects_resurrection_of_freed_arc() {
             t.join().unwrap();
         })
         .expect_err("use-after-free schedule must be found");
-    assert!(
-        failure.message.contains("freed allocation"),
-        "{failure}"
-    );
+    assert!(failure.message.contains("freed allocation"), "{failure}");
 }
 
 #[test]

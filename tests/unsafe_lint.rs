@@ -140,8 +140,8 @@ fn has_unsafe_token(code: &str) -> bool {
     while let Some(i) = code[from..].find("unsafe") {
         let start = from + i;
         let end = start + "unsafe".len();
-        let pre_ok = start == 0
-            || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let pre_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
         let post_ok =
             end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
         if pre_ok && post_ok {
@@ -244,12 +244,16 @@ fn scanner_ignores_strings_and_comments() {
     )));
     assert!(!has_unsafe_token(&code_only("// unsafe in prose")));
     assert!(!has_unsafe_token(&code_only("/// docs about unsafe code")));
-    assert!(!has_unsafe_token(&code_only("dropper: unsafe fn(*const ())")));
+    assert!(!has_unsafe_token(&code_only(
+        "dropper: unsafe fn(*const ())"
+    )));
     assert!(has_unsafe_token(&code_only("let x = unsafe { *p };")));
     assert!(has_unsafe_token(&code_only(
         "unsafe impl<T> Send for Swap<T> {}"
     )));
     assert!(has_unsafe_token(&code_only("pub unsafe fn from_raw() {}")));
     assert!(!has_unsafe_token(&code_only("let unsafely = 3;")));
-    assert!(!has_unsafe_token(&code_only(r#"let c = '"'; unsafe_marker"#)));
+    assert!(!has_unsafe_token(&code_only(
+        r#"let c = '"'; unsafe_marker"#
+    )));
 }

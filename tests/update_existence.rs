@@ -46,7 +46,10 @@ fn staged_update_on_a_certified_fabric_is_clean_at_every_stage() {
     );
 
     let plan = plan_update(&degraded, Some(&stale), &fresh, 8);
-    assert!(!plan.stages.is_empty(), "stale tables must need reprogramming");
+    assert!(
+        !plan.stages.is_empty(),
+        "stale tables must need reprogramming"
+    );
     assert!(
         plan.all_vetted(),
         "every drain-and-swap stage must pass the analyzer: {}",
@@ -119,7 +122,11 @@ fn refuted_fabric_condemns_single_layer_but_not_layered_artifacts() {
         .next()
         .expect("V007 still reports the refutation");
     assert_eq!(diag.severity, Severity::Warning);
-    assert!(diag.message.contains("provably necessary"), "{}", diag.message);
+    assert!(
+        diag.message.contains("provably necessary"),
+        "{}",
+        diag.message
+    );
     assert_eq!(report.num_errors(), 0, "{:?}", report.diagnostics);
 
     // And the update machinery keeps working above the refuted fabric:
