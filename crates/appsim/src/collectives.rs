@@ -151,7 +151,7 @@ fn xor_pairs(ranks: usize, k: usize) -> Pattern {
 mod tests {
     use super::*;
     use baselines::MinHop;
-    use dfsssp_core::{DfSssp, RoutingEngine};
+    use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine};
     use fabric::topo;
     use rustc_hash::FxHashSet;
 
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn times_are_positive_and_scale_with_payload() {
         let net = topo::kary_ntree(4, 2);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         for c in Collective::ALL {
             let t1 = c
                 .time(&net, &routes, 16, Allocation::Packed, 1 << 16, 946.0)
@@ -226,8 +226,8 @@ mod tests {
         // On an oversubscribed tree, the all-to-all should gain at least
         // as much from DFSSSP as the sparse binomial broadcast does.
         let net = topo::xgft(2, &[8, 8], &[2, 2]);
-        let mh = MinHop::new().route(&net).unwrap();
-        let df = DfSssp::new().route(&net).unwrap();
+        let mh = MinHop::new().route_in(&net, &ComputeCtx::seq()).unwrap();
+        let df = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let ranks = 32;
         let speedup = |c: Collective| {
             let a = c

@@ -15,7 +15,7 @@
 use dfsssp_core::budget::record_trip;
 use dfsssp_core::dfsssp::assign_layers_online_budgeted;
 use dfsssp_core::paths::PathSet;
-use dfsssp_core::{Budget, EngineConfig, RouteError, RoutingEngine};
+use dfsssp_core::{Budget, ComputeCtx, ComputeOpts, EngineConfig, RouteError, RoutingEngine};
 use fabric::{ChannelId, Network, NodeId, Routes};
 use rustc_hash::FxHashMap;
 use telemetry::{phases, Recorder, RecorderHandle};
@@ -30,6 +30,11 @@ pub struct Lash {
     pub recorder: RecorderHandle,
     /// Resource bounds for each run (see [`Budget`]).
     pub budget: Budget,
+    /// Parallelism request, kept so configs round-trip through
+    /// [`RoutingEngine::set_config`]. LASH's online assignment is
+    /// inherently sequential (each placement depends on all earlier
+    /// ones), so the engine runs single-threaded regardless.
+    pub compute: ComputeOpts,
 }
 
 impl Default for Lash {
@@ -38,6 +43,7 @@ impl Default for Lash {
             max_layers: 8,
             recorder: telemetry::noop(),
             budget: Budget::default(),
+            compute: ComputeOpts::default(),
         }
     }
 }
@@ -212,7 +218,8 @@ impl RoutingEngine for Lash {
         "LASH"
     }
 
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+    fn route_in(&self, net: &Network, _cx: &ComputeCtx) -> Result<Routes, RouteError> {
+        // Online assignment is order-dependent; LASH ignores the context.
         self.route_with_layers(net).map(|(r, _)| r)
     }
 
@@ -220,21 +227,26 @@ impl RoutingEngine for Lash {
         true
     }
 
-    fn config(&self) -> Option<EngineConfig> {
-        Some(EngineConfig {
+    fn tunables(&self) -> bool {
+        true
+    }
+
+    fn config(&self) -> EngineConfig {
+        EngineConfig {
             max_layers: self.max_layers,
             // LASH has no balancing step; report the config default.
             balance: true,
             recorder: self.recorder.clone(),
             budget: self.budget.clone(),
-        })
+            compute: self.compute,
+        }
     }
 
-    fn set_config(&mut self, config: EngineConfig) -> bool {
+    fn set_config(&mut self, config: EngineConfig) {
         self.max_layers = config.max_layers;
         self.recorder = config.recorder;
         self.budget = config.budget;
-        true
+        self.compute = config.compute;
     }
 }
 
@@ -279,7 +291,9 @@ mod tests {
             max_layers: 1,
             ..Lash::new()
         };
-        let err = engine.route(&topo::ring(5, 1)).unwrap_err();
+        let err = engine
+            .route_in(&topo::ring(5, 1), &ComputeCtx::seq())
+            .unwrap_err();
         assert!(matches!(err, RouteError::NeedMoreLayers { .. }));
     }
 

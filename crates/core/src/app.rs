@@ -337,7 +337,9 @@ mod tests {
         // exceed it.
         use crate::engine::RoutingEngine;
         let net = fabric::topo::ring(5, 1);
-        let routes = crate::sssp::Sssp::new().route(&net).unwrap();
+        let routes = crate::sssp::Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         let ps = crate::paths::PathSet::extract(&net, &routes).unwrap();
         let (g, ids) = from_pathset(&ps);
         assert_eq!(ids.len(), g.len());

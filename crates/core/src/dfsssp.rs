@@ -25,9 +25,12 @@
 use crate::balance::balance_layers;
 use crate::budget::{record_trip, Budget, BudgetGuard};
 use crate::cdg::{Cdg, CycleSearch};
-use crate::engine::{EngineConfig, RouteError, RoutingEngine};
+use crate::engine::{
+    record_par_stats, ComputeCtx, ComputeOpts, EngineConfig, RouteError, RoutingEngine,
+};
 use crate::heuristics::CycleBreakHeuristic;
 use crate::paths::{PathId, PathSet};
+use crate::pool::map_stealing;
 use crate::sssp::Sssp;
 use fabric::{Network, Routes};
 use telemetry::{counters, phases, Acc, Noop, Recorder, RecorderHandle};
@@ -79,6 +82,10 @@ pub struct DfSssp {
     /// Resource bounds for each run (deadline, admitted size, CDG
     /// edges, layer cap). Default: unlimited.
     pub budget: Budget,
+    /// Parallelism request for the SSSP sweep, path extraction and the
+    /// initial CDG population. Default: sequential. Routes depend on the
+    /// resolved `chunk` only, never on the thread count.
+    pub compute: ComputeOpts,
 }
 
 impl Default for DfSssp {
@@ -91,6 +98,7 @@ impl Default for DfSssp {
             compact: true,
             recorder: telemetry::noop(),
             budget: Budget::default(),
+            compute: ComputeOpts::default(),
         }
     }
 }
@@ -117,17 +125,31 @@ impl DfSssp {
     /// `paths_moved` counters; with the no-op recorder not even the
     /// clock is read.
     pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
-        record_trip(&*self.recorder, self.route_with_stats_inner(net))
+        self.route_with_stats_in(net, &self.compute.resolve())
     }
 
-    fn route_with_stats_inner(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
+    /// [`DfSssp::route_with_stats`] under an explicit compute context,
+    /// overriding the engine's own [`DfSssp::compute`] request.
+    pub fn route_with_stats_in(
+        &self,
+        net: &Network,
+        cx: &ComputeCtx,
+    ) -> Result<(Routes, DfStats), RouteError> {
+        record_trip(&*self.recorder, self.route_with_stats_inner(net, cx))
+    }
+
+    fn route_with_stats_inner(
+        &self,
+        net: &Network,
+        cx: &ComputeCtx,
+    ) -> Result<(Routes, DfStats), RouteError> {
         let rec: &dyn Recorder = &*self.recorder;
         let guard = self.budget.start();
         guard.admit(net)?;
         let max_layers = guard.clamp_layers(self.max_layers);
         let sssp = Sssp::new();
         let mut routes = telemetry::timed(rec, phases::SSSP, || {
-            let (routes, weights) = sssp.route_with_weights_budgeted(net, &guard)?;
+            let (routes, weights) = sssp.route_with_weights_in(net, &guard, cx, rec)?;
             if rec.enabled() {
                 let w0 = sssp.base_weight(net);
                 let grown = weights.iter().filter(|&&w| w > w0).count() as u64;
@@ -135,11 +157,19 @@ impl DfSssp {
             }
             Ok(routes)
         })?;
-        let ps = telemetry::timed(rec, phases::CDG_BUILD, || PathSet::extract(net, &routes))?;
+        let ps = telemetry::timed(rec, phases::CDG_BUILD, || {
+            PathSet::extract_in(net, &routes, cx)
+        })?;
         let (mut path_layer, mut stats) = match self.mode {
-            LayerAssignMode::Offline => {
-                assign_layers_budgeted(&ps, self.heuristic, max_layers, self.compact, rec, &guard)?
-            }
+            LayerAssignMode::Offline => assign_layers_budgeted_in(
+                &ps,
+                self.heuristic,
+                max_layers,
+                self.compact,
+                rec,
+                &guard,
+                cx,
+            )?,
             LayerAssignMode::Online => assign_layers_online_budgeted(&ps, max_layers, rec, &guard)?,
         };
         stats.layers_final = telemetry::timed(rec, phases::BALANCE, || {
@@ -168,29 +198,34 @@ impl RoutingEngine for DfSssp {
         "DFSSSP"
     }
 
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
-        self.route_with_stats(net).map(|(r, _)| r)
+    fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError> {
+        self.route_with_stats_in(net, cx).map(|(r, _)| r)
     }
 
     fn deadlock_free(&self) -> bool {
         true
     }
 
-    fn config(&self) -> Option<EngineConfig> {
-        Some(EngineConfig {
+    fn tunables(&self) -> bool {
+        true
+    }
+
+    fn config(&self) -> EngineConfig {
+        EngineConfig {
             max_layers: self.max_layers,
             balance: self.balance,
             recorder: self.recorder.clone(),
             budget: self.budget.clone(),
-        })
+            compute: self.compute,
+        }
     }
 
-    fn set_config(&mut self, config: EngineConfig) -> bool {
+    fn set_config(&mut self, config: EngineConfig) {
         self.max_layers = config.max_layers;
         self.balance = config.balance;
         self.recorder = config.recorder;
         self.budget = config.budget;
-        true
+        self.compute = config.compute;
     }
 }
 
@@ -246,6 +281,32 @@ pub fn assign_layers_budgeted(
     rec: &dyn Recorder,
     guard: &BudgetGuard,
 ) -> Result<(Vec<u8>, DfStats), RouteError> {
+    assign_layers_budgeted_in(
+        ps,
+        heuristic,
+        max_layers,
+        compact,
+        rec,
+        guard,
+        &ComputeCtx::seq(),
+    )
+}
+
+/// [`assign_layers_budgeted`] under an explicit compute context: the
+/// initial layer-0 CDG population fans contiguous path-id ranges across
+/// the pool workers and absorbs the partial CDGs back in range order
+/// ([`Cdg::absorb`]), which reproduces the sequential build bit for bit.
+/// The cycle search itself stays sequential — it is inherently ordered
+/// (each break changes what the next search sees).
+pub fn assign_layers_budgeted_in(
+    ps: &PathSet,
+    heuristic: CycleBreakHeuristic,
+    max_layers: usize,
+    compact: bool,
+    rec: &dyn Recorder,
+    guard: &BudgetGuard,
+    cx: &ComputeCtx,
+) -> Result<(Vec<u8>, DfStats), RouteError> {
     assert!(max_layers >= 1 && max_layers <= u8::MAX as usize + 1);
     let work_budget = if compact {
         (max_layers * 4).clamp(max_layers, u8::MAX as usize + 1)
@@ -255,11 +316,7 @@ pub fn assign_layers_budgeted(
     let num_channels = num_channels_of(ps);
     let mut path_layer = vec![0u8; ps.len()];
     let mut layers: Vec<Cdg> = telemetry::timed(rec, phases::CDG_BUILD, || {
-        let mut layers = vec![Cdg::new(num_channels)];
-        for p in ps.ids() {
-            layers[0].add_path(ps, p);
-        }
-        layers
+        vec![build_layer0(ps, num_channels, rec, cx)]
     });
     guard.check_cdg_edges(layers[0].num_edges())?;
     let mut stats = DfStats::default();
@@ -499,6 +556,38 @@ pub fn assign_layers_online_budgeted(
     Ok((path_layer, stats))
 }
 
+/// Populate a layer-0 CDG with every path of `ps`. Parallel contexts
+/// build partial CDGs over contiguous path-id blocks (a few blocks per
+/// worker so stealing can rebalance skew) and absorb them in block
+/// order; the result is identical to the sequential loop for every
+/// thread count.
+fn build_layer0(ps: &PathSet, num_channels: usize, rec: &dyn Recorder, cx: &ComputeCtx) -> Cdg {
+    let n = ps.len();
+    if !cx.parallel() || n < 2 {
+        let mut l0 = Cdg::new(num_channels);
+        for p in ps.ids() {
+            l0.add_path(ps, p);
+        }
+        return l0;
+    }
+    let blocks = (cx.threads * 4).min(n);
+    let per = n.div_ceil(blocks);
+    let nblocks = n.div_ceil(per);
+    let (partials, stats) = map_stealing(nblocks, cx.threads, |b| {
+        let mut part = Cdg::new(num_channels);
+        for p in b * per..((b + 1) * per).min(n) {
+            part.add_path(ps, p as PathId);
+        }
+        part
+    });
+    record_par_stats(rec, &stats);
+    let mut l0 = Cdg::new(num_channels);
+    for part in &partials {
+        l0.absorb(part);
+    }
+    l0
+}
+
 /// The channel-id space of a path set (1 + max channel index used; CDG
 /// nodes must cover every channel any path touches).
 fn num_channels_of(ps: &PathSet) -> usize {
@@ -579,7 +668,7 @@ mod tests {
             max_layers: 1,
             ..DfSssp::new()
         };
-        let err = engine.route(&net).unwrap_err();
+        let err = engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
         assert!(matches!(err, RouteError::NeedMoreLayers { allowed: 1, .. }));
     }
 
@@ -622,7 +711,9 @@ mod tests {
         // on these small nets).
         use crate::paths::PathSet;
         for net in [topo::ring(8, 1), topo::torus(&[4, 4], 1)] {
-            let routes = crate::Sssp::new().route(&net).unwrap();
+            let routes = crate::Sssp::new()
+                .route_in(&net, &ComputeCtx::seq())
+                .unwrap();
             let ps = PathSet::extract(&net, &routes).unwrap();
             let (a, sa) =
                 assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, 16, false).unwrap();
@@ -647,7 +738,9 @@ mod tests {
         // kautz(2,3) with many endpoints: raw Algorithm 2 may overflow a
         // tight budget where compaction fits it.
         let net = topo::kautz(2, 3, 96, true);
-        let routes = crate::Sssp::new().route(&net).unwrap();
+        let routes = crate::Sssp::new()
+            .route_in(&net, &ComputeCtx::seq())
+            .unwrap();
         let ps = crate::paths::PathSet::extract(&net, &routes).unwrap();
         let (_, raw) =
             assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, 64, false).unwrap();
@@ -680,5 +773,47 @@ mod tests {
         assert_eq!(s1.layers_used, s2.layers_used);
         assert_eq!(s1.cycles_broken, s2.cycles_broken);
         assert_eq!(s1.paths_moved, s2.paths_moved);
+    }
+
+    #[test]
+    fn routes_do_not_depend_on_thread_count() {
+        // The trait's determinism contract: at a fixed chunk, every
+        // thread count yields bit-identical routes and stats.
+        for chunk in [1usize, 4] {
+            for net in [topo::torus(&[4, 4], 1), topo::dragonfly(3, 1, 1)] {
+                let engine = DfSssp::new();
+                let (r1, s1) = engine
+                    .route_with_stats_in(&net, &ComputeCtx { threads: 1, chunk })
+                    .unwrap();
+                for threads in [2usize, 4] {
+                    let (rn, sn) = engine
+                        .route_with_stats_in(&net, &ComputeCtx { threads, chunk })
+                        .unwrap();
+                    assert_eq!(r1, rn, "{} threads={threads} chunk={chunk}", net.label());
+                    assert_eq!(s1.layers_used, sn.layers_used);
+                    assert_eq!(s1.cycles_broken, sn.cycles_broken);
+                    assert_eq!(s1.paths_moved, sn.paths_moved);
+                }
+                verify_deadlock_free(&net, &r1).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_wavefront_stays_deadlock_free() {
+        // Wider chunks change the balanced-weight schedule (a declared
+        // algorithm parameter) but must keep every guarantee.
+        let net = topo::torus(&[4, 4], 1);
+        for chunk in [2usize, 16, 1024] {
+            let engine = DfSssp::new();
+            let (routes, _) = engine
+                .route_with_stats_in(&net, &ComputeCtx { threads: 2, chunk })
+                .unwrap();
+            verify_deadlock_free(&net, &routes).unwrap();
+            assert_eq!(
+                routes.validate_connectivity(&net).unwrap(),
+                net.num_terminals() * (net.num_terminals() - 1)
+            );
+        }
     }
 }

@@ -51,11 +51,112 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Fallback chunk width when a parallel run leaves the wavefront width
+/// on auto: wide enough to keep a handful of workers busy per chunk,
+/// narrow enough that the balanced SSSP's weight feedback still steers
+/// path spreading within a few destinations of the sequential schedule.
+pub const DEFAULT_PAR_CHUNK: usize = 16;
+
+/// Parallelism *request*: what the caller asked for, zeros meaning
+/// "decide for me". Part of [`EngineConfig`] so every engine, CLI and
+/// the subnet manager plumb the same knob. [`ComputeOpts::resolve`]
+/// turns it into a concrete [`ComputeCtx`].
+///
+/// The default (`threads: 1, chunk: 0`) resolves to the exact
+/// sequential algorithm — existing callers see byte-identical routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeOpts {
+    /// Worker threads for the parallel sweeps; `0` = one per available
+    /// core.
+    pub threads: usize,
+    /// Destinations per deterministic wavefront chunk of the balanced
+    /// SSSP sweep (see DESIGN.md §15); `0` = auto: `1` when the
+    /// resolved thread count is 1, [`DEFAULT_PAR_CHUNK`] otherwise.
+    pub chunk: usize,
+}
+
+impl Default for ComputeOpts {
+    fn default() -> Self {
+        ComputeOpts {
+            threads: 1,
+            chunk: 0,
+        }
+    }
+}
+
+impl ComputeOpts {
+    /// Sequential compute (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `threads` workers (`0` = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Pin the wavefront chunk width (`0` = auto).
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Resolve the request against this host into concrete values.
+    pub fn resolve(&self) -> ComputeCtx {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        };
+        let chunk = match self.chunk {
+            0 if threads <= 1 => 1,
+            0 => DEFAULT_PAR_CHUNK,
+            c => c,
+        };
+        ComputeCtx { threads, chunk }
+    }
+}
+
+/// Resolved compute context handed down the routing call tree: both
+/// fields are concrete (≥ 1). Routes are a function of `chunk` alone —
+/// `threads` changes wall-clock, never output — so reproducing a run on
+/// any machine takes only the chunk value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeCtx {
+    /// Worker threads (≥ 1).
+    pub threads: usize,
+    /// Balanced-sweep wavefront width (≥ 1); `1` reproduces the paper's
+    /// sequential weight-update schedule exactly.
+    pub chunk: usize,
+}
+
+impl ComputeCtx {
+    /// Strictly sequential: one thread, chunk 1 — the paper's algorithm
+    /// byte for byte.
+    pub fn seq() -> Self {
+        ComputeCtx {
+            threads: 1,
+            chunk: 1,
+        }
+    }
+
+    /// Resolve explicit requests (zeros allowed, meaning auto).
+    pub fn new(threads: usize, chunk: usize) -> Self {
+        ComputeOpts { threads, chunk }.resolve()
+    }
+
+    /// Whether this context fans work across more than one worker.
+    pub fn parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
 /// Uniform configuration for configurable routing engines: the
-/// virtual-layer budget, the post-assignment balancing toggle, and the
-/// telemetry sink. One struct instead of one setter per knob, so the
-/// subnet manager's escalation ladder, the CLIs and the benches all
-/// tune engines the same way ([`RoutingEngine::with_config`]).
+/// virtual-layer budget, the post-assignment balancing toggle, the
+/// telemetry sink, and the compute (parallelism) request. One struct
+/// instead of one setter per knob, so the subnet manager's escalation
+/// ladder, the CLIs and the benches all tune engines the same way
+/// ([`RoutingEngine::with_config`]).
 ///
 /// Engines apply the fields they understand and ignore the rest (a
 /// balancing toggle means nothing to LASH); [`RoutingEngine::config`]
@@ -70,6 +171,8 @@ pub struct EngineConfig {
     pub recorder: RecorderHandle,
     /// Resource bounds for each `route()` call; unlimited by default.
     pub budget: crate::Budget,
+    /// Parallelism request; sequential by default.
+    pub compute: ComputeOpts,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +182,7 @@ impl Default for EngineConfig {
             balance: true,
             recorder: telemetry::noop(),
             budget: crate::Budget::default(),
+            compute: ComputeOpts::default(),
         }
     }
 }
@@ -112,33 +216,68 @@ impl EngineConfig {
         self.budget = budget;
         self
     }
+
+    /// Set the parallelism request.
+    pub fn compute(mut self, compute: ComputeOpts) -> Self {
+        self.compute = compute;
+        self
+    }
 }
 
 /// A routing algorithm: consumes a network, produces forwarding tables
 /// plus a virtual-layer assignment.
+///
+/// The required entry point is [`RoutingEngine::route_in`], which takes
+/// a resolved [`ComputeCtx`]; engines that cannot parallelize simply
+/// ignore it. The legacy [`RoutingEngine::route`] survives as a
+/// deprecated delegating shim (see DESIGN.md §15 for the migration
+/// story).
 pub trait RoutingEngine {
     /// Engine name, as reported in tables/figures (e.g. `"DFSSSP"`).
     fn name(&self) -> &'static str;
 
-    /// Compute routes for `net`.
-    fn route(&self, net: &Network) -> Result<Routes, RouteError>;
+    /// Compute routes for `net` under the given compute context.
+    ///
+    /// Determinism contract: the routes may depend on `cx.chunk` (a
+    /// declared algorithm parameter) but never on `cx.threads` — any
+    /// thread count must produce bit-for-bit identical routes.
+    fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError>;
+
+    /// Compute routes with the context resolved from the engine's own
+    /// configuration ([`EngineConfig::compute`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "call `route_in` with an explicit ComputeCtx (e.g. `ComputeCtx::seq()`); \
+                this shim resolves the context from `config().compute` and will be \
+                removed one release after the redesign"
+    )]
+    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+        self.route_in(net, &self.config().compute.resolve())
+    }
 
     /// Whether the routes this engine produces are guaranteed
     /// deadlock-free on arbitrary topologies.
     fn deadlock_free(&self) -> bool;
 
-    /// The engine's current configuration. Engines without tunables
-    /// (MinHop, plain SSSP) report `None`; the subnet manager's
-    /// escalation ladder skips them.
-    fn config(&self) -> Option<EngineConfig> {
-        None
-    }
-
-    /// Apply a configuration. Returns `false` when the engine has no
-    /// tunables, so callers know the request was ignored.
-    fn set_config(&mut self, _config: EngineConfig) -> bool {
+    /// Whether this engine acts on [`RoutingEngine::set_config`].
+    /// Engines without tunables (MinHop, plain SSSP, DOR) report
+    /// `false`; the subnet manager's escalation ladder then skips the
+    /// widen-VLs rung *intentionally* instead of silently.
+    fn tunables(&self) -> bool {
         false
     }
+
+    /// The engine's current configuration. Total: engines without
+    /// tunables report the defaults they effectively run with. Check
+    /// [`RoutingEngine::tunables`] to learn whether `set_config` would
+    /// change anything.
+    fn config(&self) -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// Apply a configuration. Total: engines without tunables
+    /// ([`RoutingEngine::tunables`] `== false`) accept and ignore it.
+    fn set_config(&mut self, _config: EngineConfig) {}
 
     /// Builder form of [`RoutingEngine::set_config`].
     fn with_config(mut self, config: EngineConfig) -> Self
@@ -157,19 +296,23 @@ impl<T: RoutingEngine + ?Sized> RoutingEngine for Box<T> {
         (**self).name()
     }
 
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
-        (**self).route(net)
+    fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError> {
+        (**self).route_in(net, cx)
     }
 
     fn deadlock_free(&self) -> bool {
         (**self).deadlock_free()
     }
 
-    fn config(&self) -> Option<EngineConfig> {
+    fn tunables(&self) -> bool {
+        (**self).tunables()
+    }
+
+    fn config(&self) -> EngineConfig {
         (**self).config()
     }
 
-    fn set_config(&mut self, config: EngineConfig) -> bool {
+    fn set_config(&mut self, config: EngineConfig) {
         (**self).set_config(config)
     }
 }
@@ -203,9 +346,9 @@ impl<E: RoutingEngine> RoutingEngine for Recorded<E> {
         self.inner.name()
     }
 
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
+    fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError> {
         let routes = telemetry::timed(&*self.recorder, phases::ROUTE_TOTAL, || {
-            self.inner.route(net)
+            self.inner.route_in(net, cx)
         })?;
         record_route_metrics(net, &routes, &*self.recorder);
         Ok(routes)
@@ -215,12 +358,30 @@ impl<E: RoutingEngine> RoutingEngine for Recorded<E> {
         self.inner.deadlock_free()
     }
 
-    fn config(&self) -> Option<EngineConfig> {
+    fn tunables(&self) -> bool {
+        self.inner.tunables()
+    }
+
+    fn config(&self) -> EngineConfig {
         self.inner.config()
     }
 
-    fn set_config(&mut self, config: EngineConfig) -> bool {
+    fn set_config(&mut self, config: EngineConfig) {
         self.inner.set_config(config)
+    }
+}
+
+/// Record one parallel phase's pool counters: items fanned out, steals,
+/// and the per-worker wall-time spread. A no-op when the recorder is
+/// disabled, and entirely skipped by the engines' sequential fast paths.
+pub(crate) fn record_par_stats(rec: &dyn Recorder, stats: &crate::pool::RunStats) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.add(counters::PAR_TASKS, stats.tasks);
+    rec.add(counters::STEAL_COUNT, stats.steals);
+    for &ns in &stats.worker_ns {
+        rec.observe(hists::PAR_WORKER_US, ns / 1_000);
     }
 }
 
@@ -282,6 +443,55 @@ mod tests {
             .join()
             .unwrap();
         assert_eq!(moved, 4);
+    }
+
+    #[test]
+    fn compute_opts_resolve_zeros() {
+        // Defaults are the exact sequential algorithm.
+        let cx = ComputeOpts::default().resolve();
+        assert_eq!(cx, ComputeCtx::seq());
+        assert!(!cx.parallel());
+        // threads=0 resolves to this host's core count (>= 1); chunk
+        // auto widens only when the run is actually parallel.
+        let cx = ComputeOpts::new().threads(0).resolve();
+        assert!(cx.threads >= 1);
+        if cx.threads > 1 {
+            assert_eq!(cx.chunk, DEFAULT_PAR_CHUNK);
+        } else {
+            assert_eq!(cx.chunk, 1);
+        }
+        let cx = ComputeOpts::new().threads(4).chunk(0).resolve();
+        assert_eq!(
+            cx,
+            ComputeCtx {
+                threads: 4,
+                chunk: DEFAULT_PAR_CHUNK
+            }
+        );
+        // Explicit values pass through untouched.
+        let cx = ComputeOpts::new().threads(3).chunk(5).resolve();
+        assert_eq!(
+            cx,
+            ComputeCtx {
+                threads: 3,
+                chunk: 5
+            }
+        );
+        assert_eq!(
+            ComputeCtx::new(2, 7),
+            ComputeCtx {
+                threads: 2,
+                chunk: 7
+            }
+        );
+    }
+
+    #[test]
+    fn config_defaults_are_sequential() {
+        let config = EngineConfig::default();
+        assert_eq!(config.compute, ComputeOpts::default());
+        let config = config.compute(ComputeOpts::new().threads(2));
+        assert_eq!(config.compute.threads, 2);
     }
 
     #[test]

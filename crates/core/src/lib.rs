@@ -32,15 +32,22 @@ pub mod dfsssp;
 pub mod dijkstra;
 pub mod engine;
 pub mod heuristics;
+#[cfg(all(test, feature = "loom-tests"))]
+mod models;
 pub mod paths;
+pub mod pool;
 pub mod quality;
 pub mod sssp;
+pub mod sync;
 pub mod verify;
 pub mod wrapper;
 
 pub use budget::{Budget, BudgetGuard};
 pub use dfsssp::{DfSssp, LayerAssignMode};
-pub use engine::{record_route_metrics, EngineConfig, Recorded, RouteError, RoutingEngine};
+pub use engine::{
+    record_route_metrics, ComputeCtx, ComputeOpts, EngineConfig, Recorded, RouteError,
+    RoutingEngine, DEFAULT_PAR_CHUNK,
+};
 pub use heuristics::CycleBreakHeuristic;
 pub use quality::{route_quality, RouteQuality};
 pub use sssp::Sssp;

@@ -1,0 +1,117 @@
+//! Exhaustive interleaving models of the work-stealing deques, checked
+//! with [`weave`] (compiled only under `--features loom-tests`).
+//!
+//! The production [`StealQueues`] type is driven directly — its mutexes
+//! come from the [`crate::sync`] shim, so every lock acquisition is a
+//! scheduling point the checker explores. The property is the one
+//! [`crate::pool::map_stealing`]'s determinism rests on: *every index is
+//! claimed exactly once, under every schedule*, including the schedules
+//! where an owner's pop races a thief's steal on the same deque.
+//!
+//! A mutant accompanies the model: a steal that reads the victim's front
+//! and pops in two separate lock acquisitions (the classic check-then-act
+//! race). The checker must refute it — that failure pins the model's
+//! power, so a refactor weakening the protocol trips the mutant first.
+
+use crate::pool::StealQueues;
+use crate::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use crate::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use weave::{thread, Builder};
+
+/// Full-DFS builder for 2-thread models (trees stay small).
+fn exhaustive() -> Builder {
+    Builder::default()
+}
+
+#[test]
+fn every_index_claimed_exactly_once() {
+    let report = exhaustive()
+        .check(|| {
+            // 3 items over 2 workers: worker 0 owns [0, 1], worker 1
+            // owns [2]. Worker 1 goes dry first and steals from the
+            // back of worker 0's deque while worker 0 pops its front —
+            // the steal/pop race on one shared deque.
+            let queues = Arc::new(StealQueues::new(3, 2));
+            let marks = Arc::new([
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ]);
+            let handles: Vec<_> = (0..2)
+                .map(|w| {
+                    let queues = Arc::clone(&queues);
+                    let marks = Arc::clone(&marks);
+                    thread::spawn(move || {
+                        while let Some(i) = queues.next(w) {
+                            marks[i].fetch_add(1, SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            for (i, m) in marks.iter().enumerate() {
+                assert_eq!(
+                    m.load(SeqCst),
+                    1,
+                    "index {i} claimed {} times",
+                    m.load(SeqCst)
+                );
+            }
+        })
+        .expect("exactly-once claiming must hold under every schedule");
+    assert!(report.executions > 1, "the model must branch");
+}
+
+/// Mutant deque set: steal reads the victim's back element and removes
+/// it under *two* lock acquisitions. Two concurrent thieves (or a thief
+/// racing the owner) can both observe the same element before either
+/// removes it — the race [`StealQueues::next`]'s single-lock claim
+/// prevents.
+struct ToctouQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl ToctouQueues {
+    fn new() -> ToctouQueues {
+        // One shared victim deque; both model threads act as thieves.
+        ToctouQueues {
+            deques: vec![Mutex::new(VecDeque::from([7, 8]))],
+        }
+    }
+
+    fn steal(&self) -> Option<usize> {
+        // BUG (deliberate): check-then-act across two critical sections.
+        let peeked = *self.deques[0].lock().unwrap().back()?;
+        self.deques[0].lock().unwrap().pop_back();
+        Some(peeked)
+    }
+}
+
+#[test]
+fn two_phase_steal_mutant_is_refuted() {
+    exhaustive()
+        .check(|| {
+            let queues = Arc::new(ToctouQueues::new());
+            let marks = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let queues = Arc::clone(&queues);
+                    let marks = Arc::clone(&marks);
+                    thread::spawn(move || {
+                        while let Some(i) = queues.steal() {
+                            marks[i - 7].fetch_add(1, SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(marks[0].load(SeqCst), 1);
+            assert_eq!(marks[1].load(SeqCst), 1);
+        })
+        .expect_err("a two-phase steal must double-claim on some schedule");
+}

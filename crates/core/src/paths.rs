@@ -7,9 +7,9 @@
 //! with offsets (the paper reports ~340 MB for a 4096-node network — this
 //! layout is what keeps that figure practical).
 
-use crate::engine::RouteError;
+use crate::engine::{ComputeCtx, RouteError};
+use crate::pool::map_stealing;
 use fabric::{ChannelId, Network, Routes};
-use rayon::prelude::*;
 
 /// Identifier of one terminal-to-terminal path in a [`PathSet`].
 pub type PathId = u32;
@@ -31,12 +31,24 @@ impl PathSet {
     /// Extract every ordered terminal pair's route from `routes`.
     /// Paths are extracted in `(src_t, dst_t)` lexicographic order.
     pub fn extract(net: &Network, routes: &Routes) -> Result<PathSet, RouteError> {
+        Self::extract_in(net, routes, &ComputeCtx::seq())
+    }
+
+    /// [`PathSet::extract`] fanned across `cx.threads` pool workers, one
+    /// task per source terminal. Per-source results are flattened in
+    /// source order, so the set is identical for every thread count.
+    pub fn extract_in(
+        net: &Network,
+        routes: &Routes,
+        cx: &ComputeCtx,
+    ) -> Result<PathSet, RouteError> {
         let terminals = net.terminals();
         // Parallel per-source extraction, then flatten.
-        let per_src: Vec<Result<SourcePaths, RouteError>> = terminals
-            .par_iter()
-            .enumerate()
-            .map(|(src_t, &src)| {
+        let (per_src, _) = map_stealing(
+            terminals.len(),
+            cx.threads,
+            |src_t| -> Result<SourcePaths, RouteError> {
+                let src = terminals[src_t];
                 let mut chans = Vec::new();
                 let mut lens = Vec::new();
                 let mut pairs = Vec::new();
@@ -55,8 +67,8 @@ impl PathSet {
                     pairs.push((src_t as u32, dst_t as u32));
                 }
                 Ok((chans, lens, pairs))
-            })
-            .collect();
+            },
+        );
         let mut channels = Vec::new();
         let mut offsets = vec![0u64];
         let mut pairs = Vec::new();
@@ -143,7 +155,9 @@ mod tests {
     #[test]
     fn extracts_every_ordered_pair() {
         let net = topo::ring(4, 2);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         let ps = PathSet::extract(&net, &routes).unwrap();
         assert_eq!(ps.len(), 8 * 7);
         // Pairs are unique and ordered.
@@ -156,7 +170,9 @@ mod tests {
     #[test]
     fn channel_sequences_chain() {
         let net = topo::kary_ntree(2, 2);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         let ps = PathSet::extract(&net, &routes).unwrap();
         for p in ps.ids() {
             let (src_t, dst_t) = ps.pair(p);
@@ -175,7 +191,9 @@ mod tests {
     #[test]
     fn total_hops_matches_load_sum() {
         let net = topo::torus(&[3, 3], 1);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         let ps = PathSet::extract(&net, &routes).unwrap();
         let loads = routes.channel_loads(&net).unwrap();
         assert_eq!(ps.total_hops() as u32, loads.iter().sum::<u32>());

@@ -1,0 +1,221 @@
+//! A small work-stealing pool for deterministic parallel sweeps.
+//!
+//! The routing engines fan fixed-size index ranges (destinations, path
+//! ranges) across worker threads with [`map_stealing`]: item `i`'s result
+//! lands in output slot `i`, so the merged output is *identical to the
+//! sequential map regardless of thread count or scheduling* — determinism
+//! comes from the slot discipline, not from the schedule.
+//!
+//! Work distribution is deque-based: every worker is pre-loaded with a
+//! contiguous block of indices and walks it front-to-back (streaming
+//! through memory in index order); a worker whose own deque runs dry
+//! steals from the *back* of a victim's deque, taking the work farthest
+//! from where the victim is currently reading. Items are only ever
+//! removed after construction, so a full empty scan is a proof of
+//! completion — no condvar, no termination protocol.
+//!
+//! The deques live behind the [`crate::sync`] shim: under
+//! `--features loom-tests` the exact steal/pop protocol runs inside the
+//! [`weave`] model checker (`src/models.rs`).
+
+use crate::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+
+/// Counters from one [`map_stealing`] run, fed into telemetry by the
+/// engines (`par_tasks`, `steal_count`, per-worker phase time).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Items executed (equals the input length on every successful run).
+    pub tasks: u64,
+    /// Items claimed from another worker's deque.
+    pub steals: u64,
+    /// Wall time each worker spent in its drain loop, in nanoseconds.
+    pub worker_ns: Vec<u64>,
+}
+
+/// The index deques of one work-stealing run: worker `w` owns deque `w`,
+/// pre-filled with a contiguous block of `0..n` in ascending order.
+///
+/// Shared by reference across the workers of [`map_stealing`]; the
+/// interleaving models drive it directly. Every claim happens under one
+/// deque mutex, so each index is handed out exactly once.
+pub struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+}
+
+impl StealQueues {
+    /// Split `0..n` into `workers` contiguous blocks, one deque each.
+    /// Block sizes differ by at most one.
+    pub fn new(n: usize, workers: usize) -> StealQueues {
+        let workers = workers.max(1);
+        let mut deques = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            // Even split: the first `n % workers` blocks get one extra.
+            let len = n / workers + usize::from(w < n % workers);
+            deques.push(Mutex::new((start..start + len).collect()));
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        StealQueues {
+            deques,
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Claim the next index for worker `w`: the front of its own deque,
+    /// else one stolen from the back of the first non-empty victim.
+    /// `None` means every deque was empty — and since indices are never
+    /// re-added, none will ever appear again: the run is complete.
+    pub fn next(&self, w: usize) -> Option<usize> {
+        if let Some(i) = self.deques[w].lock().unwrap().pop_front() {
+            return Some(i);
+        }
+        for k in 1..self.deques.len() {
+            let victim = (w + k) % self.deques.len();
+            if let Some(i) = self.deques[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Total successful steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Relaxed)
+    }
+}
+
+/// Map `f` over `0..n` on `threads` workers; `f(i)`'s result is placed in
+/// output slot `i`, so the returned vector equals the sequential
+/// `(0..n).map(f).collect()` bit for bit, whatever the schedule did.
+///
+/// `f` runs on borrowed scoped threads — it may capture references to the
+/// caller's stack (networks, weight snapshots) without `'static` bounds.
+/// With `threads <= 1` or `n <= 1` no threads are spawned at all and `f`
+/// runs inline, in order.
+pub fn map_stealing<O, F>(n: usize, threads: usize, f: F) -> (Vec<O>, RunStats)
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let start = std::time::Instant::now();
+        let out: Vec<O> = (0..n).map(f).collect();
+        let stats = RunStats {
+            tasks: n as u64,
+            steals: 0,
+            worker_ns: vec![start.elapsed().as_nanos() as u64],
+        };
+        return (out, stats);
+    }
+    let workers = threads.min(n);
+    let queues = StealQueues::new(n, workers);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let worker_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let worker_ns = &worker_ns;
+            let f = &f;
+            scope.spawn(move || {
+                let start = std::time::Instant::now();
+                while let Some(i) = queues.next(w) {
+                    let out = f(i);
+                    *slots[i].lock().unwrap() = Some(out);
+                }
+                worker_ns[w].store(start.elapsed().as_nanos() as u64, Relaxed);
+            });
+        }
+    });
+    let out: Vec<O> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every index claimed exactly once")
+        })
+        .collect();
+    let stats = RunStats {
+        tasks: n as u64,
+        steals: queues.steals(),
+        worker_ns: worker_ns.iter().map(|t| t.load(Relaxed)).collect(),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fast_path_is_in_order() {
+        let (out, stats) = map_stealing(5, 1, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        assert_eq!(stats.tasks, 5);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.worker_ns.len(), 1);
+    }
+
+    #[test]
+    fn parallel_output_equals_sequential() {
+        for threads in [2, 3, 4, 7] {
+            let (seq, _) = map_stealing(100, 1, |i| i * i + 1);
+            let (par, stats) = map_stealing(100, threads, |i| i * i + 1);
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(stats.tasks, 100);
+            assert_eq!(stats.worker_ns.len(), threads.min(100));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_caps_workers() {
+        let (out, stats) = map_stealing(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.worker_ns.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let (out, stats) = map_stealing(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks, 0);
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // Worker 0 owns the heavy front half; with 2 workers the other
+        // must steal to finish. The output stays slot-ordered.
+        let n = 64;
+        let (out, _) = map_stealing(n, 2, |i| {
+            if i < n / 2 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queues_split_contiguously() {
+        let q = StealQueues::new(10, 3);
+        assert_eq!(q.workers(), 3);
+        // Blocks: [0..4), [4..7), [7..10).
+        let mut seen = Vec::new();
+        while let Some(i) = q.next(0) {
+            seen.push(i);
+        }
+        assert_eq!(seen.len(), 10, "worker 0 drains everything when alone");
+        // Own block front-to-back first, then steals from victims' backs.
+        assert_eq!(&seen[..4], &[0, 1, 2, 3]);
+    }
+}

@@ -17,12 +17,24 @@
 //! **Ordering.** Like OpenSM's implementation, destinations are the
 //! terminals in index order, and weight updates count terminal-to-terminal
 //! paths (switch-sourced traffic does not exist in operation).
+//!
+//! **Parallelism.** Each destination's tree depends on the weights left
+//! by all previous destinations, so the sweep is not embarrassingly
+//! parallel. [`Sssp::route_with_weights_in`] runs a *chunked
+//! deterministic wavefront*: destinations are processed in chunks of
+//! [`ComputeCtx::chunk`]; the trees of one chunk are computed in
+//! parallel against the chunk-start weight snapshot, then tables and
+//! weight updates are applied sequentially in destination order. The
+//! output is a function of the chunk width alone — never of the thread
+//! count or the schedule — and `chunk = 1` reproduces the paper's
+//! sequential algorithm byte for byte.
 
 use crate::budget::BudgetGuard;
 use crate::dijkstra::spt_to;
-use crate::engine::{RouteError, RoutingEngine};
+use crate::engine::{record_par_stats, ComputeCtx, RouteError, RoutingEngine};
+use crate::pool::map_stealing;
 use fabric::{Network, Routes};
-use rayon::prelude::*;
+use telemetry::Recorder;
 
 /// The SSSP routing engine (not deadlock-free; see [`crate::DfSssp`]).
 #[derive(Clone, Debug)]
@@ -60,13 +72,32 @@ impl Sssp {
     }
 
     /// [`Sssp::route_with_weights`] under a [`BudgetGuard`]: the
-    /// deadline is checked before each destination's shortest-path tree
-    /// (the expensive unit of Algorithm 1), so a run over a hostile or
-    /// oversized network stops within one tree of its deadline.
+    /// deadline is checked before each destination chunk's shortest-path
+    /// trees (the expensive unit of Algorithm 1), so a run over a
+    /// hostile or oversized network stops within one chunk of its
+    /// deadline.
     pub fn route_with_weights_budgeted(
         &self,
         net: &Network,
         guard: &BudgetGuard,
+    ) -> Result<(Routes, Vec<u64>), RouteError> {
+        self.route_with_weights_in(net, guard, &ComputeCtx::seq(), &*telemetry::noop())
+    }
+
+    /// The chunked deterministic wavefront (see the module docs): the
+    /// shortest-path trees of each `cx.chunk`-wide destination chunk are
+    /// fanned across `cx.threads` pool workers against the chunk-start
+    /// weight snapshot; table programming and weight updates then run
+    /// sequentially in destination order, so the routes depend only on
+    /// `cx.chunk`. Pool counters land on `rec` (`par_tasks`,
+    /// `steal_count`, `par_worker_us`), only when a chunk actually fans
+    /// out.
+    pub fn route_with_weights_in(
+        &self,
+        net: &Network,
+        guard: &BudgetGuard,
+        cx: &ComputeCtx,
+        rec: &dyn Recorder,
     ) -> Result<(Routes, Vec<u64>), RouteError> {
         guard.admit(net)?;
         if !net.is_strongly_connected() {
@@ -76,29 +107,45 @@ impl Sssp {
         let mut weights = vec![w0; net.num_channels()];
         let mut routes = Routes::new(net, self.name());
         let mut subtree = vec![0u64; net.num_nodes()];
-        for (dst_t, &dst) in net.terminals().iter().enumerate() {
+        let terminals = net.terminals();
+        let chunk = cx.chunk.max(1);
+        for start in (0..terminals.len()).step_by(chunk) {
             guard.check_deadline()?;
-            let spt = spt_to(net, dst, &weights);
-            // Program tables along the tree.
-            for (id, _) in net.nodes() {
-                if let Some(c) = spt.parent[id.idx()] {
-                    routes.set_next(id, dst_t, c);
-                }
+            let end = (start + chunk).min(terminals.len());
+            // All trees of this chunk see the same weight snapshot; the
+            // slot discipline of `map_stealing` returns them in
+            // destination order whatever the workers did.
+            let (spts, stats) = map_stealing(end - start, cx.threads, |i| {
+                spt_to(net, terminals[start + i], &weights)
+            });
+            if end - start > 1 && cx.parallel() {
+                record_par_stats(rec, &stats);
             }
-            // Weight update: each channel gains the number of
-            // terminal-to-dst paths crossing it. Accumulate subtree sizes
-            // in reverse settle order (children strictly after parents in
-            // pop order, so reverse order sees children first).
-            subtree.iter_mut().for_each(|s| *s = 0);
-            for &v in spt.pop_order.iter().rev() {
-                if net.is_terminal(v) && v != dst {
-                    subtree[v.idx()] += 1;
+            for (i, spt) in spts.iter().enumerate() {
+                let dst_t = start + i;
+                let dst = terminals[dst_t];
+                // Program tables along the tree.
+                for (id, _) in net.nodes() {
+                    if let Some(c) = spt.parent[id.idx()] {
+                        routes.set_next(id, dst_t, c);
+                    }
                 }
-                if let Some(c) = spt.parent[v.idx()] {
-                    let u = net.channel(c).dst;
-                    let count = subtree[v.idx()];
-                    subtree[u.idx()] += count;
-                    weights[c.idx()] += count;
+                // Weight update: each channel gains the number of
+                // terminal-to-dst paths crossing it. Accumulate subtree
+                // sizes in reverse settle order (children strictly after
+                // parents in pop order, so reverse order sees children
+                // first).
+                subtree.iter_mut().for_each(|s| *s = 0);
+                for &v in spt.pop_order.iter().rev() {
+                    if net.is_terminal(v) && v != dst {
+                        subtree[v.idx()] += 1;
+                    }
+                    if let Some(c) = spt.parent[v.idx()] {
+                        let u = net.channel(c).dst;
+                        let count = subtree[v.idx()];
+                        subtree[u.idx()] += count;
+                        weights[c.idx()] += count;
+                    }
                 }
             }
         }
@@ -111,8 +158,9 @@ impl RoutingEngine for Sssp {
         "SSSP"
     }
 
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
-        self.route_with_weights(net).map(|(r, _)| r)
+    fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError> {
+        self.route_with_weights_in(net, &BudgetGuard::unlimited(), cx, &*telemetry::noop())
+            .map(|(r, _)| r)
     }
 
     fn deadlock_free(&self) -> bool {
@@ -122,20 +170,25 @@ impl RoutingEngine for Sssp {
 
 /// Per-destination loads under plain (unbalanced, unit-weight) shortest
 /// paths, used as a comparison point in tests and ablations: runs the same
-/// table construction with constant weights and no updates.
+/// table construction with constant weights and no updates. Uses every
+/// available core; with no weight feedback the destinations really are
+/// independent, so any thread count yields identical routes.
 pub fn unbalanced_shortest_paths(net: &Network) -> Result<Routes, RouteError> {
+    unbalanced_shortest_paths_in(net, &ComputeCtx::new(0, 0))
+}
+
+/// [`unbalanced_shortest_paths`] under an explicit compute context.
+pub fn unbalanced_shortest_paths_in(net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError> {
     if !net.is_strongly_connected() {
         return Err(RouteError::Disconnected);
     }
     let weights = vec![1u64; net.num_channels()];
-    let next: Vec<(usize, Vec<Option<fabric::ChannelId>>)> = net
-        .terminals()
-        .par_iter()
-        .enumerate()
-        .map(|(dst_t, &dst)| (dst_t, spt_to(net, dst, &weights).parent))
-        .collect();
+    let terminals = net.terminals();
+    let (parents, _) = map_stealing(terminals.len(), cx.threads, |dst_t| {
+        spt_to(net, terminals[dst_t], &weights).parent
+    });
     let mut routes = Routes::new(net, "ShortestPath");
-    for (dst_t, parents) in next {
+    for (dst_t, parents) in parents.into_iter().enumerate() {
         for (id, _) in net.nodes() {
             if let Some(c) = parents[id.idx()] {
                 routes.set_next(id, dst_t, c);
@@ -154,14 +207,18 @@ mod tests {
     #[test]
     fn routes_all_pairs_on_torus() {
         let net = topo::torus(&[3, 3], 1);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         assert_eq!(routes.validate_connectivity(&net).unwrap(), 9 * 8);
     }
 
     #[test]
     fn paths_are_minimal() {
         let net = topo::kautz(2, 2, 12, true);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         for &dst in net.terminals() {
             let hops = net.hops_to(dst);
             for &src in net.terminals() {
@@ -179,7 +236,9 @@ mod tests {
         // On a fat tree the unbalanced variant funnels everything through
         // the first-found root; SSSP must spread the load.
         let net = topo::kary_ntree(4, 2);
-        let balanced = Sssp::new().route(&net).unwrap();
+        let balanced = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         let unbalanced = unbalanced_shortest_paths(&net).unwrap();
         let max_b = *balanced.channel_loads(&net).unwrap().iter().max().unwrap();
         let max_u = *unbalanced
@@ -224,7 +283,9 @@ mod tests {
         let net = b.build();
 
         // Non-minimal configuration can produce non-shortest paths.
-        let routes = Sssp { minimal: false }.route(&net).unwrap();
+        let routes = Sssp { minimal: false }
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         let mut any_detour = false;
         for &dst in net.terminals() {
             let hops = net.hops_to(dst);
@@ -241,7 +302,9 @@ mod tests {
         assert!(any_detour, "unit initial weights must allow detours");
 
         // Minimal configuration never does.
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new()
+            .route_in(&net, &crate::ComputeCtx::seq())
+            .unwrap();
         for &dst in net.terminals() {
             let hops = net.hops_to(dst);
             for &src in net.terminals() {
@@ -292,7 +355,9 @@ mod tests {
         b.link(t1, s1).unwrap();
         let net = b.build();
         assert_eq!(
-            Sssp::new().route(&net).unwrap_err(),
+            Sssp::new()
+                .route_in(&net, &crate::ComputeCtx::seq())
+                .unwrap_err(),
             RouteError::Disconnected
         );
         assert!(unbalanced_shortest_paths(&net).is_err());

@@ -1,0 +1,26 @@
+//! Synchronisation shim: the crate's concurrent core ([`crate::pool`])
+//! imports its primitives from here instead of `std` directly.
+//!
+//! * Default build: straight re-exports of `std::sync` — zero cost,
+//!   identical semantics.
+//! * `--features loom-tests`: re-exports of the [`weave`] model checker's
+//!   primitives. Outside a `weave::model` run those pass through to
+//!   `std`, so the crate's ordinary tests still behave normally; inside a
+//!   model every operation becomes an exhaustively explored scheduling
+//!   point.
+//!
+//! The module is public so the interleaving models in `src/models.rs`
+//! can drive the exact production [`crate::pool::StealQueues`] type under
+//! either configuration.
+
+#[cfg(feature = "loom-tests")]
+pub use weave::{
+    sync::{atomic, Arc, Mutex, MutexGuard},
+    thread::yield_now,
+};
+
+#[cfg(not(feature = "loom-tests"))]
+pub use std::{
+    sync::{atomic, Arc, Mutex, MutexGuard},
+    thread::yield_now,
+};

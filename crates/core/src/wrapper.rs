@@ -15,9 +15,9 @@
 use crate::balance::balance_layers;
 use crate::budget::{record_trip, Budget};
 use crate::dfsssp::{
-    assign_layers_budgeted, assign_layers_online_budgeted, DfStats, LayerAssignMode,
+    assign_layers_budgeted_in, assign_layers_online_budgeted, DfStats, LayerAssignMode,
 };
-use crate::engine::{EngineConfig, RouteError, RoutingEngine};
+use crate::engine::{ComputeCtx, ComputeOpts, EngineConfig, RouteError, RoutingEngine};
 use crate::heuristics::CycleBreakHeuristic;
 use crate::paths::PathSet;
 use fabric::{Network, Routes};
@@ -45,6 +45,9 @@ pub struct DeadlockFree<E> {
     /// engine is not interrupted mid-call, but the deadline is checked
     /// when it returns and throughout the layer assignment.
     pub budget: Budget,
+    /// Parallelism request, forwarded to the inner engine's `route_in`
+    /// and used for path extraction and the initial CDG population.
+    pub compute: ComputeOpts,
 }
 
 impl<E: RoutingEngine> DeadlockFree<E> {
@@ -59,26 +62,51 @@ impl<E: RoutingEngine> DeadlockFree<E> {
             compact: true,
             recorder: telemetry::noop(),
             budget: Budget::default(),
+            compute: ComputeOpts::default(),
         }
     }
 
     /// Route and return assignment statistics.
     pub fn route_with_stats(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
-        record_trip(&*self.recorder, self.route_with_stats_inner(net))
+        self.route_with_stats_in(net, &self.compute.resolve())
     }
 
-    fn route_with_stats_inner(&self, net: &Network) -> Result<(Routes, DfStats), RouteError> {
+    /// [`DeadlockFree::route_with_stats`] under an explicit compute
+    /// context, overriding the wrapper's own request. The context is
+    /// forwarded to the inner engine.
+    pub fn route_with_stats_in(
+        &self,
+        net: &Network,
+        cx: &ComputeCtx,
+    ) -> Result<(Routes, DfStats), RouteError> {
+        record_trip(&*self.recorder, self.route_with_stats_inner(net, cx))
+    }
+
+    fn route_with_stats_inner(
+        &self,
+        net: &Network,
+        cx: &ComputeCtx,
+    ) -> Result<(Routes, DfStats), RouteError> {
         let rec: &dyn Recorder = &*self.recorder;
         let guard = self.budget.start();
         guard.admit(net)?;
         let max_layers = guard.clamp_layers(self.max_layers);
-        let mut routes = telemetry::timed(rec, phases::INNER_ROUTE, || self.inner.route(net))?;
+        let mut routes =
+            telemetry::timed(rec, phases::INNER_ROUTE, || self.inner.route_in(net, cx))?;
         guard.check_deadline()?;
-        let ps = telemetry::timed(rec, phases::CDG_BUILD, || PathSet::extract(net, &routes))?;
+        let ps = telemetry::timed(rec, phases::CDG_BUILD, || {
+            PathSet::extract_in(net, &routes, cx)
+        })?;
         let (mut path_layer, mut stats) = match self.mode {
-            LayerAssignMode::Offline => {
-                assign_layers_budgeted(&ps, self.heuristic, max_layers, self.compact, rec, &guard)?
-            }
+            LayerAssignMode::Offline => assign_layers_budgeted_in(
+                &ps,
+                self.heuristic,
+                max_layers,
+                self.compact,
+                rec,
+                &guard,
+                cx,
+            )?,
             LayerAssignMode::Online => assign_layers_online_budgeted(&ps, max_layers, rec, &guard)?,
         };
         stats.layers_final = telemetry::timed(rec, phases::BALANCE, || {
@@ -107,29 +135,34 @@ impl<E: RoutingEngine> RoutingEngine for DeadlockFree<E> {
         "DF-wrapped"
     }
 
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
-        self.route_with_stats(net).map(|(r, _)| r)
+    fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError> {
+        self.route_with_stats_in(net, cx).map(|(r, _)| r)
     }
 
     fn deadlock_free(&self) -> bool {
         true
     }
 
-    fn config(&self) -> Option<EngineConfig> {
-        Some(EngineConfig {
+    fn tunables(&self) -> bool {
+        true
+    }
+
+    fn config(&self) -> EngineConfig {
+        EngineConfig {
             max_layers: self.max_layers,
             balance: self.balance,
             recorder: self.recorder.clone(),
             budget: self.budget.clone(),
-        })
+            compute: self.compute,
+        }
     }
 
-    fn set_config(&mut self, config: EngineConfig) -> bool {
+    fn set_config(&mut self, config: EngineConfig) {
         self.max_layers = config.max_layers;
         self.balance = config.balance;
         self.recorder = config.recorder;
         self.budget = config.budget;
-        true
+        self.compute = config.compute;
     }
 }
 
@@ -168,7 +201,9 @@ mod tests {
         let t1 = b.add_terminal("t1");
         b.link(t1, s1).unwrap();
         let net = b.build();
-        let err = DeadlockFree::new(Sssp::new()).route(&net).unwrap_err();
+        let err = DeadlockFree::new(Sssp::new())
+            .route_in(&net, &ComputeCtx::seq())
+            .unwrap_err();
         assert_eq!(err, RouteError::Disconnected);
     }
 }

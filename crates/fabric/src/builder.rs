@@ -1,6 +1,6 @@
 //! Incremental network construction with port bookkeeping.
 
-use crate::graph::{Channel, ChannelId, Network, Node, NodeId, NodeKind, NONE_U32};
+use crate::graph::{Channel, ChannelId, CsrAdj, Network, Node, NodeId, NodeKind, NONE_U32};
 use rustc_hash::FxHashSet;
 
 /// Error raised while wiring a network.
@@ -310,11 +310,17 @@ impl NetworkBuilder {
                 }
             }
         }
+        let out_csr = CsrAdj::from_lists(&out_adj);
+        let in_csr = CsrAdj::from_lists(&in_adj);
+        debug_assert!(out_csr.agrees_with(&out_adj));
+        debug_assert!(in_csr.agrees_with(&in_adj));
         Network {
             nodes: self.nodes,
             channels: self.channels,
             out_adj,
             in_adj,
+            out_csr,
+            in_csr,
             switches,
             terminals,
             terminal_index,

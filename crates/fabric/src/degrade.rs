@@ -64,7 +64,19 @@ pub fn remove(
             }
         }
     }
-    b.build()
+    let rebuilt = b.build();
+    // Every degrade-path mutation (remove/restore/extract_core all land
+    // here) must leave the flat CSR views in lockstep with the adjacency
+    // lists — the routing hot loops read only the CSR.
+    debug_assert!(
+        rebuilt.out_csr.agrees_with(&rebuilt.out_adj),
+        "degrade left out_csr out of sync with out_adj"
+    );
+    debug_assert!(
+        rebuilt.in_csr.agrees_with(&rebuilt.in_adj),
+        "degrade left in_csr out of sync with in_adj"
+    );
+    rebuilt
 }
 
 /// Rebuild `degraded` with hardware of `reference` brought back:
@@ -530,5 +542,23 @@ mod tests {
     fn star_has_no_removable_switch() {
         let net = topo::star(4);
         assert!(fail_random_switch(&net, 0).is_none());
+    }
+
+    #[test]
+    fn degrade_keeps_csr_in_sync() {
+        let net = topo::torus(&[3, 3], 1);
+        let (degraded, _) = fail_random_cables(&net, 3, 11);
+        assert!(degraded.out_csr.agrees_with(&degraded.out_adj));
+        assert!(degraded.in_csr.agrees_with(&degraded.in_adj));
+        degraded.validate().unwrap();
+        let restored = restore(
+            &degraded,
+            &net,
+            &FxHashSet::default(),
+            &FxHashSet::default(),
+        );
+        assert!(restored.out_csr.agrees_with(&restored.out_adj));
+        assert!(restored.in_csr.agrees_with(&restored.in_adj));
+        restored.validate().unwrap();
     }
 }

@@ -89,19 +89,92 @@ pub struct Channel {
     pub rev: Option<ChannelId>,
 }
 
+/// Flat compressed-sparse-row adjacency: one contiguous channel-id
+/// array plus per-node offsets. The routing hot loops (Dijkstra
+/// relaxation, BFS sweeps, reachability walks) iterate adjacency
+/// millions of times per run; a CSR row is one pointer-width slice into
+/// a single allocation, where the `Vec<Vec<_>>` view costs a dependent
+/// load per node and scatters rows across the heap. Built once by
+/// [`crate::NetworkBuilder::build`] and rebuilt on every degrade/restore
+/// (those rebuild the whole `Network`), so the two views never drift —
+/// [`Network::validate`] and debug assertions check the agreement.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub(crate) struct CsrAdj {
+    /// `channel_offsets[v]..channel_offsets[v+1]` indexes
+    /// `channel_ids` for node `v`; length `num_nodes + 1`.
+    pub(crate) channel_offsets: Vec<u32>,
+    /// Concatenated per-node channel rows.
+    pub(crate) channel_ids: Vec<ChannelId>,
+}
+
+impl CsrAdj {
+    /// Flatten a `Vec<Vec<_>>` adjacency into CSR form.
+    pub(crate) fn from_lists(lists: &[Vec<ChannelId>]) -> CsrAdj {
+        let mut channel_offsets = Vec::with_capacity(lists.len() + 1);
+        let mut channel_ids = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        channel_offsets.push(0);
+        for row in lists {
+            channel_ids.extend_from_slice(row);
+            channel_offsets.push(channel_ids.len() as u32);
+        }
+        CsrAdj {
+            channel_offsets,
+            channel_ids,
+        }
+    }
+
+    /// The adjacency row of node `i`.
+    #[inline]
+    pub(crate) fn row(&self, i: usize) -> &[ChannelId] {
+        let s = self.channel_offsets[i] as usize;
+        let e = self.channel_offsets[i + 1] as usize;
+        &self.channel_ids[s..e]
+    }
+
+    /// Whether this CSR is exactly the flattening of `lists` (same rows,
+    /// same order). Used by [`Network::validate`] and the degrade-path
+    /// debug assertions.
+    pub(crate) fn agrees_with(&self, lists: &[Vec<ChannelId>]) -> bool {
+        if self.channel_offsets.len() != lists.len() + 1 {
+            return false;
+        }
+        if self.channel_offsets.first() != Some(&0) {
+            return false;
+        }
+        let mut at = 0usize;
+        for (i, row) in lists.iter().enumerate() {
+            at += row.len();
+            if self.channel_offsets.get(i + 1).map(|&o| o as usize) != Some(at) {
+                return false;
+            }
+            if self.channel_ids.get(at - row.len()..at) != Some(&row[..]) {
+                return false;
+            }
+        }
+        self.channel_ids.len() == at
+    }
+}
+
 /// An immutable interconnection network `I = G(N, C)`.
 ///
 /// Built via [`crate::NetworkBuilder`] or one of the [`crate::topo`]
 /// generators. Provides O(1) access to per-node adjacency and cached
 /// switch/terminal index maps used by routing engines and simulators.
+/// Adjacency is served from flat [`CsrAdj`] arrays; the `Vec<Vec<_>>`
+/// lists are kept as the construction-order source of truth the CSR is
+/// derived from (and checked against).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Network {
     pub(crate) nodes: Vec<Node>,
     pub(crate) channels: Vec<Channel>,
-    /// Outgoing channels per node.
+    /// Outgoing channels per node (source of truth for `out_csr`).
     pub(crate) out_adj: Vec<Vec<ChannelId>>,
-    /// Incoming channels per node.
+    /// Incoming channels per node (source of truth for `in_csr`).
     pub(crate) in_adj: Vec<Vec<ChannelId>>,
+    /// Flat CSR view of `out_adj` — what the hot loops read.
+    pub(crate) out_csr: CsrAdj,
+    /// Flat CSR view of `in_adj` — what the hot loops read.
+    pub(crate) in_csr: CsrAdj,
     /// All switch node ids, in id order.
     pub(crate) switches: Vec<NodeId>,
     /// All terminal node ids, in id order.
@@ -172,13 +245,13 @@ impl Network {
     /// Channels leaving `node`.
     #[inline]
     pub fn out_channels(&self, node: NodeId) -> &[ChannelId] {
-        &self.out_adj[node.idx()]
+        self.out_csr.row(node.idx())
     }
 
     /// Channels arriving at `node`.
     #[inline]
     pub fn in_channels(&self, node: NodeId) -> &[ChannelId] {
-        &self.in_adj[node.idx()]
+        self.in_csr.row(node.idx())
     }
 
     /// All switch ids, ascending.
@@ -249,13 +322,13 @@ impl Network {
             return true;
         }
         let n = self.nodes.len();
-        let reach = |adj: &Vec<Vec<ChannelId>>, forward: bool| -> usize {
+        let reach = |adj: &CsrAdj, forward: bool| -> usize {
             let mut seen = vec![false; n];
             let mut stack = vec![NodeId(0)];
             seen[0] = true;
             let mut count = 1;
             while let Some(u) = stack.pop() {
-                for &c in &adj[u.idx()] {
+                for &c in adj.row(u.idx()) {
                     let v = if forward {
                         self.channels[c.idx()].dst
                     } else {
@@ -270,7 +343,7 @@ impl Network {
             }
             count
         };
-        reach(&self.out_adj, true) == n && reach(&self.in_adj, false) == n
+        reach(&self.out_csr, true) == n && reach(&self.in_csr, false) == n
     }
 
     /// Graph diameter `d(I)` in hops (over directed channels), computed by
@@ -286,7 +359,7 @@ impl Network {
             queue.clear();
             queue.push_back(NodeId(s as u32));
             while let Some(u) = queue.pop_front() {
-                for &c in &self.out_adj[u.idx()] {
+                for &c in self.out_csr.row(u.idx()) {
                     let v = self.channels[c.idx()].dst;
                     if dist[v.idx()] == u32::MAX {
                         dist[v.idx()] = dist[u.idx()] + 1;
@@ -306,7 +379,7 @@ impl Network {
     /// The unique channel from `a` to `b`, if there is exactly one.
     pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
         let mut found = None;
-        for &c in &self.out_adj[a.idx()] {
+        for &c in self.out_csr.row(a.idx()) {
             if self.channels[c.idx()].dst == b {
                 if found.is_some() {
                     return None; // ambiguous: parallel channels
@@ -319,7 +392,8 @@ impl Network {
 
     /// All channels from `a` to `b` (parallel cables produce several).
     pub fn channels_between(&self, a: NodeId, b: NodeId) -> Vec<ChannelId> {
-        self.out_adj[a.idx()]
+        self.out_csr
+            .row(a.idx())
             .iter()
             .copied()
             .filter(|&c| self.channels[c.idx()].dst == b)
@@ -341,7 +415,7 @@ impl Network {
             if u != dst && self.nodes[u.idx()].kind == NodeKind::Terminal {
                 continue; // terminals sink traffic; they never forward
             }
-            for &c in &self.in_adj[u.idx()] {
+            for &c in self.in_csr.row(u.idx()) {
                 let v = self.channels[c.idx()].src;
                 if dist[v.idx()] == u32::MAX {
                     dist[v.idx()] = dist[u.idx()] + 1;
@@ -362,7 +436,7 @@ impl Network {
         dist[dst.idx()] = 0;
         queue.push_back(dst);
         while let Some(u) = queue.pop_front() {
-            for &c in &self.in_adj[u.idx()] {
+            for &c in self.in_csr.row(u.idx()) {
                 let v = self.channels[c.idx()].src;
                 if dist[v.idx()] == u32::MAX {
                     dist[v.idx()] = dist[u.idx()] + 1;
@@ -396,6 +470,16 @@ impl Network {
                 self.terminal_index.len(),
                 self.switch_index.len()
             ));
+        }
+        // The flat CSR views must be exact flattenings of the adjacency
+        // lists — hot loops read the CSR, so any drift silently changes
+        // routing. `agrees_with` is bounds-checked throughout, safe on
+        // arbitrarily inconsistent deserialized input.
+        if !self.out_csr.agrees_with(&self.out_adj) {
+            return Err("out_csr disagrees with out_adj".to_string());
+        }
+        if !self.in_csr.agrees_with(&self.in_adj) {
+            return Err("in_csr disagrees with in_adj".to_string());
         }
         for (i, ch) in self.channels.iter().enumerate() {
             if ch.src.idx() >= n || ch.dst.idx() >= n {
@@ -599,5 +683,46 @@ mod tests {
     #[test]
     fn validate_accepts_builder_output() {
         tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn csr_matches_adjacency_lists() {
+        let net = tiny();
+        assert!(net.out_csr.agrees_with(&net.out_adj));
+        assert!(net.in_csr.agrees_with(&net.in_adj));
+        for (id, _) in net.nodes() {
+            assert_eq!(net.out_channels(id), &net.out_adj[id.idx()][..]);
+            assert_eq!(net.in_channels(id), &net.in_adj[id.idx()][..]);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_csr_drift() {
+        let mut net = tiny();
+        net.out_csr.channel_ids.swap(0, 1);
+        assert!(net.validate().unwrap_err().contains("out_csr"));
+        let mut net = tiny();
+        net.in_csr.channel_offsets[1] += 1;
+        assert!(net.validate().unwrap_err().contains("in_csr"));
+        // Truncated CSR must be rejected, not panic.
+        let mut net = tiny();
+        net.in_csr.channel_offsets.pop();
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn csr_agrees_with_edge_cases() {
+        let empty = CsrAdj::from_lists(&[]);
+        assert!(empty.agrees_with(&[]));
+        let lists = vec![vec![ChannelId(0)], vec![], vec![ChannelId(1), ChannelId(2)]];
+        let csr = CsrAdj::from_lists(&lists);
+        assert!(csr.agrees_with(&lists));
+        assert_eq!(csr.row(0), &[ChannelId(0)]);
+        assert_eq!(csr.row(1), &[] as &[ChannelId]);
+        assert_eq!(csr.row(2), &[ChannelId(1), ChannelId(2)]);
+        // Extra trailing ids are drift even when offsets look plausible.
+        let mut fat = csr.clone();
+        fat.channel_ids.push(ChannelId(9));
+        assert!(!fat.agrees_with(&lists));
     }
 }

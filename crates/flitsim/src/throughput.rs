@@ -220,13 +220,13 @@ impl From<SimConfig> for OpenLoopConfig {
 mod tests {
     use super::*;
     use baselines::MinHop;
-    use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
+    use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine, Sssp};
     use fabric::topo;
 
     #[test]
     fn light_load_has_low_latency_and_full_acceptance() {
         let net = topo::kary_ntree(4, 2);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let p = open_loop(&net, &routes, 0.02, &OpenLoopConfig::default());
         assert!(!p.deadlocked);
         // Accepted ~ offered at light load (within stochastic noise).
@@ -239,7 +239,7 @@ mod tests {
         // An oversubscribed ring: 16 terminals share 8 ring channels, so
         // uniform traffic saturates well below full injection.
         let net = topo::ring(4, 4);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let pts = load_sweep(&net, &routes, &[0.05, 0.9], &OpenLoopConfig::default());
         assert!(!pts[0].deadlocked && !pts[1].deadlocked);
         assert!(pts[1].accepted < 0.9, "saturated acceptance must flatten");
@@ -252,7 +252,7 @@ mod tests {
         // SSSP on a ring at crushing load: the open-loop sweep must
         // detect the wedge rather than run forever.
         let net = topo::ring(8, 1);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let config = OpenLoopConfig {
             buffer_capacity: 1,
             warmup: 100,
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn deadlock_free_routing_survives_heavy_open_load() {
         let net = topo::ring(8, 1);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let config = OpenLoopConfig {
             buffer_capacity: 1,
             warmup: 100,
@@ -288,8 +288,18 @@ mod tests {
         // the paths are the same length.
         let net = topo::kary_ntree(2, 3);
         let cfg = OpenLoopConfig::default();
-        let a = open_loop(&net, &MinHop::new().route(&net).unwrap(), 0.01, &cfg);
-        let b = open_loop(&net, &DfSssp::new().route(&net).unwrap(), 0.01, &cfg);
+        let a = open_loop(
+            &net,
+            &MinHop::new().route_in(&net, &ComputeCtx::seq()).unwrap(),
+            0.01,
+            &cfg,
+        );
+        let b = open_loop(
+            &net,
+            &DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap(),
+            0.01,
+            &cfg,
+        );
         assert!((a.mean_latency - b.mean_latency).abs() < 2.0, "{a:?} {b:?}");
     }
 

@@ -115,12 +115,12 @@ impl BandwidthHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfsssp_core::{DfSssp, RoutingEngine};
+    use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine};
     use fabric::topo;
 
     fn setup() -> (Network, Routes) {
         let net = topo::kary_ntree(4, 2);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         (net, routes)
     }
 

@@ -163,13 +163,13 @@ pub fn pattern_bandwidth(
 mod tests {
     use super::*;
     use baselines::MinHop;
-    use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
+    use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine, Sssp};
     use fabric::topo;
 
     #[test]
     fn lone_pair_gets_full_bandwidth() {
         let net = topo::kary_ntree(2, 2);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let pattern = Pattern {
             flows: vec![(0, 3)],
         };
@@ -191,7 +191,7 @@ mod tests {
             ts.push(t);
         }
         let net = b.build();
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let pattern = Pattern {
             flows: vec![(0, 2), (1, 3)],
         };
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn ebb_is_deterministic_and_bounded() {
         let net = topo::kary_ntree(2, 3);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let opts = EbbOptions {
             patterns: 50,
             ..Default::default()
@@ -219,7 +219,7 @@ mod tests {
         // A non-oversubscribed 2-level tree should give most flows full
         // bandwidth under balanced minimal routing.
         let net = topo::kary_ntree(4, 2);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let opts = EbbOptions {
             patterns: 100,
             ..Default::default()
@@ -235,7 +235,7 @@ mod tests {
             patterns: 100,
             ..Default::default()
         };
-        let sssp = Sssp::new().route(&net).unwrap();
+        let sssp = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let plain = dfsssp_core::sssp::unbalanced_shortest_paths(&net).unwrap();
         let a = effective_bisection_bandwidth(&net, &sssp, &opts).unwrap();
         let b = effective_bisection_bandwidth(&net, &plain, &opts).unwrap();
@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn link_bandwidth_scales_result() {
         let net = topo::kary_ntree(2, 2);
-        let routes = MinHop::new().route(&net).unwrap();
+        let routes = MinHop::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let rel = effective_bisection_bandwidth(
             &net,
             &routes,
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn congestion_profile_counts_hops() {
         let net = topo::kary_ntree(2, 2);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let p = Pattern {
             flows: vec![(0, 3), (1, 2)],
         };
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn hotspot_analysis_shows_incast() {
         let net = topo::kary_ntree(4, 2);
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let incast = Pattern::hotspot(net.num_terminals(), 0);
         let (max, mean, used) = hotspots(&net, &routes, &incast).unwrap();
         // All 15 flows funnel into terminal 0's ejection channel.
@@ -314,7 +314,7 @@ mod tests {
     #[test]
     fn balanced_routing_spreads_hotspots() {
         let net = topo::kary_ntree(4, 2);
-        let balanced = Sssp::new().route(&net).unwrap();
+        let balanced = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let plain = dfsssp_core::sssp::unbalanced_shortest_paths(&net).unwrap();
         let p = Pattern::random_permutation(net.num_terminals(), 3);
         let (max_b, _, used_b) = hotspots(&net, &balanced, &p).unwrap();
@@ -326,7 +326,7 @@ mod tests {
     #[test]
     fn pattern_bandwidth_empty_is_full() {
         let net = topo::kary_ntree(2, 2);
-        let routes = MinHop::new().route(&net).unwrap();
+        let routes = MinHop::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let p = Pattern { flows: vec![] };
         assert_eq!(pattern_bandwidth(&net, &routes, &p).unwrap(), 1.0);
     }

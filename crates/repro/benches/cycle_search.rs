@@ -6,7 +6,7 @@ use dfsssp_core::dfsssp::{
     assign_layers_offline, assign_layers_offline_restart, assign_layers_online,
 };
 use dfsssp_core::paths::PathSet;
-use dfsssp_core::{CycleBreakHeuristic, RoutingEngine, Sssp};
+use dfsssp_core::{ComputeCtx, CycleBreakHeuristic, RoutingEngine, Sssp};
 use std::hint::black_box;
 
 fn bench_assignment(c: &mut Criterion) {
@@ -18,7 +18,7 @@ fn bench_assignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("layer_assignment");
     group.sample_size(10);
     for (label, net) in &nets {
-        let routes = Sssp::new().route(net).unwrap();
+        let routes = Sssp::new().route_in(net, &ComputeCtx::seq()).unwrap();
         let ps = PathSet::extract(net, &routes).unwrap();
         group.bench_with_input(BenchmarkId::new("offline", label), &ps, |b, ps| {
             b.iter(|| {

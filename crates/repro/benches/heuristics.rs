@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfsssp_core::dfsssp::assign_layers_offline;
 use dfsssp_core::paths::PathSet;
-use dfsssp_core::{CycleBreakHeuristic, RoutingEngine, Sssp};
+use dfsssp_core::{ComputeCtx, CycleBreakHeuristic, RoutingEngine, Sssp};
 use fabric::topo::{random_topology, RandomTopoSpec};
 use std::hint::black_box;
 
@@ -16,7 +16,7 @@ fn bench_heuristics(c: &mut Criterion) {
         interswitch_links: 48,
     };
     let net = random_topology(&spec, 7);
-    let routes = Sssp::new().route(&net).unwrap();
+    let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
     let ps = PathSet::extract(&net, &routes).unwrap();
     let mut group = c.benchmark_group("cycle_break_heuristic");
     group.sample_size(10);

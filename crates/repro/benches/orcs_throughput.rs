@@ -2,7 +2,7 @@
 //! eBB samples the reproduction binaries can afford.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dfsssp_core::{DfSssp, RoutingEngine};
+use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine};
 use orcs::{flow_bandwidths, Pattern};
 use std::hint::black_box;
 
@@ -17,7 +17,7 @@ fn bench_orcs(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("orcs_pattern");
     for (label, net) in &nets {
-        let routes = DfSssp::new().route(net).unwrap();
+        let routes = DfSssp::new().route_in(net, &ComputeCtx::seq()).unwrap();
         group.bench_with_input(BenchmarkId::new("bisection", label), net, |b, net| {
             let mut seed = 0u64;
             b.iter(|| {

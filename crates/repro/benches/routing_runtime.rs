@@ -1,6 +1,7 @@
 //! Routing-engine runtime (the measurement behind Figs 7 and 8).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsssp_core::{ComputeCtx, RoutingEngine};
 use std::hint::black_box;
 
 fn bench_engines(c: &mut Criterion) {
@@ -14,13 +15,13 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     for (label, net) in &nets {
         for engine in baselines::all_engines() {
-            if engine.route(net).is_err() {
+            if engine.route_in(net, &ComputeCtx::seq()).is_err() {
                 continue; // unsupported combination (e.g. DOR off-grid)
             }
             group.bench_with_input(
                 BenchmarkId::new(engine.name().replace('/', "-"), label),
                 net,
-                |b, net| b.iter(|| black_box(engine.route(net).unwrap())),
+                |b, net| b.iter(|| black_box(engine.route_in(net, &ComputeCtx::seq()).unwrap())),
             );
         }
     }

@@ -87,7 +87,7 @@ fn measure(net: &Network, seed: u64) -> Vec<BenchCase> {
         .map(|engine| {
             collector.reset();
             let recorded = Recorded::new(engine, rec.clone());
-            let result = recorded.route(net);
+            let result = recorded.route_in(net, &recorded.config().compute.resolve());
             let manifest = RunManifest::new("bench")
                 .topology(summary.clone())
                 .engine(recorded.name())

@@ -7,6 +7,7 @@ use flitsim::{simulate_recorded, SimConfig, Workload};
 
 fn main() {
     let mut cli = repro::Cli::parse("fig02_ring_deadlock");
+    let cx = cli.ctx();
     let rec = cli.recorder();
     let net = fabric::topo::ring(5, 1);
     cli.note_topology(&net);
@@ -22,7 +23,7 @@ fn main() {
         Box::new(Sssp::new()) as Box<dyn RoutingEngine>,
         Box::new(DfSssp::new().with_config(EngineConfig::new().recorder(rec.clone()))),
     ] {
-        let routes = engine.route(&net).expect("ring routes");
+        let routes = engine.route_in(&net, &cx).expect("ring routes");
         let report = dfsssp_core::verify::deadlock_report(&net, &routes).unwrap();
         let outcome = simulate_recorded(&net, &routes, &workload, &config, &*rec);
         println!(

@@ -4,6 +4,7 @@ use std::time::Instant;
 
 fn main() {
     let cli = repro::Cli::parse("fig07_runtime_trees");
+    let cx = cli.ctx();
     println!("Figure 7: routing runtime on k-ary n-trees (seconds)\n");
     let engines = cli.engines();
     let mut headers = vec!["endpoints", "topology"];
@@ -14,7 +15,7 @@ fn main() {
         let mut row = vec![n.to_string(), net.label().to_string()];
         for engine in &engines {
             let t = Instant::now();
-            let res = engine.route(&net);
+            let res = engine.route_in(&net, &cx);
             let dt = t.elapsed().as_secs_f64();
             row.push(match res {
                 Ok(_) => format!("{dt:.3}"),

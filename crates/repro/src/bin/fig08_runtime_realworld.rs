@@ -5,6 +5,7 @@ use std::time::Instant;
 
 fn main() {
     let cli = repro::Cli::parse("fig08_runtime_realworld");
+    let cx = cli.ctx();
     let scale = repro::scale();
     println!("Figure 8: routing runtime on real systems (seconds, scale={scale})\n");
     let engines = cli.engines();
@@ -17,7 +18,7 @@ fn main() {
         let mut row = vec![sys.name().to_string(), net.num_terminals().to_string()];
         for engine in &engines {
             let t = Instant::now();
-            let res = engine.route(&net);
+            let res = engine.route_in(&net, &cx);
             let dt = t.elapsed().as_secs_f64();
             row.push(match res {
                 Ok(_) => format!("{dt:.3}"),

@@ -8,6 +8,7 @@ use fabric::topo::realworld::RealSystem;
 
 fn main() {
     let mut cli = repro::Cli::parse("fig12_netgauge_deimos");
+    let cx = cli.ctx();
     let rec = cli.recorder();
     let scale = repro::scale();
     let partitions = repro::patterns();
@@ -25,7 +26,7 @@ fn main() {
     ];
     let routed: Vec<(String, Option<fabric::Routes>)> = engines
         .iter()
-        .map(|e| (e.name().to_string(), e.route(&net).ok()))
+        .map(|e| (e.name().to_string(), e.route_in(&net, &cx).ok()))
         .collect();
     let mut rows = Vec::new();
     for cores in [128usize, 256, 512, 1024] {

@@ -8,13 +8,14 @@ use fabric::topo::realworld::RealSystem;
 
 fn main() {
     let mut cli = repro::Cli::parse("fig13_alltoall");
+    let cx = cli.ctx();
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
     cli.note_topology(&net);
     let cores = 128.min(net.num_terminals());
     println!("Figure 13: all-to-all runtime on Deimos, {cores} cores (milliseconds)\n");
-    let minhop = MinHop::new().route(&net).unwrap();
-    let dfsssp = DfSssp::new().route(&net).unwrap();
+    let minhop = MinHop::new().route_in(&net, &cx).unwrap();
+    let dfsssp = DfSssp::new().route_in(&net, &cx).unwrap();
     let mut rows = Vec::new();
     for floats in [4usize, 16, 64, 256, 1024, 4096] {
         let bytes = floats * 4 * cores; // send buffer per rank -> per pair

@@ -8,13 +8,14 @@ use fabric::topo::realworld::RealSystem;
 
 fn main() {
     let mut cli = repro::Cli::parse("fig14_16_nas");
+    let cx = cli.ctx();
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
     cli.note_topology(&net);
     let nt = net.num_terminals();
     println!("Figures 14-16: NAS models on Deimos (scale={scale}, Gflop/s total)\n");
-    let minhop = MinHop::new().route(&net).unwrap();
-    let dfsssp = DfSssp::new().route(&net).unwrap();
+    let minhop = MinHop::new().route_in(&net, &cx).unwrap();
+    let dfsssp = DfSssp::new().route_in(&net, &cx).unwrap();
     for bench in [NasBenchmark::BT, NasBenchmark::SP, NasBenchmark::FT] {
         println!("{}:", bench.name());
         let mut rows = Vec::new();

@@ -105,7 +105,7 @@ fn main() -> ExitCode {
         }
     };
     let t = std::time::Instant::now();
-    let routes = match engine.route(&net) {
+    let routes = match engine.route_in(&net, &cli.ctx()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("routing failed: {e}");

@@ -1,0 +1,127 @@
+//! `route_par` — the parallel route-compute benchmark: per-topology
+//! route latency at 1/2/4 compute workers plus a bit-for-bit
+//! determinism gate against the single-worker tables, written as a
+//! versioned `dfsssp-route-par/v1` report (CI's parallel-smoke
+//! artifact).
+//!
+//! ```text
+//! route_par [--quick] [--out BENCH_pr8.json]
+//! route_par --validate BENCH_pr8.json    # parse + schema check only
+//! ```
+//!
+//! Exit is non-zero when any cell's routes diverge from the
+//! single-worker run (always checked), or — only on a multi-core
+//! host — when the 2-worker speedup falls below 1.1x on every suite
+//! topology (a scheduling-regression tripwire; the paper-grade 1.7x/3x
+//! targets live in the committed report, not the gate, because CI
+//! runners vary too much to pin them).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_pr8.json".to_string();
+    let mut validate: Option<String> = None;
+    let cli = repro::Cli::parse_with(
+        "route_par",
+        " [--quick] [--out <file>] [--validate <file>]",
+        |flag, val| match flag {
+            "--quick" => {
+                quick = true;
+                true
+            }
+            "--out" => {
+                out = val();
+                true
+            }
+            "--validate" => {
+                validate = Some(val());
+                true
+            }
+            _ => false,
+        },
+    );
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match repro::route_par::RouteParReport::from_json(&text) {
+            Ok(report) => {
+                println!(
+                    "{path}: valid {} report, {} cells on {} core(s), deterministic: {}",
+                    report.schema,
+                    report.cells.len(),
+                    report.host_cores,
+                    report.deterministic(),
+                );
+                if report.deterministic() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("{path}: a recorded cell diverged from its single-worker run");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = repro::route_par::run(quick);
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for c in &report.cells {
+        println!(
+            "route_par: {:<24} {} worker(s)  {:>12} ns  {:>5.2}x  identical: {}",
+            c.topo,
+            c.threads,
+            c.route_ns,
+            c.speedup_milli as f64 / 1_000.0,
+            c.identical_to_seq,
+        );
+    }
+    println!(
+        "route_par: {} cells on {} core(s) -> {out}",
+        report.cells.len(),
+        report.host_cores,
+    );
+
+    // The hardware-independent gate: parallel output must be the
+    // sequential output, everywhere, always.
+    if !report.deterministic() {
+        eprintln!("route_par: FAILED — parallel routes diverged from the single-worker run");
+        return ExitCode::FAILURE;
+    }
+    // The hardware-dependent tripwire: only meaningful with >= 2 cores.
+    if report.host_cores >= 2 {
+        if let Some(best2) = report
+            .cells
+            .iter()
+            .filter(|c| c.threads == 2)
+            .map(|c| c.speedup_milli)
+            .max()
+        {
+            if best2 < 1_100 {
+                eprintln!(
+                    "route_par: FAILED — best 2-worker speedup {:.2}x < 1.1x on a {}-core host",
+                    best2 as f64 / 1_000.0,
+                    report.host_cores,
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

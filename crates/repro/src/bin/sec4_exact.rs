@@ -11,6 +11,7 @@ use dfsssp_core::{CycleBreakHeuristic, RoutingEngine, Sssp};
 
 fn main() {
     let cli = repro::Cli::parse("sec4_exact");
+    let cx = cli.ctx();
     println!("Sec III/IV: heuristic layers vs exact APP minimum (tiny networks)\n");
     let nets = vec![
         fabric::topo::ring(4, 1),
@@ -21,7 +22,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for net in nets {
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &cx).unwrap();
         let ps = PathSet::extract(&net, &routes).unwrap();
         let (generator, _) = from_pathset(&ps);
         let lb = lower_bound_layers(&generator);

@@ -12,6 +12,7 @@ use orcs::{effective_bisection_bandwidth_recorded, EbbOptions};
 
 fn main() {
     let cli = repro::Cli::parse("summary");
+    let cx = cli.ctx();
     let rec = cli.recorder();
     println!("DFSSSP reproduction summary\n===========================\n");
 
@@ -23,8 +24,8 @@ fn main() {
         ..SimConfig::default()
     };
     let w = Workload::shift(5, 2, 8);
-    let sssp = Sssp::new().route(&ring).unwrap();
-    let dfsssp = DfSssp::new().route(&ring).unwrap();
+    let sssp = Sssp::new().route_in(&ring, &cx).unwrap();
+    let dfsssp = DfSssp::new().route_in(&ring, &cx).unwrap();
     println!(
         "[Fig 2] 5-ring shift pattern: SSSP {} | DFSSSP ({} VLs) {}",
         if simulate_recorded(&ring, &sssp, &w, &config, &*rec).deadlocked() {
@@ -46,9 +47,9 @@ fn main() {
         patterns: 100,
         ..Default::default()
     };
-    let mh = MinHop::new().route(&xgft).unwrap();
-    let df = DfSssp::new().route(&xgft).unwrap();
-    let lash = Lash::new().route(&xgft).unwrap();
+    let mh = MinHop::new().route_in(&xgft, &cx).unwrap();
+    let df = DfSssp::new().route_in(&xgft, &cx).unwrap();
+    let lash = Lash::new().route_in(&xgft, &cx).unwrap();
     let e = |r| {
         effective_bisection_bandwidth_recorded(&xgft, r, &opts, &*rec)
             .unwrap()
@@ -82,8 +83,8 @@ fn main() {
     );
 
     // 4. Fig 12 flavor: Netgauge eBB on Deimos.
-    let dmh = MinHop::new().route(&deimos).unwrap();
-    let ddf = DfSssp::new().route(&deimos).unwrap();
+    let dmh = MinHop::new().route_in(&deimos, &cx).unwrap();
+    let ddf = DfSssp::new().route_in(&deimos, &cx).unwrap();
     let cores = 64.min(deimos.num_terminals());
     let a = netgauge_ebb(&deimos, &dmh, cores, Allocation::Spread, 100, 946.0, 1).unwrap();
     let b = netgauge_ebb(&deimos, &ddf, cores, Allocation::Spread, 100, 946.0, 1).unwrap();

@@ -8,13 +8,14 @@ use fabric::topo::realworld::RealSystem;
 
 fn main() {
     let mut cli = repro::Cli::parse("table2_nas_1024");
+    let cx = cli.ctx();
     let scale = repro::scale();
     let net = RealSystem::Deimos.build(scale);
     cli.note_topology(&net);
     let cores = 1024.min(net.num_terminals() / 4 * 4);
     println!("Table II: NAS models at {cores} cores on Deimos (scale={scale})\n");
-    let minhop = MinHop::new().route(&net).unwrap();
-    let dfsssp = DfSssp::new().route(&net).unwrap();
+    let minhop = MinHop::new().route_in(&net, &cx).unwrap();
+    let dfsssp = DfSssp::new().route_in(&net, &cx).unwrap();
     let mut rows = Vec::new();
     for bench in NasBenchmark::ALL {
         let a = bench.run(&net, &minhop, cores, Allocation::Spread).unwrap();

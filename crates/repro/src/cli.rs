@@ -21,7 +21,7 @@
 //!   whole-binary `total` phase.
 
 use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
-use dfsssp_core::{DfSssp, EngineConfig, Recorded, RoutingEngine, Sssp};
+use dfsssp_core::{ComputeCtx, ComputeOpts, DfSssp, EngineConfig, Recorded, RoutingEngine, Sssp};
 use fabric::{format, topo, Network};
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,6 +44,12 @@ pub struct Cli {
     pub json: bool,
     /// `--metrics <out.json>`: manifest destination, when given.
     pub metrics: Option<String>,
+    /// `--threads <N>`: route-compute workers (`0` = one per core;
+    /// default `1`, the sequential algorithm).
+    pub threads: usize,
+    /// `--chunk <N>`: balanced-sweep wavefront width (`0` = auto).
+    /// Routes depend on this value, never on `--threads`.
+    pub chunk: usize,
     binary: &'static str,
     start: Instant,
     collector: Option<Arc<Collector>>,
@@ -56,7 +62,8 @@ fn usage(binary: &str, extra: &str) -> ! {
         "usage: {binary} [--topo <file> [--format text|ibnetdiscover|json] | \
          --gen torus:<X>x<Y>|kary:<k>,<n>|ring:<N>] \
          [--engine minhop|updown|dor|lash|fattree|sssp|dfsssp] \
-         [--seed <N>] [--json] [--metrics <out.json>]{extra}"
+         [--seed <N>] [--json] [--metrics <out.json>] \
+         [--threads <N>] [--chunk <N>]{extra}"
     );
     std::process::exit(2);
 }
@@ -83,6 +90,8 @@ impl Cli {
             seed: None,
             json: false,
             metrics: None,
+            threads: 1,
+            chunk: 0,
             binary,
             start: Instant::now(),
             collector: None,
@@ -102,6 +111,12 @@ impl Cli {
                 }
                 "--json" => cli.json = true,
                 "--metrics" => cli.metrics = Some(val()),
+                "--threads" => {
+                    cli.threads = val().parse().unwrap_or_else(|_| usage(binary, extra_usage))
+                }
+                "--chunk" => {
+                    cli.chunk = val().parse().unwrap_or_else(|_| usage(binary, extra_usage))
+                }
                 "--help" | "-h" => usage(binary, extra_usage),
                 other => {
                     if !extra(other, &mut val) {
@@ -114,6 +129,16 @@ impl Cli {
             cli.collector = Some(Arc::new(Collector::new()));
         }
         cli
+    }
+
+    /// The `--threads`/`--chunk` request of this run.
+    pub fn compute(&self) -> ComputeOpts {
+        ComputeOpts::new().threads(self.threads).chunk(self.chunk)
+    }
+
+    /// The request resolved against this host ([`ComputeOpts::resolve`]).
+    pub fn ctx(&self) -> ComputeCtx {
+        self.compute().resolve()
     }
 
     /// The telemetry sink of this run: the `--metrics` collector, or the
@@ -176,7 +201,7 @@ impl Cli {
         config: EngineConfig,
         tune_dfsssp: impl FnOnce(DfSssp) -> DfSssp,
     ) -> Result<Box<dyn RoutingEngine>, String> {
-        let config = config.recorder(self.recorder());
+        let config = config.recorder(self.recorder()).compute(self.compute());
         let engine: Box<dyn RoutingEngine> = match self.engine.as_str() {
             "minhop" => Box::new(MinHop::new()),
             "updown" => Box::new(UpDown::new()),
@@ -200,8 +225,12 @@ impl Cli {
     pub fn engines(&self) -> Vec<Box<dyn RoutingEngine + Send + Sync>> {
         let mut lineup = crate::engines();
         for engine in &mut lineup {
-            if let Some(config) = engine.config() {
-                engine.set_config(config.recorder(self.recorder()));
+            if engine.tunables() {
+                let config = engine
+                    .config()
+                    .recorder(self.recorder())
+                    .compute(self.compute());
+                engine.set_config(config);
             }
         }
         lineup

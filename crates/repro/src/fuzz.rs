@@ -286,7 +286,7 @@ fn check_one(
 enum Outcome {
     /// Parsed; networks are carried forward for the routing stage
     /// (routes artifacts parse standalone and stop here).
-    Parsed(Option<Network>),
+    Parsed(Option<Box<Network>>),
     /// Rejected with a typed error — the contract held.
     Rejected(#[allow(dead_code)] ParseError),
     Panicked,
@@ -294,9 +294,9 @@ enum Outcome {
 
 fn parse_contained(kind: Kind, input: &str) -> Outcome {
     let result = catch_unwind(AssertUnwindSafe(|| match kind {
-        Kind::Text => format::parse_network(input).map(Some),
-        Kind::Ibnetdiscover => format::parse_ibnetdiscover(input).map(Some),
-        Kind::NetworkJson => format::network_from_json(input).map(Some),
+        Kind::Text => format::parse_network(input).map(|n| Some(Box::new(n))),
+        Kind::Ibnetdiscover => format::parse_ibnetdiscover(input).map(|n| Some(Box::new(n))),
+        Kind::NetworkJson => format::network_from_json(input).map(|n| Some(Box::new(n))),
         Kind::RoutesJson => format::routes_from_json(input).map(|_| None),
     }));
     match result {
@@ -312,7 +312,12 @@ fn route_contained(net: &Network, budget: &Budget) -> Option<Result<(), RouteErr
         budget: budget.clone(),
         ..DfSssp::new()
     };
-    catch_unwind(AssertUnwindSafe(|| engine.route(net).map(|_| ()))).ok()
+    catch_unwind(AssertUnwindSafe(|| {
+        engine
+            .route_in(net, &dfsssp_core::ComputeCtx::seq())
+            .map(|_| ())
+    }))
+    .ok()
 }
 
 fn save_crasher(cfg: &FuzzConfig, kind: Kind, iter: usize, data: &[u8], report: &mut FuzzReport) {

@@ -17,6 +17,7 @@ pub mod bench;
 pub mod cli;
 pub mod fuzz;
 pub mod loadgen;
+pub mod route_par;
 pub mod serve_bench;
 
 pub use cli::Cli;
@@ -126,7 +127,7 @@ pub fn ebb_cell(engine: &dyn RoutingEngine, net: &Network) -> String {
 /// [`ebb_cell`] with the eBB sweep reporting to `rec` (the engine's own
 /// phases go to whatever recorder the engine carries).
 pub fn ebb_cell_recorded(engine: &dyn RoutingEngine, net: &Network, rec: &dyn Recorder) -> String {
-    match engine.route(net) {
+    match engine.route_in(net, &engine.config().compute.resolve()) {
         Err(e) => failure_label(&e),
         Ok(routes) => {
             let opts = orcs::EbbOptions {

@@ -1,0 +1,249 @@
+//! The parallel route-compute benchmark behind the `route_par` binary
+//! and CI's parallel-smoke job: per-topology route latency at 1, 2 and
+//! 4 compute workers, with a bit-for-bit determinism check against the
+//! single-worker run of every cell. Serialized as a versioned
+//! `dfsssp-route-par/v1` report (`BENCH_pr8.json` in CI).
+//!
+//! Speedup is hardware-dependent, so the report records the host's core
+//! count. On a multi-core host the chunked wavefront overlaps the SPT
+//! builds of a chunk and the per-block layer-0 CDG construction across
+//! workers; on a single core extra workers only add scheduling overhead
+//! and the ratio hovers at (or below) 1x. What must hold *everywhere*
+//! is determinism: at a fixed `--chunk`, routes from N workers are
+//! identical to routes from one — `identical_to_seq` is a hard gate no
+//! matter the host.
+
+use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine, DEFAULT_PAR_CHUNK};
+use fabric::Network;
+use std::fmt::Write as _;
+use std::time::Instant;
+use telemetry::json::{self, Value};
+
+/// Route-par report schema; bump only on breaking shape changes.
+pub const SCHEMA: &str = "dfsssp-route-par/v1";
+
+/// One (topology, worker count) route measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParCell {
+    /// Topology label.
+    pub topo: String,
+    /// Compute workers (`ComputeCtx::threads`).
+    pub threads: usize,
+    /// Wavefront width (`ComputeCtx::chunk`) — identical across the
+    /// cells of one topology, because routes depend on it.
+    pub chunk: usize,
+    /// Best-of-k wall-clock for one full `route_in`, nanoseconds.
+    pub route_ns: u64,
+    /// `route_ns(threads=1) * 1000 / route_ns`, thousandths.
+    pub speedup_milli: u64,
+    /// Routes compared equal (`Routes: Eq`) to the single-worker run.
+    pub identical_to_seq: bool,
+}
+
+/// The whole benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteParReport {
+    /// Always [`SCHEMA`] for reports this module writes.
+    pub schema: String,
+    /// Whether the reduced CI sweep ran.
+    pub quick: bool,
+    /// Cores available on the measuring host (`available_parallelism`);
+    /// the context every `speedup_milli` must be read in.
+    pub host_cores: usize,
+    /// Every (topology x worker-count) cell, topology-major, ascending
+    /// worker counts within a topology (first is 1).
+    pub cells: Vec<ParCell>,
+}
+
+/// The benchmark's topology suite. `quick` shrinks each entry so the
+/// CI sweep finishes in seconds.
+fn suite(quick: bool) -> Vec<Network> {
+    use fabric::topo;
+    if quick {
+        vec![
+            topo::torus(&[4, 4], 2),
+            topo::kary_ntree(4, 2),
+            topo::dragonfly(3, 1, 1),
+        ]
+    } else {
+        vec![
+            topo::torus(&[6, 6], 2),
+            topo::kary_ntree(8, 2),
+            topo::dragonfly(4, 2, 2),
+        ]
+    }
+}
+
+/// Best-of-`iters` wall-clock of one full route on `net` under `cx`.
+fn time_route(engine: &DfSssp, net: &Network, cx: &ComputeCtx, iters: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters.max(1) {
+        let started = Instant::now();
+        let routes = engine.route_in(net, cx).expect("suite topologies route");
+        best = best.min(started.elapsed().as_nanos() as u64);
+        std::hint::black_box(routes);
+    }
+    best
+}
+
+/// Run the benchmark: for each suite topology, route at 1, 2 and 4
+/// workers under a fixed chunk and compare every run's routes against
+/// the single-worker tables.
+pub fn run(quick: bool) -> RouteParReport {
+    let engine = DfSssp::new();
+    let iters = if quick { 1 } else { 3 };
+    let chunk = DEFAULT_PAR_CHUNK;
+    let mut cells = Vec::new();
+    for net in suite(quick) {
+        let base_cx = ComputeCtx::new(1, chunk);
+        let base_routes = engine
+            .route_in(&net, &base_cx)
+            .expect("suite topologies route");
+        let base_ns = time_route(&engine, &net, &base_cx, iters);
+        for threads in [1usize, 2, 4] {
+            let cx = ComputeCtx::new(threads, chunk);
+            let routes = engine.route_in(&net, &cx).expect("suite topologies route");
+            let route_ns = if threads == 1 {
+                base_ns
+            } else {
+                time_route(&engine, &net, &cx, iters)
+            };
+            cells.push(ParCell {
+                topo: net.label().to_string(),
+                threads,
+                chunk,
+                route_ns,
+                speedup_milli: (base_ns * 1_000).checked_div(route_ns).unwrap_or(0),
+                identical_to_seq: routes == base_routes,
+            });
+        }
+    }
+    RouteParReport {
+        schema: SCHEMA.to_string(),
+        quick,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells,
+    }
+}
+
+impl RouteParReport {
+    /// `true` iff every cell's routes matched the single-worker run —
+    /// the hardware-independent gate.
+    pub fn deterministic(&self) -> bool {
+        self.cells.iter().all(|c| c.identical_to_seq)
+    }
+
+    /// The worst (smallest) speedup across topologies at `threads`
+    /// workers, in thousandths; `None` when no such cell exists.
+    pub fn min_speedup_milli(&self, threads: usize) -> Option<u64> {
+        self.cells
+            .iter()
+            .filter(|c| c.threads == threads)
+            .map(|c| c.speedup_milli)
+            .min()
+    }
+
+    /// Serialize (pretty, trailing newline — artifact-friendly).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n  \"schema\": ");
+        json::write_str(&mut s, &self.schema);
+        let _ = write!(
+            s,
+            ",\n  \"quick\": {},\n  \"host_cores\": {}",
+            self.quick, self.host_cores
+        );
+        s.push_str(",\n  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            s.push_str("{\"topo\": ");
+            json::write_str(&mut s, &c.topo);
+            let _ = write!(
+                s,
+                ", \"threads\": {}, \"chunk\": {}, \"route_ns\": {}, \
+                 \"speedup_milli\": {}, \"identical_to_seq\": {}}}",
+                c.threads, c.chunk, c.route_ns, c.speedup_milli, c.identical_to_seq
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parse a report back, verifying the schema version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("route-par: missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "schema mismatch: file says {schema:?}, this build expects {SCHEMA:?}"
+            ));
+        }
+        let num = |obj: &Value, name: &str, at: &str| {
+            obj.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("route-par: bad {at}{name}"))
+        };
+        let mut cells = Vec::new();
+        for (i, c) in v
+            .get("cells")
+            .and_then(Value::as_arr)
+            .ok_or("route-par: missing cells")?
+            .iter()
+            .enumerate()
+        {
+            let at = format!("cells[{i}].");
+            cells.push(ParCell {
+                topo: c
+                    .get("topo")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("route-par: bad {at}topo"))?
+                    .to_string(),
+                threads: num(c, "threads", &at)? as usize,
+                chunk: num(c, "chunk", &at)? as usize,
+                route_ns: num(c, "route_ns", &at)?,
+                speedup_milli: num(c, "speedup_milli", &at)?,
+                identical_to_seq: c
+                    .get("identical_to_seq")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| format!("route-par: bad {at}identical_to_seq"))?,
+            });
+        }
+        Ok(RouteParReport {
+            schema: schema.to_string(),
+            quick: v
+                .get("quick")
+                .and_then(Value::as_bool)
+                .ok_or("route-par: missing quick")?,
+            host_cores: num(&v, "host_cores", "")? as usize,
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_round_trips_and_is_deterministic() {
+        let report = run(true);
+        assert!(
+            report.deterministic(),
+            "parallel routes diverged: {report:?}"
+        );
+        assert_eq!(report.cells.len(), 9, "3 topologies x 3 worker counts");
+        assert!(report.cells.iter().all(|c| c.route_ns > 0));
+        assert!(report.min_speedup_milli(1) >= Some(1_000));
+        let back = RouteParReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let err = RouteParReport::from_json(r#"{"schema": "dfsssp-route-par/v0"}"#).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+}

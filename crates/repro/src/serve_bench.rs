@@ -259,7 +259,9 @@ fn chaos_phase(
 /// Run the benchmark against `net`: the scaling sweep (1..=`max_threads`
 /// doubling), then the chaos phase.
 pub fn run(net: &Network, quick: bool, seed: u64, max_threads: usize) -> ServeBenchReport {
-    let routes = DfSssp::new().route(net).expect("route the bench topology");
+    let routes = DfSssp::new()
+        .route_in(net, &dfsssp_core::ComputeCtx::seq())
+        .expect("route the bench topology");
     let store = serve::SnapshotStore::open(net.clone(), routes, None).expect("vet-clean bring-up");
     let engine = QueryEngine::new(store, QueryOpts::default());
     let pairs = pairs(net);

@@ -306,16 +306,23 @@ mod tests {
         fn deadlock_free(&self) -> bool {
             true
         }
-        fn route(&self, net: &Network) -> Result<fabric::Routes, dfsssp_core::RouteError> {
+        fn route_in(
+            &self,
+            net: &Network,
+            cx: &dfsssp_core::ComputeCtx,
+        ) -> Result<fabric::Routes, dfsssp_core::RouteError> {
             if self.calls.fetch_add(1, Ordering::SeqCst) > 0 {
                 panic!("chaos monkey");
             }
-            self.inner.route(net)
+            self.inner.route_in(net, cx)
         }
-        fn config(&self) -> Option<EngineConfig> {
+        fn tunables(&self) -> bool {
+            true
+        }
+        fn config(&self) -> EngineConfig {
             self.inner.config()
         }
-        fn set_config(&mut self, config: EngineConfig) -> bool {
+        fn set_config(&mut self, config: EngineConfig) {
             self.inner.set_config(config)
         }
     }

@@ -278,11 +278,11 @@ impl std::fmt::Debug for SnapshotStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfsssp_core::{DfSssp, RoutingEngine, Sssp};
+    use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine, Sssp};
     use fabric::topo;
 
     fn routed(net: &Network) -> Routes {
-        DfSssp::new().route(net).unwrap()
+        DfSssp::new().route_in(net, &ComputeCtx::seq()).unwrap()
     }
 
     #[test]
@@ -318,7 +318,7 @@ mod tests {
     fn vet_gate_refuses_bad_artifacts() {
         // Plain SSSP on a ring has a cyclic CDG: V004, error severity.
         let net = topo::ring(5, 1);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         match SnapshotStore::open(net.clone(), routes.clone(), None) {
             Err(PublishError::VetRejected { errors, report }) => {
                 assert!(errors > 0);

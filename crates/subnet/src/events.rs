@@ -544,7 +544,7 @@ impl<E: RoutingEngine> SmLoop<E> {
                 Err(SmError::Routing(RouteError::NeedMoreLayers { .. }))
                     if !on_fallback && self.widenable() =>
                 {
-                    let config = self.sm.engine.config().expect("widenable implies a config");
+                    let config = self.sm.engine.config();
                     let budget = config
                         .max_layers
                         .saturating_mul(2)
@@ -625,10 +625,10 @@ impl<E: RoutingEngine> SmLoop<E> {
     }
 
     fn widenable(&self) -> bool {
-        self.sm
-            .engine
-            .config()
-            .is_some_and(|c| c.max_layers < self.sm.hardware_vls)
+        // `config()` is total, so gate on `tunables()`: an engine that
+        // ignores `set_config` must not consume a ladder rung on a
+        // widen that cannot take effect.
+        self.sm.engine.tunables() && self.sm.engine.config().max_layers < self.sm.hardware_vls
     }
 }
 

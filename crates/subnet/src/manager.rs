@@ -127,7 +127,10 @@ impl<E: RoutingEngine> SubnetManager<E> {
                 total: net.num_nodes(),
             });
         }
-        let routes = engine.route(net)?;
+        // Honor the engine's own parallelism request (the config is
+        // total, so untunable engines just report the sequential
+        // default).
+        let routes = engine.route_in(net, &engine.config().compute.resolve())?;
         if routes.num_layers() as usize > self.hardware_vls {
             return Err(SmError::TooManyVls {
                 required: routes.num_layers() as usize,

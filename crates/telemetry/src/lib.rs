@@ -136,6 +136,11 @@ pub mod counters {
     /// See [`RUNG_QUARANTINE`] — a reroute published while the serving
     /// path was actively shedding best-effort load.
     pub const RUNG_OVERLOAD_SHED: &str = "rung_overload_shed";
+    /// Items fanned across the work-stealing compute pool (parallel SSSP
+    /// destinations + CDG path ranges).
+    pub const PAR_TASKS: &str = "par_tasks";
+    /// Items a pool worker claimed from another worker's deque.
+    pub const STEAL_COUNT: &str = "steal_count";
 }
 
 /// Well-known histogram names.
@@ -165,6 +170,10 @@ pub mod hists {
     pub const WAIT_US_INTERACTIVE: &str = "wait_us_interactive";
     /// See [`WAIT_US_INTERACTIVE`]; the bulk class.
     pub const WAIT_US_BULK: &str = "wait_us_bulk";
+    /// Per-worker wall time inside one parallel compute phase,
+    /// microseconds; the spread shows how well stealing balanced the
+    /// sweep.
+    pub const PAR_WORKER_US: &str = "par_worker_us";
 }
 
 /// A metrics sink. Implementations must be cheap to call; hot paths

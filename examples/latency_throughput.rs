@@ -31,7 +31,7 @@ fn main() {
         Box::new(MinHop::new()) as Box<dyn RoutingEngine>,
         Box::new(DfSssp::new()),
     ] {
-        let routes = engine.route(&net).expect("routable");
+        let routes = engine.route_in(&net, &ComputeCtx::seq()).expect("routable");
         println!("{} (uniform random traffic):", engine.name());
         println!(
             "  {:>8} {:>10} {:>12} {:>8}",

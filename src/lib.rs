@@ -14,9 +14,11 @@
 //! // A 2D torus: minimal routing deadlocks here without virtual lanes.
 //! let net = dfsssp::topo::torus(&[4, 4], 1);
 //!
-//! // Route it deadlock-free.
+//! // Route it deadlock-free (sequentially; `ComputeOpts::new()
+//! // .threads(0).resolve()` fans the sweep across every core with
+//! // bit-for-bit identical output).
 //! let engine = DfSssp::new();
-//! let routes = engine.route(&net).unwrap();
+//! let routes = engine.route_in(&net, &ComputeCtx::seq()).unwrap();
 //! assert!(routes.num_layers() >= 2);
 //!
 //! // Verify the Dally & Seitz condition holds per layer.
@@ -56,7 +58,9 @@
 //! // timed, and run.
 //! let config = EngineConfig::new().recorder(collector.clone());
 //! let engine = Recorded::new(DfSssp::new().with_config(config), collector.clone());
-//! let routes = engine.route(&net).unwrap();
+//! let routes = engine
+//!     .route_in(&net, &engine.config().compute.resolve())
+//!     .unwrap();
 //! assert!(routes.num_layers() >= 2);
 //!
 //! // All five DFSSSP phases plus the whole-route span were measured.
@@ -96,8 +100,8 @@ pub mod prelude {
     pub use appsim::{alltoall_time, netgauge_ebb, Allocation, NasBenchmark};
     pub use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
     pub use dfsssp_core::{
-        Budget, CycleBreakHeuristic, DeadlockFree, DfSssp, EngineConfig, LayerAssignMode, Recorded,
-        RouteError, RoutingEngine, Sssp,
+        Budget, ComputeCtx, ComputeOpts, CycleBreakHeuristic, DeadlockFree, DfSssp, EngineConfig,
+        LayerAssignMode, Recorded, RouteError, RoutingEngine, Sssp,
     };
     pub use fabric::{Network, NetworkBuilder, Routes};
     pub use flitsim::{simulate, Outcome, SimConfig, Workload};

@@ -24,7 +24,7 @@ fn elapsed_deadline_returns_budget_exceeded_promptly() {
     let engine = DfSssp::new()
         .with_config(EngineConfig::new().budget(Budget::new().deadline(Duration::ZERO)));
     let start = Instant::now();
-    let err = engine.route(&net).unwrap_err();
+    let err = engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
     assert!(
         matches!(
             err,
@@ -44,7 +44,7 @@ fn elapsed_deadline_returns_budget_exceeded_promptly() {
 fn node_admission_is_checked_before_any_work() {
     let net = big_random();
     let engine = DfSssp::new().with_config(EngineConfig::new().budget(Budget::new().max_nodes(10)));
-    match engine.route(&net).unwrap_err() {
+    match engine.route_in(&net, &ComputeCtx::seq()).unwrap_err() {
         RouteError::BudgetExceeded {
             resource: "nodes",
             limit,
@@ -58,7 +58,7 @@ fn cdg_edge_cap_trips_during_layer_assignment() {
     let net = dfsssp::topo::torus(&[4, 4], 1);
     let engine =
         DfSssp::new().with_config(EngineConfig::new().budget(Budget::new().max_cdg_edges(1)));
-    let err = engine.route(&net).unwrap_err();
+    let err = engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
     assert!(
         matches!(
             err,
@@ -77,7 +77,7 @@ fn layer_cap_clamps_and_surfaces_as_need_more_layers() {
     // engine's own allowance and the shortfall keeps its usual type.
     let net = dfsssp::topo::ring(5, 1);
     let engine = DfSssp::new().with_config(EngineConfig::new().budget(Budget::new().max_layers(1)));
-    let err = engine.route(&net).unwrap_err();
+    let err = engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
     assert!(
         matches!(err, RouteError::NeedMoreLayers { .. }),
         "got {err}"
@@ -89,7 +89,7 @@ fn lash_honors_the_same_budget() {
     let net = big_random();
     let engine =
         Lash::new().with_config(EngineConfig::new().budget(Budget::new().deadline(Duration::ZERO)));
-    let err = engine.route(&net).unwrap_err();
+    let err = engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
     assert!(
         matches!(err, RouteError::BudgetExceeded { .. }),
         "got {err}"
@@ -101,7 +101,7 @@ fn wrapped_engines_honor_the_budget() {
     let net = big_random();
     let engine = DeadlockFree::new(Sssp::new())
         .with_config(EngineConfig::new().budget(Budget::new().deadline(Duration::ZERO)));
-    let err = engine.route(&net).unwrap_err();
+    let err = engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
     assert!(
         matches!(err, RouteError::BudgetExceeded { .. }),
         "got {err}"
@@ -117,8 +117,8 @@ fn budget_trips_are_counted() {
             .recorder(collector.clone())
             .budget(Budget::new().max_nodes(10)),
     );
-    engine.route(&net).unwrap_err();
-    engine.route(&net).unwrap_err();
+    engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
+    engine.route_in(&net, &ComputeCtx::seq()).unwrap_err();
     let snapshot = collector.snapshot();
     assert_eq!(snapshot.counters.get("budget_trips"), Some(&2));
 }
@@ -126,7 +126,7 @@ fn budget_trips_are_counted() {
 #[test]
 fn unlimited_budget_changes_nothing() {
     let net = dfsssp::topo::torus(&[4, 4], 1);
-    let plain = DfSssp::new().route(&net).unwrap();
+    let plain = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
     let budgeted = DfSssp::new()
         .with_config(
             EngineConfig::new().budget(
@@ -136,7 +136,7 @@ fn unlimited_budget_changes_nothing() {
                     .max_cdg_edges(1 << 30),
             ),
         )
-        .route(&net)
+        .route_in(&net, &ComputeCtx::seq())
         .unwrap();
     assert_eq!(plain.num_layers(), budgeted.num_layers());
     dfsssp::verify::verify_deadlock_free(&net, &budgeted).unwrap();

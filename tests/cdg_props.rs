@@ -65,7 +65,7 @@ proptest! {
             interswitch_links: (switches * 3 / 2).min(switches * (switches - 1) / 2),
         };
         let net = dfsssp::topo::random_topology(&spec, seed);
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let ps = PathSet::extract(&net, &routes).unwrap();
         for assignment in [
             assign_layers_offline(&ps, CycleBreakHeuristic::WeakestEdge, 32, false).unwrap().0,
@@ -98,8 +98,8 @@ proptest! {
         prop_assert_eq!(back.num_cables(), net.num_cables());
         back.validate().map_err(TestCaseError::fail)?;
         // Routing the reparsed fabric behaves identically.
-        let a = DfSssp::new().route(&net).unwrap();
-        let b = DfSssp::new().route(&back).unwrap();
+        let a = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
+        let b = DfSssp::new().route_in(&back, &ComputeCtx::seq()).unwrap();
         prop_assert_eq!(a.num_layers(), b.num_layers());
     }
 }

@@ -23,7 +23,7 @@ fn acyclic_routings_never_wedge() {
             Box::new(Lash::new()),
             Box::new(UpDown::new()),
         ] {
-            let routes = engine.route(&net).unwrap();
+            let routes = engine.route_in(&net, &ComputeCtx::seq()).unwrap();
             assert!(deadlock_report(&net, &routes).unwrap().is_deadlock_free());
             for (cap, seed) in [(1, 1u64), (2, 2), (4, 3)] {
                 let w = Workload::uniform_random(net.num_terminals(), 12, seed);
@@ -54,7 +54,7 @@ fn cyclic_routings_wedge_under_adversarial_load() {
         (dfsssp::topo::ring(11, 1), 4),
     ];
     for (net, hops) in cases {
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         assert!(!deadlock_report(&net, &routes).unwrap().is_deadlock_free());
         let w = Workload::shift(net.num_terminals(), hops, 32);
         let config = SimConfig {
@@ -74,7 +74,7 @@ fn cyclic_routings_wedge_under_adversarial_load() {
 #[test]
 fn cyclic_routings_survive_light_traffic() {
     let net = dfsssp::topo::ring(5, 1);
-    let routes = Sssp::new().route(&net).unwrap();
+    let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
     let mut w = Workload::new(5);
     w.queues[0] = vec![2]; // one packet, no contention
     let out = simulate(&net, &routes, &w, &SimConfig::default());
@@ -91,7 +91,7 @@ fn balanced_layers_still_safe_dynamically() {
             balance,
             ..DfSssp::new()
         };
-        let routes = engine.route(&net).unwrap();
+        let routes = engine.route_in(&net, &ComputeCtx::seq()).unwrap();
         let w = Workload::uniform_random(net.num_terminals(), 25, 5);
         let out = simulate(&net, &routes, &w, &SimConfig::default());
         assert!(out.completed(), "balance={balance}: {out:?}");

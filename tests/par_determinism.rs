@@ -1,0 +1,88 @@
+//! The parallel-compute determinism contract, end to end: at a fixed
+//! `chunk`, the routes DFSSSP produces are a pure function of the
+//! network — never of the worker count. Property tests sweep seeded
+//! dragonfly / fat-tree / torus fabrics (pristine and degraded) and
+//! compare the 2- and 4-worker tables bit for bit (`Routes: Eq`)
+//! against the single-worker run.
+
+use dfsssp::prelude::*;
+use proptest::prelude::*;
+
+/// Route `net` at 1, 2 and 4 workers under `chunk` and require all
+/// three tables identical (and deadlock-free).
+fn assert_thread_invariant(net: &Network, chunk: usize) -> Result<(), TestCaseError> {
+    let engine = DfSssp::new();
+    let baseline = engine
+        .route_in(net, &ComputeCtx::new(1, chunk))
+        .map_err(|e| TestCaseError::fail(format!("{}: {e}", net.label())))?;
+    dfsssp::verify::verify_deadlock_free(net, &baseline)
+        .map_err(|e| TestCaseError::fail(format!("{}: {e}", net.label())))?;
+    for threads in [2usize, 4] {
+        let routes = engine
+            .route_in(net, &ComputeCtx::new(threads, chunk))
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", net.label())))?;
+        prop_assert_eq!(
+            &routes,
+            &baseline,
+            "{} diverged at threads={} chunk={}",
+            net.label(),
+            threads,
+            chunk
+        );
+    }
+    Ok(())
+}
+
+/// `net` with `cables` redundant cables failed (seeded); falls back to
+/// the pristine network when nothing can be removed safely.
+fn degraded(net: &Network, cables: usize, seed: u64) -> Network {
+    let (worn, _removed) = dfsssp::fabric::degrade::fail_random_cables(net, cables, seed);
+    worn
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn torus_routes_ignore_worker_count(
+        a in 3u16..6, b in 3u16..6, chunk_ix in 0usize..3,
+        cables in 0usize..3, seed in 0u64..1024,
+    ) {
+        let net = dfsssp::topo::torus(&[a, b], 1);
+        assert_thread_invariant(&degraded(&net, cables, seed), [1usize, 4, 16][chunk_ix])?;
+    }
+
+    #[test]
+    fn fat_tree_routes_ignore_worker_count(
+        k in 3usize..7, chunk_ix in 0usize..3,
+        cables in 0usize..3, seed in 0u64..1024,
+    ) {
+        let net = dfsssp::topo::kary_ntree(k, 2);
+        assert_thread_invariant(&degraded(&net, cables, seed), [1usize, 4, 16][chunk_ix])?;
+    }
+
+    #[test]
+    fn dragonfly_routes_ignore_worker_count(
+        a in 3usize..5, h in 1usize..3, chunk_ix in 0usize..3,
+        cables in 0usize..3, seed in 0u64..1024,
+    ) {
+        let net = dfsssp::topo::dragonfly(a, 1, h);
+        assert_thread_invariant(&degraded(&net, cables, seed), [1usize, 4, 16][chunk_ix])?;
+    }
+}
+
+/// The non-property anchor: one deterministic sweep that always runs
+/// identically, so a failure here bisects cleanly.
+#[test]
+fn example_topologies_are_thread_invariant() {
+    for net in [
+        dfsssp::topo::torus(&[4, 4], 2),
+        dfsssp::topo::kary_ntree(4, 2),
+        dfsssp::topo::dragonfly(3, 1, 1),
+        dfsssp::topo::kautz(3, 2, 36, true),
+    ] {
+        for chunk in [1usize, 16] {
+            assert_thread_invariant(&net, chunk).unwrap();
+        }
+    }
+}

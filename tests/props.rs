@@ -30,14 +30,14 @@ proptest! {
     /// SSSP paths are hop-minimal on every random topology.
     #[test]
     fn sssp_is_minimal(net in arb_random_net()) {
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         prop_assert!(verify_minimal(&net, &routes).is_ok());
     }
 
     /// DFSSSP always yields per-layer acyclic CDGs and full connectivity.
     #[test]
     fn dfsssp_is_deadlock_free_and_connected(net in arb_random_net()) {
-        let routes = DfSssp::new().route(&net).unwrap();
+        let routes = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let report = deadlock_report(&net, &routes).unwrap();
         prop_assert!(report.is_deadlock_free());
         let nt = net.num_terminals();
@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn online_assignment_is_also_safe(net in arb_random_net()) {
         let engine = DfSssp { mode: LayerAssignMode::Online, ..DfSssp::new() };
-        let routes = engine.route(&net).unwrap();
+        let routes = engine.route_in(&net, &ComputeCtx::seq()).unwrap();
         prop_assert!(deadlock_report(&net, &routes).unwrap().is_deadlock_free());
     }
 
@@ -58,16 +58,16 @@ proptest! {
     /// layer is acyclic (checked end-to-end through the verifier).
     #[test]
     fn balancing_preserves_safety(net in arb_random_net()) {
-        let balanced = DfSssp { balance: true, ..DfSssp::new() }.route(&net).unwrap();
+        let balanced = DfSssp { balance: true, ..DfSssp::new() }.route_in(&net, &ComputeCtx::seq()).unwrap();
         prop_assert!(deadlock_report(&net, &balanced).unwrap().is_deadlock_free());
-        let unbalanced = DfSssp { balance: false, ..DfSssp::new() }.route(&net).unwrap();
+        let unbalanced = DfSssp { balance: false, ..DfSssp::new() }.route_in(&net, &ComputeCtx::seq()).unwrap();
         prop_assert!(balanced.num_layers() >= unbalanced.num_layers());
     }
 
     /// PathSet extraction is consistent with per-channel load counting.
     #[test]
     fn pathset_matches_loads(net in arb_random_net()) {
-        let routes = Sssp::new().route(&net).unwrap();
+        let routes = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
         let ps = PathSet::extract(&net, &routes).unwrap();
         let loads = routes.channel_loads(&net).unwrap();
         prop_assert_eq!(ps.total_hops() as u32, loads.iter().sum::<u32>());

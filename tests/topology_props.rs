@@ -102,7 +102,7 @@ proptest! {
         prop_assert_eq!(degraded.num_cables(), net.num_cables() - removed);
         degraded.validate().map_err(TestCaseError::fail)?;
         // The degraded network is still routable deadlock-free.
-        let routes = DfSssp::new().route(&degraded).unwrap();
+        let routes = DfSssp::new().route_in(&degraded, &ComputeCtx::seq()).unwrap();
         dfsssp::verify::verify_deadlock_free(&degraded, &routes).unwrap();
     }
 

@@ -32,14 +32,16 @@ fn unidirectional_ring(n: usize) -> Network {
 #[test]
 fn staged_update_on_a_certified_fabric_is_clean_at_every_stage() {
     let net = topo::torus(&[4, 4], 1);
-    let old = DfSssp::new().route(&net).unwrap();
+    let old = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
 
     // Lose some cables, re-express the stale tables against the survivor
     // fabric, and re-route. The degraded fabric still certifies.
     let (degraded, removed) = fail_random_cables(&net, 4, 11);
     assert!(removed > 0);
     let stale = remap_routes(&net, &old, &degraded);
-    let fresh = DfSssp::new().route(&degraded).unwrap();
+    let fresh = DfSssp::new()
+        .route_in(&degraded, &ComputeCtx::seq())
+        .unwrap();
     assert!(
         matches!(vet::existence(&degraded), Existence::Exists { .. }),
         "losing {removed} cables must not refute existence on a torus"
@@ -104,7 +106,7 @@ fn refuted_fabric_condemns_single_layer_but_not_layered_artifacts() {
 
     // A single-layer routing on this fabric is impossible to make
     // deadlock-free — V007 is an *error* for it.
-    let flat = Sssp::new().route(&net).unwrap();
+    let flat = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
     let report = vet::analyze(&net, &flat);
     let diag = report
         .diagnostics_for(LintCode::DeadlockExistence)
@@ -114,7 +116,7 @@ fn refuted_fabric_condemns_single_layer_but_not_layered_artifacts() {
 
     // A layered routing took the only escape hatch: V007 downgrades to a
     // warning citing that the layers are provably necessary.
-    let layered = DfSssp::new().route(&net).unwrap();
+    let layered = DfSssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
     assert!(layered.num_layers() > 1, "the ring needs layers");
     let report = vet::analyze(&net, &layered);
     let diag = report
