@@ -227,11 +227,12 @@ impl EngineConfig {
 /// A routing algorithm: consumes a network, produces forwarding tables
 /// plus a virtual-layer assignment.
 ///
-/// The required entry point is [`RoutingEngine::route_in`], which takes
-/// a resolved [`ComputeCtx`]; engines that cannot parallelize simply
-/// ignore it. The legacy [`RoutingEngine::route`] survives as a
-/// deprecated delegating shim (see DESIGN.md §15 for the migration
-/// story).
+/// The entry point is [`RoutingEngine::route_in`], which takes a
+/// resolved [`ComputeCtx`]; engines that cannot parallelize simply
+/// ignore it. (The legacy `route(&net)` shim from the engine-API
+/// redesign has been removed; resolve the engine's own request with
+/// `engine.config().compute.resolve()` when no explicit context is at
+/// hand.)
 pub trait RoutingEngine {
     /// Engine name, as reported in tables/figures (e.g. `"DFSSSP"`).
     fn name(&self) -> &'static str;
@@ -242,18 +243,6 @@ pub trait RoutingEngine {
     /// declared algorithm parameter) but never on `cx.threads` — any
     /// thread count must produce bit-for-bit identical routes.
     fn route_in(&self, net: &Network, cx: &ComputeCtx) -> Result<Routes, RouteError>;
-
-    /// Compute routes with the context resolved from the engine's own
-    /// configuration ([`EngineConfig::compute`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "call `route_in` with an explicit ComputeCtx (e.g. `ComputeCtx::seq()`); \
-                this shim resolves the context from `config().compute` and will be \
-                removed one release after the redesign"
-    )]
-    fn route(&self, net: &Network) -> Result<Routes, RouteError> {
-        self.route_in(net, &self.config().compute.resolve())
-    }
 
     /// Whether the routes this engine produces are guaranteed
     /// deadlock-free on arbitrary topologies.

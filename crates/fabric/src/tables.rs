@@ -191,6 +191,50 @@ impl Routes {
         self.num_layers = self.vl.iter().copied().max().unwrap_or(0) + 1;
     }
 
+    /// Bulk-copy the whole virtual-layer matrix from `other` (tables for
+    /// the same terminal roster). Incremental reroute uses this when the
+    /// layer assignment is provably unchanged between epochs: one memcpy
+    /// instead of a per-pair rewrite.
+    pub fn copy_layers_from(&mut self, other: &Routes) {
+        assert_eq!(
+            self.vl.len(),
+            other.vl.len(),
+            "layer matrices must have the same shape"
+        );
+        self.vl.copy_from_slice(&other.vl);
+        self.num_layers = other.num_layers;
+    }
+
+    /// Copy every destination column *not* flagged in `dirty` from
+    /// `other`, renaming each channel through `translate` (`None` = the
+    /// channel no longer exists). One row-major pass over the tables —
+    /// the cache-friendly direction. Returns `false` (tables partially
+    /// written — discard them) when a populated clean entry fails to
+    /// translate, which callers treat as a stale-cache signal.
+    pub fn copy_clean_columns_translated(
+        &mut self,
+        other: &Routes,
+        dirty: &[bool],
+        translate: &[Option<ChannelId>],
+    ) -> bool {
+        for (row, orow) in self.next.iter_mut().zip(&other.next) {
+            for (d, slot) in row.iter_mut().enumerate() {
+                if dirty[d] {
+                    continue;
+                }
+                let v = orow[d];
+                if v == NONE_U32 {
+                    continue;
+                }
+                match translate.get(v as usize).copied().flatten() {
+                    Some(nc) => *slot = nc.0,
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+
     /// Iterate over the channels of the path from terminal `src` to
     /// terminal `dst` by walking the tables. Lazy; detects loops via a
     /// hop budget of `num_nodes + 1`.
@@ -491,6 +535,40 @@ mod tests {
         assert!(Routes::from_raw(vec![vec![0; 1]], vec![255], 1, "x".into()).is_err());
         let r = Routes::from_raw(vec![vec![0; 1]], vec![3], 1, "x".into()).unwrap();
         assert_eq!(r.num_layers(), 4);
+    }
+
+    #[test]
+    fn bulk_copy_helpers_mirror_per_entry_writes() {
+        let net = line();
+        let mut src = bfs_routes(&net);
+        src.set_layer(0, 1, 2);
+        src.set_layer(2, 0, 1);
+
+        // Identity translation, nothing dirty: a verbatim copy.
+        let ident: Vec<Option<ChannelId>> =
+            (0..net.num_channels() as u32).map(|c| Some(ChannelId(c))).collect();
+        let dirty = vec![false; net.num_terminals()];
+        let mut out = Routes::new(&net, "copy");
+        assert!(out.copy_clean_columns_translated(&src, &dirty, &ident));
+        assert_eq!(out.next, src.next);
+        out.copy_layers_from(&src);
+        assert_eq!(out.vl, src.vl);
+        assert_eq!(out.num_layers(), src.num_layers());
+
+        // Dirty columns are left untouched.
+        let mut masked = Routes::new(&net, "masked");
+        let mut dirty0 = dirty.clone();
+        dirty0[0] = true;
+        assert!(masked.copy_clean_columns_translated(&src, &dirty0, &ident));
+        for (id, _) in net.nodes() {
+            assert_eq!(masked.next_hop(id, 0), None);
+            assert_eq!(masked.next_hop(id, 1), src.next_hop(id, 1));
+        }
+
+        // An untranslatable clean entry aborts the copy.
+        let none: Vec<Option<ChannelId>> = vec![None; net.num_channels()];
+        let mut broken = Routes::new(&net, "broken");
+        assert!(!broken.copy_clean_columns_translated(&src, &dirty, &none));
     }
 
     #[test]

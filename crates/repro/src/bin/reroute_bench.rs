@@ -1,0 +1,135 @@
+//! `reroute_bench` — the incremental-reroute benchmark: warm
+//! `DeltaEngine` epoch recompute versus a cold full sweep across seeded
+//! single-cable failures, with a bit-for-bit identity gate on every
+//! cell, written as a versioned `dfsssp-reroute/v1` report (CI's
+//! reroute-smoke artifact).
+//!
+//! ```text
+//! reroute_bench --topo examples/grown-cluster.topo [--quick] \
+//!               [--out BENCH_pr10.json] [--seed 7]
+//! reroute_bench --validate BENCH_pr10.json    # parse + schema check only
+//! ```
+//!
+//! Exit is non-zero when any cell's delta routes diverge from the cold
+//! sweep (always checked — the hardware-independent gate), or — full
+//! runs only — when no delta-path cell reaches a 10x reroute speedup
+//! (the scale suite contains path-diverse fabrics where O(change)
+//! must beat O(fabric) by at least that much; `--quick` measures only
+//! the provided fabric, whose ratio is topology-dependent, so quick
+//! runs gate on identity alone).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_pr10.json".to_string();
+    let mut validate: Option<String> = None;
+    let mut cli = repro::Cli::parse_with(
+        "reroute_bench",
+        " [--quick] [--out <file>] [--validate <file>]",
+        |flag, val| match flag {
+            "--quick" => {
+                quick = true;
+                true
+            }
+            "--out" => {
+                out = val();
+                true
+            }
+            "--validate" => {
+                validate = Some(val());
+                true
+            }
+            _ => false,
+        },
+    );
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match repro::reroute_bench::RerouteBenchReport::from_json(&text) {
+            Ok(report) => {
+                println!(
+                    "{path}: valid {} report, {} cells on {} core(s), identical: {}",
+                    report.schema,
+                    report.cells.len(),
+                    report.host_cores,
+                    report.identical(),
+                );
+                if report.identical() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("{path}: a recorded cell diverged from the cold sweep");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let net = match cli.network() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed = cli.seed.unwrap_or(7);
+    cli.seed = Some(seed);
+    let report = repro::reroute_bench::run(&net, quick, seed);
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for c in &report.cells {
+        println!(
+            "reroute_bench: {:<24} {:<8} {:>4} dests dirty  full {:>12} ns  delta {:>12} ns  \
+             {:>7.2}x  fellback: {}  identical: {}",
+            c.topo,
+            c.event,
+            c.dirty_dests,
+            c.full_ns,
+            c.delta_ns,
+            c.ratio_milli as f64 / 1_000.0,
+            c.fellback,
+            c.identical_to_full,
+        );
+    }
+    println!(
+        "reroute_bench: {} cells on {} core(s) -> {out}",
+        report.cells.len(),
+        report.host_cores,
+    );
+
+    // The hardware-independent gate: the warm reroute must produce the
+    // cold sweep's artifact, everywhere, always.
+    if !report.identical() {
+        eprintln!("reroute_bench: FAILED — delta routes diverged from the cold sweep");
+        return ExitCode::FAILURE;
+    }
+    // The scale gate: full runs include fabrics engineered to expose
+    // the O(change)/O(fabric) gap; at least one delta cell must hit 10x.
+    if !quick {
+        let best = report.max_delta_ratio_milli().unwrap_or(0);
+        if best < 10_000 {
+            eprintln!(
+                "reroute_bench: FAILED — best delta speedup {:.2}x < 10x across the scale suite",
+                best as f64 / 1_000.0,
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = cli.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,7 @@ pub mod bench;
 pub mod cli;
 pub mod fuzz;
 pub mod loadgen;
+pub mod reroute_bench;
 pub mod route_par;
 pub mod serve_bench;
 

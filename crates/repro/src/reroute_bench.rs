@@ -1,0 +1,317 @@
+//! The incremental-reroute benchmark behind the `reroute_bench` binary
+//! and CI's reroute-smoke job: per-event epoch recompute latency of a
+//! warm [`delta::DeltaEngine`] against a cold full sweep, with a
+//! bit-for-bit identity gate on every cell. Serialized as a versioned
+//! `dfsssp-reroute/v1` report (`BENCH_pr10.json` in CI).
+//!
+//! Each cell is one single-cable-failure event on one fabric. The
+//! "full" column times what every epoch cost before the delta
+//! subsystem: a cold `DfSssp` sweep of the degraded fabric at the
+//! snapshot context. The "delta" column times the same call through a
+//! `DeltaEngine` warmed on the pre-failure fabric, so only the dirtied
+//! destination trees are re-swept and the layer-0 CDG is patched, not
+//! rebuilt. The cache-warming route itself is never timed — in
+//! production it is the previous epoch, amortized across the fabric's
+//! lifetime.
+//!
+//! The speedup is topology-dependent: it tracks the *clean fraction* of
+//! destination trees, so path-diverse fabrics (fat trees, flattened
+//! butterflies) reroute 10x+ faster while a small ring re-sweeps almost
+//! everything and hovers near 1x. What must hold everywhere is the
+//! identity gate: every delta cell's routes equal the cold sweep's,
+//! bit for bit — `identical_to_full` is hard no matter the host or
+//! fabric.
+
+use delta::{DeltaConfig, DeltaEngine};
+use dfsssp_core::{ComputeCtx, DfSssp, RoutingEngine};
+use fabric::{degrade, Network};
+use std::fmt::Write as _;
+use std::time::Instant;
+use telemetry::json::{self, Value};
+
+/// Reroute report schema; bump only on breaking shape changes.
+pub const SCHEMA: &str = "dfsssp-reroute/v1";
+
+/// One (fabric, failure event) reroute measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RerouteCell {
+    /// Topology label.
+    pub topo: String,
+    /// Event label (`cable#<k>`, the k-th seeded single-cable failure).
+    pub event: String,
+    /// Terminals in the fabric (the delta path's O(fabric) axis).
+    pub terminals: usize,
+    /// Best-of-k cold full-sweep wall clock for the degraded fabric,
+    /// nanoseconds.
+    pub full_ns: u64,
+    /// Best-of-k warm delta reroute wall clock, nanoseconds.
+    pub delta_ns: u64,
+    /// `full_ns * 1000 / delta_ns`, thousandths.
+    pub ratio_milli: u64,
+    /// Destination trees the event dirtied (re-swept by the delta path).
+    pub dirty_dests: u64,
+    /// The engine declined the delta path and full-recomputed instead.
+    pub fellback: bool,
+    /// Delta routes compared equal (`Routes: Eq`) to the cold sweep.
+    pub identical_to_full: bool,
+}
+
+/// The whole benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RerouteBenchReport {
+    /// Always [`SCHEMA`] for reports this module writes.
+    pub schema: String,
+    /// Whether the reduced CI sweep ran (provided fabric only).
+    pub quick: bool,
+    /// Cores available on the measuring host (`available_parallelism`).
+    pub host_cores: usize,
+    /// Every (fabric x event) cell, fabric-major, events in seed order.
+    pub cells: Vec<RerouteCell>,
+}
+
+/// The snapshot compute context the delta path requires: one chunk
+/// spanning every terminal.
+fn snap_cx(net: &Network) -> ComputeCtx {
+    ComputeCtx {
+        threads: 1,
+        chunk: net.num_terminals().max(1),
+    }
+}
+
+/// Path-diverse fabrics where single-cable failures dirty a small
+/// fraction of the destination trees — the regime the subsystem is for.
+fn scale_suite() -> Vec<Network> {
+    use fabric::topo;
+    vec![
+        topo::fully_connected(96, 4),
+        topo::kary_ntree(16, 2),
+        topo::torus(&[8, 8], 2),
+    ]
+}
+
+/// Best-of-`iters` cold full sweep of `net`.
+fn time_full(net: &Network, cx: &ComputeCtx, iters: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters.max(1) {
+        let engine = DfSssp::new();
+        let started = Instant::now();
+        let routes = engine.route_in(net, cx).expect("measured fabrics route");
+        best = best.min(started.elapsed().as_nanos() as u64);
+        std::hint::black_box(routes);
+    }
+    best
+}
+
+/// Measure every seeded single-cable event on one fabric.
+fn measure_fabric(net: &Network, events: usize, iters: usize, seed: u64, cells: &mut Vec<RerouteCell>) {
+    let cx = snap_cx(net);
+    let base = DfSssp::new().route_in(net, &cx);
+    if base.is_err() {
+        return; // fabric doesn't route; nothing to measure
+    }
+    for k in 0..events {
+        let (degraded, removed) = degrade::fail_random_cables(net, 1, seed.wrapping_mul(97).wrapping_add(k as u64));
+        if removed == 0 {
+            continue;
+        }
+        let dcx = snap_cx(&degraded);
+        let full_engine = DfSssp::new();
+        let Ok(full_routes) = full_engine.route_in(&degraded, &dcx) else {
+            continue; // event disconnected the fabric; both paths refuse
+        };
+        let full_ns = time_full(&degraded, &dcx, iters);
+
+        // Time the warm reroute: each iteration re-warms a fresh engine
+        // on the pre-failure fabric (untimed), then times only the
+        // degraded-epoch route. Reusing one warm engine would measure a
+        // no-op second epoch instead of the event.
+        let mut delta_ns = u64::MAX;
+        let mut last = None;
+        let mut routes_match = true;
+        for _ in 0..iters.max(1) {
+            let engine = DeltaEngine::with_delta_config(
+                DfSssp::new(),
+                DeltaConfig {
+                    max_dirty_fraction: 1.0,
+                },
+            );
+            engine
+                .route_in(net, &cx)
+                .expect("pre-failure fabric routed above");
+            let started = Instant::now();
+            let routes = engine
+                .route_in(&degraded, &dcx)
+                .expect("cold sweep of the same fabric succeeded above");
+            delta_ns = delta_ns.min(started.elapsed().as_nanos() as u64);
+            routes_match &= routes == full_routes;
+            last = engine.last_outcome();
+        }
+        let outcome = last.expect("route_in records an outcome");
+        cells.push(RerouteCell {
+            topo: net.label().to_string(),
+            event: format!("cable#{k}"),
+            terminals: degraded.num_terminals(),
+            full_ns,
+            delta_ns,
+            ratio_milli: (full_ns * 1_000).checked_div(delta_ns).unwrap_or(0),
+            dirty_dests: outcome.dirty_dests.len() as u64,
+            fellback: !outcome.delta,
+            identical_to_full: routes_match,
+        });
+    }
+}
+
+/// Run the benchmark: seeded single-cable failures on the provided
+/// fabric and — unless `quick` — on the built-in scale suite.
+pub fn run(base: &Network, quick: bool, seed: u64) -> RerouteBenchReport {
+    let (events, iters) = if quick { (2, 1) } else { (4, 3) };
+    let mut cells = Vec::new();
+    measure_fabric(base, events, iters, seed, &mut cells);
+    if !quick {
+        for net in scale_suite() {
+            measure_fabric(&net, events, iters, seed, &mut cells);
+        }
+    }
+    RerouteBenchReport {
+        schema: SCHEMA.to_string(),
+        quick,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells,
+    }
+}
+
+impl RerouteBenchReport {
+    /// `true` iff every cell's delta routes matched the cold sweep —
+    /// the hardware-independent gate.
+    pub fn identical(&self) -> bool {
+        self.cells.iter().all(|c| c.identical_to_full)
+    }
+
+    /// The best reroute speedup across cells that actually took the
+    /// delta path, in thousandths; `None` when every cell fell back.
+    pub fn max_delta_ratio_milli(&self) -> Option<u64> {
+        self.cells
+            .iter()
+            .filter(|c| !c.fellback)
+            .map(|c| c.ratio_milli)
+            .max()
+    }
+
+    /// Serialize (pretty, trailing newline — artifact-friendly).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n  \"schema\": ");
+        json::write_str(&mut s, &self.schema);
+        let _ = write!(
+            s,
+            ",\n  \"quick\": {},\n  \"host_cores\": {}",
+            self.quick, self.host_cores
+        );
+        s.push_str(",\n  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            s.push_str("{\"topo\": ");
+            json::write_str(&mut s, &c.topo);
+            s.push_str(", \"event\": ");
+            json::write_str(&mut s, &c.event);
+            let _ = write!(
+                s,
+                ", \"terminals\": {}, \"full_ns\": {}, \"delta_ns\": {}, \
+                 \"ratio_milli\": {}, \"dirty_dests\": {}, \"fellback\": {}, \
+                 \"identical_to_full\": {}}}",
+                c.terminals,
+                c.full_ns,
+                c.delta_ns,
+                c.ratio_milli,
+                c.dirty_dests,
+                c.fellback,
+                c.identical_to_full
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Parse a report back, verifying the schema version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("reroute: missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "schema mismatch: file says {schema:?}, this build expects {SCHEMA:?}"
+            ));
+        }
+        let num = |obj: &Value, name: &str, at: &str| {
+            obj.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("reroute: bad {at}{name}"))
+        };
+        let flag = |obj: &Value, name: &str, at: &str| {
+            obj.get(name)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("reroute: bad {at}{name}"))
+        };
+        let text_of = |obj: &Value, name: &str, at: &str| {
+            obj.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("reroute: bad {at}{name}"))
+        };
+        let mut cells = Vec::new();
+        for (i, c) in v
+            .get("cells")
+            .and_then(Value::as_arr)
+            .ok_or("reroute: missing cells")?
+            .iter()
+            .enumerate()
+        {
+            let at = format!("cells[{i}].");
+            cells.push(RerouteCell {
+                topo: text_of(c, "topo", &at)?,
+                event: text_of(c, "event", &at)?,
+                terminals: num(c, "terminals", &at)? as usize,
+                full_ns: num(c, "full_ns", &at)?,
+                delta_ns: num(c, "delta_ns", &at)?,
+                ratio_milli: num(c, "ratio_milli", &at)?,
+                dirty_dests: num(c, "dirty_dests", &at)?,
+                fellback: flag(c, "fellback", &at)?,
+                identical_to_full: flag(c, "identical_to_full", &at)?,
+            });
+        }
+        Ok(RerouteBenchReport {
+            schema: schema.to_string(),
+            quick: v
+                .get("quick")
+                .and_then(Value::as_bool)
+                .ok_or("reroute: missing quick")?,
+            host_cores: num(&v, "host_cores", "")? as usize,
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::topo;
+
+    #[test]
+    fn quick_run_is_identical_and_round_trips() {
+        let net = topo::torus(&[4, 4], 1);
+        let report = run(&net, true, 7);
+        assert!(!report.cells.is_empty());
+        assert!(report.identical(), "delta diverged: {report:?}");
+        assert!(report.cells.iter().all(|c| c.full_ns > 0 && c.delta_ns > 0));
+        let back = RerouteBenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let err = RerouteBenchReport::from_json(r#"{"schema": "dfsssp-reroute/v0"}"#).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+}

@@ -59,5 +59,5 @@ pub use query::{
 pub use server::{RouteServer, ServedOutcome, ServerError};
 pub use shed::{ShedConfig, ShedController};
 pub use slo::{SloPolicy, SloVerdict};
-pub use snapshot::{PublishError, Snapshot, SnapshotStore};
+pub use snapshot::{DiffScope, PublishError, Snapshot, SnapshotStore};
 pub use swap::Swap;

@@ -99,6 +99,29 @@ impl Snapshot {
     }
 }
 
+/// Evidence scoping an incremental publish (see
+/// [`SnapshotStore::publish_diff`]): which destination columns changed
+/// relative to a base epoch, and whether the producing engine certified
+/// the new all-paths layer-0 CDG acyclic.
+///
+/// The scoped vet gate is sound only when both hold: the unchanged
+/// columns are byte-identical to the currently served (already vetted)
+/// epoch, and global CDG acyclicity — the one property a per-column walk
+/// cannot see — is certified by the producer. A stale `base_epoch` or a
+/// missing certificate silently falls back to the full gate.
+#[derive(Clone, Debug)]
+pub struct DiffScope {
+    /// Destination terminal indices whose columns differ from the base
+    /// epoch.
+    pub changed_dests: Vec<usize>,
+    /// The epoch the diff was computed against; must still be current
+    /// at publish time for the scoped gate to apply.
+    pub base_epoch: u64,
+    /// Producer's certificate that the all-paths layer-0 CDG of the new
+    /// routes is acyclic (every per-layer CDG is a subset of it).
+    pub layer0_acyclic: bool,
+}
+
 /// Why a publish was refused. The store's gate rejects, it never
 /// panics: the previous epoch keeps serving.
 #[derive(Debug)]
@@ -200,11 +223,45 @@ impl SnapshotStore {
         plan: &str,
         reference: Option<&Network>,
     ) -> Result<Arc<Snapshot>, PublishError> {
+        self.publish_gated(net, routes, source, plan, reference, None)
+    }
+
+    /// [`SnapshotStore::publish`] with an incremental-vet scope: when
+    /// `scope` certifies layer-0 acyclicity and was computed against the
+    /// epoch still being served, the gate analyzes only the changed
+    /// destination columns (plus the global existence condition) instead
+    /// of every path — O(change) admission for an O(change) reroute. Any
+    /// mismatch falls back to the full gate; the publish itself behaves
+    /// identically either way.
+    pub fn publish_diff(
+        &self,
+        net: Network,
+        routes: Routes,
+        source: &str,
+        plan: &str,
+        reference: Option<&Network>,
+        scope: &DiffScope,
+    ) -> Result<Arc<Snapshot>, PublishError> {
+        self.publish_gated(net, routes, source, plan, reference, Some(scope))
+    }
+
+    fn publish_gated(
+        &self,
+        net: Network,
+        routes: Routes,
+        source: &str,
+        plan: &str,
+        reference: Option<&Network>,
+        scope: Option<&DiffScope>,
+    ) -> Result<Arc<Snapshot>, PublishError> {
         let rec = self.recorder.clone();
         let _guard = self.publish_lock.lock().unwrap();
-        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
-        let gated = telemetry::timed(&*rec, phases::SERVE_PUBLISH, || {
-            Self::gate(epoch, net, routes, source, plan, reference)
+        let current = self.epoch.load(Ordering::SeqCst);
+        let epoch = current + 1;
+        let scope = scope.filter(|s| s.layer0_acyclic && s.base_epoch == current);
+        let gated = telemetry::timed(&*rec, phases::SERVE_PUBLISH, || match scope {
+            Some(s) => Self::gate_scoped(epoch, net, routes, source, plan, reference, s),
+            None => Self::gate(epoch, net, routes, source, plan, reference),
         });
         let snap = match gated {
             Ok(snap) => Arc::new(snap),
@@ -235,6 +292,36 @@ impl SnapshotStore {
         reference: Option<&Network>,
     ) -> Result<Snapshot, PublishError> {
         let report = vet::check(&net, &routes);
+        Self::admit(epoch, net, routes, source, plan, reference, report)
+    }
+
+    /// The scoped gate: analyze only the changed destination columns
+    /// (the scope's certificate covers the global cycle condition).
+    #[allow(clippy::too_many_arguments)]
+    fn gate_scoped(
+        epoch: u64,
+        net: Network,
+        routes: Routes,
+        source: &str,
+        plan: &str,
+        reference: Option<&Network>,
+        scope: &DiffScope,
+    ) -> Result<Snapshot, PublishError> {
+        let report =
+            vet::analyze_scoped(&net, &routes, &scope.changed_dests, &vet::Config::default());
+        Self::admit(epoch, net, routes, source, plan, reference, report)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        epoch: u64,
+        net: Network,
+        routes: Routes,
+        source: &str,
+        plan: &str,
+        reference: Option<&Network>,
+        report: vet::Report,
+    ) -> Result<Snapshot, PublishError> {
         if report.num_errors() > 0 {
             // A V007 error means the fabric, not the artifact, is beyond
             // single-layer repair — name it so the caller escalates
@@ -334,6 +421,73 @@ mod tests {
             .is_err());
         assert_eq!(store.epoch(), 0);
         assert_eq!(store.read().epoch, 0);
+    }
+
+    #[test]
+    fn publish_diff_scoped_accepts_and_advances() {
+        let net = topo::torus(&[3, 3], 1);
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        let scope = DiffScope {
+            changed_dests: vec![0, 3],
+            base_epoch: store.epoch(),
+            layer0_acyclic: true,
+        };
+        let snap = store
+            .publish_diff(net.clone(), routed(&net), "event", "direct", None, &scope)
+            .unwrap();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(snap.vet.num_errors(), 0);
+    }
+
+    #[test]
+    fn stale_scope_falls_back_to_the_full_gate() {
+        // A cyclic artifact with an *empty* changed-dest scope would slip
+        // through a scoped walk; a stale base_epoch must force the full
+        // gate, which rejects it.
+        let net = topo::ring(5, 1);
+        let bad = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        let stale = DiffScope {
+            changed_dests: vec![],
+            base_epoch: store.epoch() + 7,
+            layer0_acyclic: true,
+        };
+        match store.publish_diff(net.clone(), bad.clone(), "event", "direct", None, &stale) {
+            Err(PublishError::VetRejected { report, .. }) => {
+                assert!(report.has(vet::LintCode::CdgCycle));
+            }
+            other => panic!("stale scope must full-vet and reject, got {other:?}"),
+        }
+        // Same for a scope missing the acyclicity certificate.
+        let uncertified = DiffScope {
+            changed_dests: vec![],
+            base_epoch: store.epoch(),
+            layer0_acyclic: false,
+        };
+        assert!(store
+            .publish_diff(net.clone(), bad, "event", "direct", None, &uncertified)
+            .is_err());
+        assert_eq!(store.epoch(), 0, "rejections must not advance the epoch");
+    }
+
+    #[test]
+    fn scoped_gate_still_rejects_cycles_inside_the_scope() {
+        let net = topo::ring(5, 1);
+        let bad = Sssp::new().route_in(&net, &ComputeCtx::seq()).unwrap();
+        let store = SnapshotStore::open(net.clone(), routed(&net), None).unwrap();
+        let all: Vec<usize> = (0..net.num_terminals()).collect();
+        let scope = DiffScope {
+            changed_dests: all,
+            base_epoch: store.epoch(),
+            layer0_acyclic: true,
+        };
+        match store.publish_diff(net.clone(), bad, "event", "direct", None, &scope) {
+            Err(PublishError::VetRejected { report, .. }) => {
+                assert!(report.has(vet::LintCode::CdgCycle));
+            }
+            other => panic!("in-scope cycle must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

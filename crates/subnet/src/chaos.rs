@@ -247,6 +247,10 @@ pub struct EventRecord {
     pub rerouted: bool,
     /// Reroute wall-clock time in milliseconds.
     pub elapsed_ms: f64,
+    /// Reroute wall-clock time in nanoseconds (0 for no-op batches) —
+    /// the resolution incremental rerouting is judged at, where
+    /// milliseconds round every fast repair to 0.0.
+    pub reroute_ns: u64,
     /// LFT entries rewritten (SMP write cost).
     pub entries_changed: usize,
     /// Switches with at least one rewritten entry.
@@ -281,6 +285,10 @@ pub struct CampaignReport {
     pub final_quarantined: usize,
     /// Highest VL count any intermediate routing used.
     pub max_vls: usize,
+    /// Routing epochs produced per second of reroute work: reroutes
+    /// divided by total reroute wall-clock time. The campaign-level
+    /// throughput figure incremental rerouting moves.
+    pub epochs_per_sec: f64,
 }
 
 impl CampaignReport {
@@ -293,8 +301,8 @@ impl CampaignReport {
     /// Render as an aligned human-readable table with a summary line.
     pub fn render_human(&self) -> String {
         let headers = [
-            "event", "n", "reroute", "ms", "entries", "switches", "vls", "quar", "rung", "plan",
-            "vet",
+            "event", "n", "reroute", "ms", "ns", "entries", "switches", "vls", "quar", "rung",
+            "plan", "vet",
         ];
         let rows: Vec<Vec<String>> = self
             .records
@@ -305,6 +313,7 @@ impl CampaignReport {
                     r.events.to_string(),
                     if r.rerouted { "yes" } else { "-" }.to_string(),
                     format!("{:.1}", r.elapsed_ms),
+                    r.reroute_ns.to_string(),
                     r.entries_changed.to_string(),
                     r.switches_touched.to_string(),
                     r.vls.to_string(),
@@ -348,10 +357,12 @@ impl CampaignReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "unsafe states: {}  final quarantined: {}  max vls: {}  verdict: {}\n",
+            "unsafe states: {}  final quarantined: {}  max vls: {}  epochs/s: {:.1}  \
+             verdict: {}\n",
             self.unsafe_states,
             self.final_quarantined,
             self.max_vls,
+            self.epochs_per_sec,
             if self.ok() { "OK" } else { "UNSAFE" }
         ));
         out
@@ -371,13 +382,15 @@ impl CampaignReport {
         for (i, r) in self.records.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"label\": \"{}\", \"events\": {}, \"rerouted\": {}, \
-                 \"elapsed_ms\": {:.3}, \"entries_changed\": {}, \"switches_touched\": {}, \
+                 \"elapsed_ms\": {:.3}, \"reroute_ns\": {}, \"entries_changed\": {}, \
+                 \"switches_touched\": {}, \
                  \"vls\": {}, \"quarantined\": {}, \"resolved_by\": \"{}\", \
                  \"plan\": \"{}\", \"vet_errors\": {}}}{}\n",
                 esc(&r.label),
                 r.events,
                 r.rerouted,
                 r.elapsed_ms,
+                r.reroute_ns,
                 r.entries_changed,
                 r.switches_touched,
                 r.vls,
@@ -395,6 +408,10 @@ impl CampaignReport {
             self.final_quarantined
         ));
         out.push_str(&format!("  \"max_vls\": {},\n", self.max_vls));
+        out.push_str(&format!(
+            "  \"epochs_per_sec\": {:.3},\n",
+            self.epochs_per_sec
+        ));
         out.push_str(&format!("  \"ok\": {}\n", self.ok()));
         out.push('}');
         out
@@ -441,6 +458,7 @@ pub fn run_campaign_recorded<E: RoutingEngine>(
         unsafe_states: 0,
         final_quarantined: 0,
         max_vls: 0,
+        epochs_per_sec: 0.0,
     };
     record(&mut report, &sm, "bring-up", 0);
     for batch in batches {
@@ -448,6 +466,15 @@ pub fn run_campaign_recorded<E: RoutingEngine>(
         record(&mut report, &sm, &batch.label, batch.events.len());
     }
     report.final_quarantined = sm.quarantined().len();
+    let epochs = report.records.iter().filter(|r| r.rerouted).count();
+    let reroute_secs: f64 = report
+        .records
+        .iter()
+        .map(|r| r.reroute_ns as f64 / 1e9)
+        .sum();
+    if reroute_secs > 0.0 {
+        report.epochs_per_sec = epochs as f64 / reroute_secs;
+    }
     Ok(report)
 }
 
@@ -475,6 +502,7 @@ fn record<E: RoutingEngine>(
         events,
         rerouted: outcome.rerouted,
         elapsed_ms: outcome.elapsed.as_secs_f64() * 1e3,
+        reroute_ns: outcome.elapsed.as_nanos() as u64,
         entries_changed: outcome.diff.entries_changed,
         switches_touched: outcome.diff.switches_touched,
         vls: outcome.vls,
@@ -556,7 +584,17 @@ mod tests {
         assert!(flap.rerouted);
         let human = report.render_human();
         assert!(human.contains("verdict: OK"));
+        assert!(human.contains("epochs/s:"));
         let json = report.to_json();
         assert!(json.contains("\"unsafe_states\""));
+        assert!(json.contains("\"reroute_ns\""));
+        assert!(json.contains("\"epochs_per_sec\""));
+        // Every reroute took nonzero wall clock, so the rate is finite
+        // and positive.
+        assert!(report.epochs_per_sec > 0.0);
+        assert!(report.epochs_per_sec.is_finite());
+        for r in report.records.iter().filter(|r| r.rerouted) {
+            assert!(r.reroute_ns > 0, "rerouted record must carry nanos");
+        }
     }
 }

@@ -171,6 +171,11 @@ pub struct SmLoop<E> {
     /// The serving view (reference minus down hardware and quarantine).
     net: Network,
     current: ProgrammedFabric,
+    /// Optional source of pre-certified update plans (an incremental
+    /// engine that knows exactly which columns it changed). Consulted
+    /// before [`transition::plan_update`]; `None` answers fall through
+    /// to the full planner.
+    plan_provider: Option<Box<dyn transition::DiffPlanProvider + Send>>,
     /// Quarantined terminals (reference ids, sorted).
     quarantined: Vec<NodeId>,
     /// Outcome of the most recent bring-up or event.
@@ -198,6 +203,7 @@ impl<E: RoutingEngine> SmLoop<E> {
             down_cables: FxHashSet::default(),
             down_switches: FxHashSet::default(),
             net: net.clone(),
+            plan_provider: None,
             // Placeholder until the first reroute below replaces it.
             current: ProgrammedFabric {
                 discovery: crate::discovery::DiscoveredFabric::default(),
@@ -223,7 +229,7 @@ impl<E: RoutingEngine> SmLoop<E> {
             retry: RetryPolicy::default(),
             recorder: telemetry::noop(),
         };
-        let outcome = looped.reroute(0, Some(sm_node))?;
+        let outcome = looped.reroute(0, &[], Some(sm_node))?;
         looped.last = outcome;
         Ok(looped)
     }
@@ -231,6 +237,16 @@ impl<E: RoutingEngine> SmLoop<E> {
     /// Replace the fallback engine (`None` disables the fallback rung).
     pub fn set_fallback(&mut self, fallback: Option<Box<dyn RoutingEngine + Send>>) {
         self.fallback = fallback;
+    }
+
+    /// Attach a transition-plan provider, consulted before the full
+    /// planner on every post-bring-up reroute (see
+    /// [`transition::DiffPlanProvider`]). `None` detaches it.
+    pub fn set_plan_provider(
+        &mut self,
+        provider: Option<Box<dyn transition::DiffPlanProvider + Send>>,
+    ) {
+        self.plan_provider = provider;
     }
 
     /// Replace the panic circuit breaker (state resets with it).
@@ -324,9 +340,24 @@ impl<E: RoutingEngine> SmLoop<E> {
     /// exhausted) the loop's state — down-sets included — is rolled
     /// back, so a follow-up repair event can be handled.
     pub fn handle_batch(&mut self, events: &[FabricEvent]) -> Result<EventOutcome, SmError> {
+        let now = Instant::now();
+        let stamped: Vec<(FabricEvent, Instant)> = events.iter().map(|&e| (e, now)).collect();
+        self.handle_batch_at(&stamped)
+    }
+
+    /// [`Self::handle_batch`] with each event's own arrival timestamp
+    /// preserved. Coalescing still folds the batch into (at most) one
+    /// reroute, but the `reroute_ns` histogram gets one observation per
+    /// *original* event — measured from that event's arrival to the end
+    /// of the reroute that served it — so latency is attributed to the
+    /// burst that triggered it, not averaged away by the fold.
+    pub fn handle_batch_at(
+        &mut self,
+        events: &[(FabricEvent, Instant)],
+    ) -> Result<EventOutcome, SmError> {
         let cables_before = self.down_cables.clone();
         let switches_before = self.down_switches.clone();
-        for &e in events {
+        for &(e, _) in events {
             if let Err(err) = self.apply(e) {
                 self.down_cables = cables_before;
                 self.down_switches = switches_before;
@@ -349,7 +380,8 @@ impl<E: RoutingEngine> SmLoop<E> {
             self.last = outcome.clone();
             return Ok(outcome);
         }
-        match self.reroute(events.len(), None) {
+        let stamps: Vec<Instant> = events.iter().map(|&(_, at)| at).collect();
+        match self.reroute(events.len(), &stamps, None) {
             Ok(outcome) => {
                 self.last = outcome.clone();
                 Ok(outcome)
@@ -414,6 +446,7 @@ impl<E: RoutingEngine> SmLoop<E> {
     fn reroute(
         &mut self,
         coalesced: usize,
+        stamps: &[Instant],
         preferred_sm: Option<NodeId>,
     ) -> Result<EventOutcome, SmError> {
         let start = Instant::now();
@@ -573,10 +606,17 @@ impl<E: RoutingEngine> SmLoop<E> {
             )
         } else {
             let old = transition::remap_routes(&self.net, &self.current.routes, &view);
-            (
-                transition::plan_update(&view, Some(&old), &fabric.routes, self.sm.hardware_vls),
-                fabric.tables.diff(&view, &self.current.tables, &self.net),
-            )
+            // A plan provider holding a valid certificate for exactly
+            // this (old, new) pair answers in O(change); otherwise the
+            // full planner re-derives safety from scratch.
+            let plan = self
+                .plan_provider
+                .as_deref()
+                .and_then(|p| p.diff_plan(&view, &old, &fabric.routes, self.sm.hardware_vls))
+                .unwrap_or_else(|| {
+                    transition::plan_update(&view, Some(&old), &fabric.routes, self.sm.hardware_vls)
+                });
+            (plan, fabric.tables.diff(&view, &self.current.tables, &self.net))
         };
         let outcome = EventOutcome {
             rungs,
@@ -593,12 +633,15 @@ impl<E: RoutingEngine> SmLoop<E> {
         self.net = view;
         self.current = fabric;
         self.quarantined = quarantined;
-        self.record(&outcome);
+        self.record(&outcome, stamps);
         Ok(outcome)
     }
 
-    /// Report one reroute to the attached recorder.
-    fn record(&self, outcome: &EventOutcome) {
+    /// Report one reroute to the attached recorder. `stamps` are the
+    /// arrival times of the events this reroute coalesced: each gets
+    /// its own `reroute_ns` observation (arrival → now), so a burst's
+    /// latency distribution survives the fold.
+    fn record(&self, outcome: &EventOutcome, stamps: &[Instant]) {
         let rec = &*self.recorder;
         if !rec.enabled() {
             return;
@@ -606,6 +649,13 @@ impl<E: RoutingEngine> SmLoop<E> {
         let nanos = outcome.elapsed.as_nanos() as u64;
         rec.phase(phases::REROUTE, nanos);
         rec.observe(hists::REROUTE_US, nanos / 1_000);
+        let end = Instant::now();
+        for &at in stamps {
+            rec.observe(
+                hists::REROUTE_NS,
+                end.saturating_duration_since(at).as_nanos() as u64,
+            );
+        }
         rec.add(counters::REROUTES, 1);
         rec.add(counters::EVENTS_COALESCED, outcome.coalesced as u64);
         for rung in &outcome.rungs {
@@ -944,6 +994,43 @@ mod tests {
         assert_eq!(sm.network().num_cables(), net.num_cables() - 3);
         let nt = sm.network().num_terminals();
         assert_eq!(sm.light_sweep().unwrap(), nt * (nt - 1));
+    }
+
+    #[test]
+    fn batch_timestamps_survive_coalescing() {
+        // Three events with distinct arrival times coalesce into one
+        // reroute, but the reroute_ns histogram must get one observation
+        // per original event — each at least the event's queueing delay.
+        let net = fat_tree();
+        let sm_node = net.terminals()[0];
+        let mut sm = SmLoop::bring_up(DfSssp::new(), net.clone(), sm_node).unwrap();
+        let collector = std::sync::Arc::new(telemetry::Collector::new());
+        sm.set_recorder(collector.clone());
+        let ups = uplinks(&net);
+        let now = Instant::now();
+        let early = now - Duration::from_millis(50);
+        let outcome = sm
+            .handle_batch_at(&[
+                (FabricEvent::CableDown(ups[0]), early),
+                (FabricEvent::CableDown(ups[1]), early),
+                (FabricEvent::CableDown(ups[2]), now),
+            ])
+            .unwrap();
+        assert!(outcome.rerouted);
+        assert_eq!(outcome.coalesced, 3);
+        let snap = collector.snapshot();
+        let hist = snap.histograms.get(hists::REROUTE_NS).expect("reroute_ns");
+        assert_eq!(hist.count, 3, "one observation per original event");
+        // The two early events waited ≥50ms before the reroute started.
+        assert!(hist.max >= 50_000_000, "max {} too small", hist.max);
+        // Every observation covers at least the reroute itself.
+        assert!(hist.min >= outcome.elapsed.as_nanos() as u64);
+        // A plain handle_batch stamps all events "now": still one
+        // observation each.
+        let outcome = sm.handle_batch(&[FabricEvent::CableUp(ups[0])]).unwrap();
+        assert!(outcome.rerouted);
+        let snap = collector.snapshot();
+        assert_eq!(snap.histograms[hists::REROUTE_NS].count, 4);
     }
 
     #[test]

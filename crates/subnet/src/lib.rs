@@ -43,4 +43,4 @@ pub use events::{EventOutcome, FabricEvent, Rung, SmLoop};
 pub use lft::{FabricTables, LftDiff, PathRecord, WalkError};
 pub use lid::{Lid, LidMap};
 pub use manager::{ProgrammedFabric, SmError, SubnetManager};
-pub use transition::{plan_update, remap_routes, UpdatePlan, UpdateStage};
+pub use transition::{plan_update, remap_routes, DiffPlanProvider, UpdatePlan, UpdateStage};

@@ -89,6 +89,29 @@ impl UpdatePlan {
     }
 }
 
+/// A source of cheaper, already-certified update plans.
+///
+/// An incremental routing engine that just computed `new` from `old`
+/// knows *which* destination columns it touched and whether the mixed
+/// old∪new state is acyclic — evidence [`plan_update`] would have to
+/// re-derive from scratch. Implementors return `Some(plan)` when they
+/// hold a valid safety certificate for this exact `(old, new)` pair and
+/// `None` otherwise; callers fall back to [`plan_update`] on `None`, so
+/// a provider never has to be conservative about *planning*, only about
+/// *certifying*.
+pub trait DiffPlanProvider {
+    /// A transition plan for `old -> new` on `net`, or `None` if no
+    /// certificate covering this pair is held. `hw_vls` is the hardware
+    /// VL budget any staged vetting must respect.
+    fn diff_plan(
+        &self,
+        net: &Network,
+        old: &Routes,
+        new: &Routes,
+        hw_vls: usize,
+    ) -> Option<UpdatePlan>;
+}
+
 /// Re-express `old` (tables for `old_net`) against `new_net`.
 ///
 /// Nodes are matched by name and channels by `(source node, source
@@ -291,7 +314,7 @@ pub fn plan_update(net: &Network, old: Option<&Routes>, new: &Routes, hw_vls: us
 }
 
 /// Whether any table entry or layer of destination column `d` differs.
-fn column_differs(net: &Network, old: &Routes, new: &Routes, d: usize) -> bool {
+pub fn column_differs(net: &Network, old: &Routes, new: &Routes, d: usize) -> bool {
     for (id, _) in net.nodes() {
         if old.next_hop(id, d) != new.next_hop(id, d) {
             return true;
@@ -309,7 +332,7 @@ fn column_entries(net: &Network, new: &Routes, d: usize) -> usize {
 }
 
 /// Switch-table entries that differ between the two columns (SMP cost).
-fn column_swap_entries(net: &Network, old: &Routes, new: &Routes, d: usize) -> usize {
+pub fn column_swap_entries(net: &Network, old: &Routes, new: &Routes, d: usize) -> usize {
     net.switches()
         .iter()
         .filter(|&&s| old.next_hop(s, d) != new.next_hop(s, d))

@@ -71,6 +71,10 @@ pub mod phases {
     pub const EPOCH_SWAP: &str = "epoch_swap";
     /// One drained query batch answered by a serve worker.
     pub const SERVE_BATCH: &str = "serve_batch";
+    /// Delta reroute: dirty-set extraction + dirty-destination re-sweep.
+    pub const DELTA_DIRTY: &str = "delta_dirty";
+    /// Delta reroute: incremental CDG patch + scoped re-verification.
+    pub const DELTA_PATCH: &str = "delta_patch";
 }
 
 /// Well-known counter names.
@@ -141,6 +145,10 @@ pub mod counters {
     pub const PAR_TASKS: &str = "par_tasks";
     /// Items a pool worker claimed from another worker's deque.
     pub const STEAL_COUNT: &str = "steal_count";
+    /// Destinations dirtied (re-swept) by delta reroutes.
+    pub const DELTA_DIRTY_DSTS: &str = "delta_dirty_dsts";
+    /// Delta reroutes that fell back to a full recompute.
+    pub const DELTA_FALLBACKS: &str = "delta_fallbacks";
 }
 
 /// Well-known histogram names.
@@ -153,6 +161,10 @@ pub mod hists {
     pub const EDGE_LOAD: &str = "edge_load";
     /// Per-event reroute latency, microseconds.
     pub const REROUTE_US: &str = "reroute_us";
+    /// Per-event reroute latency, nanoseconds, measured from the event's
+    /// own arrival timestamp (so coalesced bursts attribute latency to
+    /// the triggering event, not the collapsed singleton).
+    pub const REROUTE_NS: &str = "reroute_ns";
     /// Per-pattern mean flow bandwidth, milli-units (ORCS).
     pub const PATTERN_BW_MILLI: &str = "pattern_bw_milli";
     /// Reader-visible pause per epoch swap, microseconds.

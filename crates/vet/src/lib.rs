@@ -270,6 +270,176 @@ pub fn analyze_with(net: &Network, routes: &Routes, cfg: &Config) -> Report {
     finish(net, routes, em, stats)
 }
 
+/// [`analyze_with`] restricted to a destination subset — the scoped
+/// re-check incremental rerouting uses: only the listed destination
+/// terminal indices' columns are walked (V001–V003, V006 over the
+/// scope; V004 over the scope's dependency edges; the V005 hardware
+/// budget and the network-level V007 judgement are global and run as
+/// usual). Costs O(|dests| · V) instead of O(T · V).
+///
+/// The caller owns the claim that the unscoped columns are unchanged
+/// since their last full analysis; this function verifies exactly the
+/// scope it is given. Out-of-range indices are ignored; per-layer
+/// population stats cover only the scope, so the layer-imbalance
+/// heuristic is skipped (its denominators would be misleading).
+pub fn analyze_scoped(net: &Network, routes: &Routes, dests: &[usize], cfg: &Config) -> Report {
+    let mut em = diag::Emitter::new(cfg.max_diagnostics_per_code);
+    let mut stats = Stats {
+        num_nodes: net.num_nodes(),
+        num_switches: net.num_switches(),
+        num_terminals: net.num_terminals(),
+        num_channels: net.num_channels(),
+        num_layers: routes.num_layers(),
+        ..Stats::default()
+    };
+    if routes.num_nodes() != net.num_nodes() || routes.num_terminals() != net.num_terminals() {
+        em.emit(
+            LintCode::InvalidNextHop,
+            Severity::Error,
+            format!(
+                "tables sized for {} node(s) / {} terminal(s), network has {} / {} — \
+                 artifact does not match this network",
+                routes.num_nodes(),
+                routes.num_terminals(),
+                net.num_nodes(),
+                net.num_terminals()
+            ),
+            Witness::Shape {
+                table_nodes: routes.num_nodes(),
+                net_nodes: net.num_nodes(),
+                table_terminals: routes.num_terminals(),
+                net_terminals: net.num_terminals(),
+            },
+        );
+        return finish(net, routes, em, stats);
+    }
+
+    let walked = walk::walk_tables_scoped(net, routes, cfg, &mut em, Some(dests));
+    stats.pairs = walked.pairs;
+    stats.pairs_routed = walked.pairs_routed;
+    stats.pairs_broken = walked.pairs_broken;
+    stats.pairs_unreachable = walked.pairs_unreachable;
+    stats.max_hops = walked.max_hops;
+    stats.paths_per_layer = walked.paths_per_layer;
+    stats.edges_per_layer = walked.edges.iter().map(|e| e.len()).collect();
+    stats.broken_pairs = walked.broken_pairs;
+
+    let cdg_sev = if cfg.deadlock_error {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    for (layer, edges) in walked.edges.iter().enumerate() {
+        if let Some(channels) = cdg_lint::find_cycle(net.num_channels(), edges) {
+            stats.cyclic_layers.push(layer as u8);
+            em.emit(
+                LintCode::CdgCycle,
+                cdg_sev,
+                format!(
+                    "layer {layer} channel dependency graph (scoped to {} destination(s)) \
+                     has a cycle of {} channel(s) — routes on this layer can deadlock",
+                    dests.len(),
+                    channels.len()
+                ),
+                Witness::CdgCycle {
+                    layer: layer as u8,
+                    channels,
+                },
+            );
+        }
+    }
+
+    if let Some(hw) = cfg.hw_vls {
+        if routes.num_layers() > hw {
+            em.emit(
+                LintCode::VlOutOfRange,
+                Severity::Error,
+                format!(
+                    "routes use {} virtual layers but the hardware provides {hw} VLs",
+                    routes.num_layers()
+                ),
+                Witness::LayerHistogram {
+                    populations: stats.paths_per_layer.clone(),
+                },
+            );
+        }
+    }
+
+    if cfg.check_existence {
+        scoped_existence(net, routes, &mut em, &mut stats);
+    }
+
+    finish(net, routes, em, stats)
+}
+
+/// The V007 judgement shared by [`analyze_scoped`]: network-level, so
+/// scoping does not change what it looks at.
+fn scoped_existence(net: &Network, routes: &Routes, em: &mut diag::Emitter, stats: &mut Stats) {
+    let refuted_sev = if routes.num_layers() <= 1 {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    match existence::existence(net) {
+        Existence::Exists { roots, pairs } => {
+            stats.existence = Some(format!(
+                "certified: up*/down* orientation from {} root(s) covers all {pairs} \
+                 required pair(s) with an acyclic dependency graph",
+                roots.len()
+            ));
+        }
+        Existence::NotExists(ExistenceWitness::OneWayPair { src, dst }) => {
+            stats.existence = Some(format!("refuted: one-way pair {src:?} -> {dst:?}"));
+            em.emit(
+                LintCode::DeadlockExistence,
+                Severity::Error,
+                format!(
+                    "no routing can serve {src:?} -> {dst:?}: the pair is cabled but \
+                     directed reachability holds only the other way (half-dead link?)"
+                ),
+                Witness::OneWayPair { src, dst },
+            );
+        }
+        Existence::NotExists(ExistenceWitness::ForcedCycle { channels }) => {
+            stats.existence = Some(format!(
+                "refuted: forced dependency cycle of {} channel(s)",
+                channels.len()
+            ));
+            em.emit(
+                LintCode::DeadlockExistence,
+                refuted_sev,
+                format!(
+                    "no single-layer deadlock-free routing exists: unique paths force a \
+                     dependency cycle of {} channel(s) into every routing{}",
+                    channels.len(),
+                    if refuted_sev == Severity::Warning {
+                        format!(
+                            " (this artifact's {} layers are provably necessary)",
+                            routes.num_layers()
+                        )
+                    } else {
+                        String::new()
+                    }
+                ),
+                Witness::ForcedCycle { channels },
+            );
+        }
+        Existence::Undecided { src, dst } => {
+            stats.existence = Some(format!("undecided: pair {src:?} -> {dst:?} uncertified"));
+            em.emit(
+                LintCode::DeadlockExistence,
+                Severity::Warning,
+                format!(
+                    "existence of a single-layer deadlock-free routing is undecided: \
+                     {src:?} -> {dst:?} is routable only over channels the up*/down* \
+                     certificate cannot order"
+                ),
+                Witness::UncertifiedPair { src, dst },
+            );
+        }
+    }
+}
+
 /// The per-layer channel-dependency edge sets induced by walking
 /// `routes`' tables on `net`, without emitting diagnostics — the raw
 /// material for update-window hazard checks (see [`union_cycles`]).

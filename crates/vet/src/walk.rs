@@ -48,6 +48,21 @@ pub(crate) fn walk_tables(
     cfg: &Config,
     em: &mut Emitter,
 ) -> WalkResult {
+    walk_tables_scoped(net, routes, cfg, em, None)
+}
+
+/// [`walk_tables`] restricted to a destination subset: with
+/// `scope = Some(dests)` only the listed destination terminal indices
+/// are walked (each still against every source), so re-verifying an
+/// incrementally patched artifact costs O(scope · V) instead of
+/// O(T · V). `None` walks everything.
+pub(crate) fn walk_tables_scoped(
+    net: &Network,
+    routes: &Routes,
+    cfg: &Config,
+    em: &mut Emitter,
+    scope: Option<&[usize]>,
+) -> WalkResult {
     let n = net.num_nodes();
     let nl = routes.num_layers() as usize;
     let mut res = WalkResult {
@@ -69,7 +84,16 @@ pub(crate) fn walk_tables(
     let mut mark = vec![0u32; n];
     let mut generation = 0u32;
 
-    for (dst_t, &dst) in net.terminals().iter().enumerate() {
+    let dest_list: Vec<usize> = match scope {
+        None => (0..net.num_terminals()).collect(),
+        Some(dests) => dests
+            .iter()
+            .copied()
+            .filter(|&d| d < net.num_terminals())
+            .collect(),
+    };
+    for dst_t in dest_list {
+        let dst = net.terminals()[dst_t];
         state.iter_mut().for_each(|s| *s = UNVISITED);
         tdist.iter_mut().for_each(|d| *d = u32::MAX);
         srcs_by_layer.iter_mut().for_each(Vec::clear);

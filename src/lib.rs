@@ -44,6 +44,7 @@
 //! | [`vet`] | static analyzer for routing artifacts (lints V001–V006) |
 //! | [`telemetry`] | phase timers, counters, histograms, run manifests |
 //! | [`serve`] | epoch-versioned snapshots, batched concurrent query engine |
+//! | [`delta`] | incremental rerouting: O(change) epoch recompute + transition certificates |
 //!
 //! ## Measuring a run
 //!
@@ -79,6 +80,7 @@
 
 pub use appsim;
 pub use baselines;
+pub use delta;
 pub use dfsssp_core as core;
 pub use fabric;
 pub use flitsim;
@@ -99,6 +101,7 @@ pub use dfsssp_core::verify;
 pub mod prelude {
     pub use appsim::{alltoall_time, netgauge_ebb, Allocation, NasBenchmark};
     pub use baselines::{Dor, FatTree, Lash, MinHop, UpDown};
+    pub use delta::{DeltaConfig, DeltaEngine, DeltaOutcome};
     pub use dfsssp_core::{
         Budget, ComputeCtx, ComputeOpts, CycleBreakHeuristic, DeadlockFree, DfSssp, EngineConfig,
         LayerAssignMode, Recorded, RouteError, RoutingEngine, Sssp,
